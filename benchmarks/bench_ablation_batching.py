@@ -1,0 +1,66 @@
+"""E8 — ablation: the plugin-level optimizations (§8.1, §8.4).
+
+Two mechanisms keep whole-suite validation affordable:
+
+* skip-if-no-change (§8.1): don't validate passes that report no change;
+* batching (§8.4): validate the composition of several passes at once.
+
+The paper batched oggenc/ph7/SQLite to cut total verification time, at a
+slight risk of masking bugs.  This ablation measures both effects on a
+generated module and checks that batching reduces the number of solver
+invocations without changing the (zero) violation count.
+"""
+
+from conftest import print_table
+
+from repro.refinement.check import VerifyOptions
+from repro.suite.apps import O3_PIPELINE
+from repro.suite.genir import GenConfig, generate_module
+from repro.tv.plugin import TvPlugin
+
+OPTS = VerifyOptions(timeout_s=8.0)
+
+
+def test_bench_batching_ablation(benchmark):
+    module = generate_module(
+        321, 8, GenConfig(allow_loops=True, allow_memory=True)
+    )
+
+    def run():
+        results = {}
+        for label, batch, skip in [
+            ("per-pass", 1, True),
+            ("batch-3", 3, True),
+            ("batch-all", len(O3_PIPELINE), True),
+            ("no-skip", 1, False),
+        ]:
+            plugin = TvPlugin(OPTS, batch=batch, skip_unchanged=skip)
+            report = plugin.validate(module.clone(), O3_PIPELINE)
+            results[label] = report
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for label, report in results.items():
+        t = report.tally
+        rows.append(
+            {
+                "config": label,
+                "checks": t.analyzed,
+                "skipped": t.skipped_unchanged,
+                "incorrect": t.incorrect,
+                "time_s": round(t.total_time_s, 2),
+            }
+        )
+    print_table("E8: batching / skip-unchanged ablation", rows)
+
+    per_pass = results["per-pass"].tally
+    batched = results["batch-all"].tally
+    no_skip = results["no-skip"].tally
+    # Shape: batching reduces solver invocations; no verdict changes.
+    assert batched.analyzed <= per_pass.analyzed
+    assert batched.incorrect == per_pass.incorrect == 0
+    # Shape: skip-unchanged avoids (attempted) validations.
+    assert no_skip.skipped_unchanged == 0
+    assert per_pass.skipped_unchanged >= 1

@@ -1,0 +1,106 @@
+"""E2 — Figure 6: effect of the unroll factor on unit-test validation.
+
+The paper's trends: as the unroll factor grows, the number of *passed*
+tests falls (timeouts / OOM take over), the number of detected
+incorrect transformations rises to a plateau, and wall-clock time grows
+roughly linearly.  We sweep the factor over a loop-heavy corpus and
+check the same shapes.
+"""
+
+import time
+
+from conftest import print_table
+
+from repro.ir.parser import parse_module
+from repro.refinement.check import Verdict, VerifyOptions, verify_refinement
+
+# Loop pairs: some correct, some wrong at various iteration depths
+# (deeper bugs need a larger unroll factor to be seen — the Figure 6
+# "incorrect rises with unroll" effect).
+COUNT_LOOP = """
+define i8 @f(i8 %n) {{
+entry:
+  br label %header
+header:
+  %i = phi i8 [ 0, %entry ], [ %i2, %body ]
+  %c = icmp ult i8 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %i2 = add i8 %i, 1
+  br label %header
+exit:
+  ret i8 {ret}
+}}
+"""
+
+WRONG_ABOVE = """
+define i8 @f(i8 %n) {{
+entry:
+  %big = icmp ugt i8 %n, {cut}
+  br i1 %big, label %bad, label %ok
+bad:
+  ret i8 77
+ok:
+  ret i8 %n
+}}
+"""
+
+
+def _workload():
+    pairs = []
+    # Correct pair: loop vs closed form.
+    pairs.append(("correct", COUNT_LOOP.format(ret="%i"), "define i8 @f(i8 %n) {\nentry:\n  ret i8 %n\n}"))
+    # Wrong pairs that need >= cut+1 iterations to expose.
+    for cut in (0, 1, 3, 6, 12):
+        pairs.append(
+            (f"wrong-above-{cut}", COUNT_LOOP.format(ret="%i"), WRONG_ABOVE.format(cut=cut))
+        )
+    return pairs
+
+
+def test_bench_unroll_sweep(benchmark):
+    pairs = _workload()
+    factors = [1, 2, 4, 8, 16]
+
+    def sweep():
+        rows = []
+        for factor in factors:
+            options = VerifyOptions(timeout_s=20.0, unroll_factor=factor)
+            correct = incorrect = gave_up = 0
+            start = time.monotonic()
+            for _name, src_text, tgt_text in pairs:
+                sm, tm = parse_module(src_text), parse_module(tgt_text)
+                result = verify_refinement(
+                    sm.definitions()[0], tm.definitions()[0], sm, tm, options
+                )
+                if result.verdict is Verdict.CORRECT:
+                    correct += 1
+                elif result.verdict is Verdict.INCORRECT:
+                    incorrect += 1
+                else:
+                    gave_up += 1
+            rows.append(
+                {
+                    "unroll": factor,
+                    "correct": correct,
+                    "incorrect": incorrect,
+                    "gave_up": gave_up,
+                    "time_s": round(time.monotonic() - start, 2),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table("E2 (Figure 6): unroll factor sweep", rows)
+
+    by_factor = {r["unroll"]: r for r in rows}
+    # Shape: #incorrect is non-decreasing in the unroll factor (deeper
+    # bugs become visible), as in the paper's middle plot.
+    incs = [by_factor[f]["incorrect"] for f in factors]
+    assert all(a <= b for a, b in zip(incs, incs[1:])), incs
+    # With factor 16 every wrong-above-N (N < 15) pair is exposed.
+    assert by_factor[16]["incorrect"] >= 4
+    # With factor 1 almost nothing is exposed.
+    assert by_factor[1]["incorrect"] <= 1
+    # Runtime grows with the unroll factor (the paper's right-hand plot).
+    assert by_factor[16]["time_s"] >= by_factor[1]["time_s"]

@@ -1,0 +1,66 @@
+"""E3 — Figure 7: translation validation while compiling applications.
+
+The paper compiles five single-file programs at -O3 and validates every
+function pair around every pass, reporting per-program totals.  Our
+stand-in applications (see repro.suite.apps) are scaled-down generated
+modules; the regenerated table has the same columns, and the same key
+shapes: no refinement violations from the correct pipeline, a nonzero
+unsupported tail, and time roughly proportional to program size.
+"""
+
+from conftest import print_table
+
+from repro.refinement.check import VerifyOptions
+from repro.suite.apps import APP_SPECS, O3_PIPELINE, build_app
+from repro.tv.plugin import validate_pipeline
+
+# The paper's Figure 7 numbers (pairs scaled ~1:250 in our apps).
+PAPER_ROWS = {
+    "bzip2": {"diff": 2_200, "ok": 333, "bad": 10},
+    "gzip": {"diff": 2_600, "ok": 884, "bad": 4},
+    "oggenc": {"diff": 1_800, "ok": 440, "bad": 4},
+    "ph7": {"diff": 5_600, "ok": 1_393, "bad": 28},
+    "sqlite3": {"diff": 12_200, "ok": 2_314, "bad": 38},
+}
+
+
+def test_bench_apps_table(benchmark):
+    options = VerifyOptions(timeout_s=8.0)
+
+    def run():
+        rows = []
+        for spec in APP_SPECS:
+            module = build_app(spec)
+            report = validate_pipeline(module, O3_PIPELINE, options)
+            t = report.tally
+            rows.append(
+                {
+                    "prog": spec.name,
+                    "loc": spec.loc,
+                    "pairs": t.analyzed + t.skipped_unchanged,
+                    "diff": t.analyzed,
+                    "time_s": round(t.total_time_s, 1),
+                    "ok": t.correct,
+                    "bad": t.incorrect,
+                    "TO": t.timeout,
+                    "OOM": t.oom,
+                    "unsup": t.unsupported + t.approx,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("E3 (Figure 7): single-file application validation", rows)
+    print("paper (for shape comparison):")
+    for name, p in PAPER_ROWS.items():
+        print(f"  {name}: diff={p['diff']} ok={p['ok']} bad={p['bad']}")
+
+    by_name = {r["prog"]: r for r in rows}
+    # Shape: the correct pipeline produces no violations.
+    assert all(r["bad"] == 0 for r in rows), rows
+    # Shape: sqlite3 (largest) validates the most pairs and takes longest.
+    assert by_name["sqlite3"]["diff"] >= max(
+        by_name[n]["diff"] for n in ("bzip2", "gzip", "oggenc")
+    )
+    # Every app exercised at least a few validations.
+    assert all(r["diff"] >= 1 for r in rows)

@@ -1,0 +1,81 @@
+"""E6 — the paper's two 'Selected bugs' (§8.2), end to end.
+
+Selected Bug #1: nsw reassociation in SLP vectorization (caught at the
+return-poison query; the fixed transformation that drops nsw verifies).
+Selected Bug #2: `fadd (fmul nsz a b), +0.0 -> fmul nsz a b` (caught at
+the return-value query on a -0.0 counterexample).
+
+Benchmarked as the paper used them: as translation-validation tasks over
+the buggy passes.
+"""
+
+from conftest import print_table
+
+from repro.ir.parser import parse_module
+from repro.refinement.check import Verdict, VerifyOptions
+from repro.tv.plugin import validate_pipeline
+
+OPTS = VerifyOptions(timeout_s=30.0)
+
+BUG1_INPUT = """
+define i8 @f(i8 %a, i8 %b, i8 %c, i8 %d) {
+entry:
+  %s1 = add nsw i8 %a, %b
+  %s2 = add nsw i8 %s1, %c
+  %s3 = add nsw i8 %s2, %d
+  ret i8 %s3
+}
+"""
+
+BUG2_INPUT = """
+define half @f(half %a, half %b) {
+entry:
+  %c = fmul nsz half %a, %b
+  %r = fadd half %c, 0.0
+  ret half %r
+}
+"""
+
+
+def test_bench_selected_bugs(benchmark):
+    def run():
+        bug1 = validate_pipeline(
+            parse_module(BUG1_INPUT), ["reassociate"], OPTS,
+            pass_options={"bug:nsw-reassoc": True},
+        )
+        bug1_fixed = validate_pipeline(
+            parse_module(BUG1_INPUT), ["reassociate"], OPTS,
+        )
+        bug2 = validate_pipeline(
+            parse_module(BUG2_INPUT), ["instcombine"], OPTS,
+            pass_options={"bug:fadd-zero": True},
+        )
+        bug2_fixed = validate_pipeline(
+            parse_module(BUG2_INPUT), ["instcombine"], OPTS,
+        )
+        return bug1, bug1_fixed, bug2, bug2_fixed
+
+    bug1, bug1_fixed, bug2, bug2_fixed = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    rows = [
+        {
+            "bug": "#1 nsw vectorization",
+            "buggy pass": "incorrect" if bug1.failures() else "MISSED",
+            "failed check": bug1.failures()[0].result.failed_check if bug1.failures() else "-",
+            "fixed pass": "correct" if not bug1_fixed.failures() else "STILL WRONG",
+        },
+        {
+            "bug": "#2 fadd +0.0 (nsz)",
+            "buggy pass": "incorrect" if bug2.failures() else "MISSED",
+            "failed check": bug2.failures()[0].result.failed_check if bug2.failures() else "-",
+            "fixed pass": "correct" if not bug2_fixed.failures() else "STILL WRONG",
+        },
+    ]
+    print_table("E6 (§8.2): Selected bugs #1 and #2", rows)
+
+    assert bug1.failures() and not bug1_fixed.failures()
+    assert bug2.failures() and not bug2_fixed.failures()
+    assert bug1.failures()[0].result.failed_check == "return-poison"
+    assert bug2.failures()[0].result.failed_check == "return-value"

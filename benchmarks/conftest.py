@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures (see the
+experiment index in DESIGN.md) and prints the same rows/series the paper
+reports.  Run with ``pytest benchmarks/ --benchmark-only -s`` to see the
+tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+def print_table(title: str, rows: List[Dict[str, object]]) -> None:
+    print(f"\n=== {title} ===")
+    if not rows:
+        print("(no rows)")
+        return
+    headers = list(rows[0].keys())
+    widths = {
+        h: max(len(str(h)), *(len(str(r[h])) for r in rows)) for h in headers
+    }
+    print("  ".join(str(h).rjust(widths[h]) for h in headers))
+    for row in rows:
+        print("  ".join(str(row[h]).rjust(widths[h]) for h in headers))

@@ -1,0 +1,68 @@
+"""Reproduce the paper's flagship miscompilations and inspect counterexamples.
+
+1. §8.4: `select %x, %y, false -> and %x, %y` — wrong when %y is poison.
+2. Selected Bug #2: `fadd (fmul nsz a b), +0.0 -> fmul nsz a b` — wrong
+   because -0.0 + +0.0 = +0.0.
+
+Run:  python examples/find_miscompilation.py
+"""
+
+from repro.ir.parser import parse_module
+from repro.refinement.check import VerifyOptions, verify_refinement
+from repro.tv.plugin import validate_pipeline
+
+SELECT_INPUT = """
+define i1 @sel(i1 %x, i1 %y) {
+entry:
+  %r = select i1 %x, i1 %y, i1 false
+  ret i1 %r
+}
+"""
+
+FP_INPUT = """
+define half @fp(half %a, half %b) {
+entry:
+  %c = fmul nsz half %a, %b
+  %r = fadd half %c, 0.0
+  ret half %r
+}
+"""
+
+
+def main() -> None:
+    options = VerifyOptions(timeout_s=30.0)
+
+    print("== the select -> and miscompilation (§8.4) ==")
+    # Run the buggy instcombine variant (LLVM's behaviour when the paper
+    # was written) under translation validation:
+    report = validate_pipeline(
+        parse_module(SELECT_INPUT),
+        ["instcombine"],
+        options,
+        pass_options={"bug:select-to-and-or": True},
+    )
+    for record in report.records:
+        print(f"pass {record.pass_name} on @{record.function}:")
+        print(record.result.describe())
+    print()
+
+    print("== Selected Bug #2: fadd x, +0.0 under nsz ==")
+    report = validate_pipeline(
+        parse_module(FP_INPUT),
+        ["instcombine"],
+        options,
+        pass_options={"bug:fadd-zero": True},
+    )
+    for record in report.records:
+        print(f"pass {record.pass_name} on @{record.function}:")
+        print(record.result.describe())
+    print()
+
+    print("== and with the fixed passes ==")
+    for text, pipeline in ((SELECT_INPUT, ["instcombine"]), (FP_INPUT, ["instcombine"])):
+        report = validate_pipeline(parse_module(text), pipeline, options)
+        print(report.summary())
+
+
+if __name__ == "__main__":
+    main()

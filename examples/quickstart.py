@@ -1,0 +1,65 @@
+"""Quickstart: verify a peephole optimization with the public API.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import parse_module, verify_refinement, VerifyOptions
+
+# The "source": a function before optimization.
+SOURCE = """
+define i8 @double(i8 %x) {
+entry:
+  %r = mul i8 %x, 2
+  ret i8 %r
+}
+"""
+
+# The "target": what the optimizer produced (strength reduction).
+TARGET = """
+define i8 @double(i8 %x) {
+entry:
+  %r = shl i8 %x, 1
+  ret i8 %r
+}
+"""
+
+# And a broken variant the optimizer must never produce.
+BROKEN = """
+define i8 @double(i8 %x) {
+entry:
+  %r = shl i8 %x, 2
+  ret i8 %r
+}
+"""
+
+
+def main() -> None:
+    src_mod = parse_module(SOURCE)
+    tgt_mod = parse_module(TARGET)
+    bad_mod = parse_module(BROKEN)
+    options = VerifyOptions(timeout_s=30.0)
+
+    print("mul %x, 2  ->  shl %x, 1")
+    result = verify_refinement(
+        src_mod.get_function("double"),
+        tgt_mod.get_function("double"),
+        src_mod,
+        tgt_mod,
+        options,
+    )
+    print(result.describe())
+    print()
+
+    print("mul %x, 2  ->  shl %x, 2  (a miscompilation)")
+    result = verify_refinement(
+        src_mod.get_function("double"),
+        bad_mod.get_function("double"),
+        src_mod,
+        bad_mod,
+        options,
+    )
+    print(result.describe())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Alive2 reproduction: bounded translation validation for an LLVM-like IR.
+
+Public API (see README for a tour):
+
+* :func:`repro.parse_module` — parse textual IR into a :class:`Module`.
+* :func:`repro.verify_refinement` — check that a target function refines a
+  source function (the core Alive2 operation).
+* :func:`repro.tv.alive_tv.validate_files` — the ``alive-tv`` tool.
+* :class:`repro.opt.passmanager.PassManager` — the optimizer under test.
+"""
+
+import sys
+
+# Term DAGs from unrolled loops can be deep; the recursive walkers in the
+# SMT layer need headroom beyond CPython's default 1000 frames.
+if sys.getrecursionlimit() < 100_000:
+    sys.setrecursionlimit(100_000)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "parse_module",
+    "verify_refinement",
+    "VerifyOptions",
+    "Verdict",
+    "__version__",
+]
+
+_LAZY = {
+    "parse_module": ("repro.ir.parser", "parse_module"),
+    "verify_refinement": ("repro.refinement.check", "verify_refinement"),
+    "VerifyOptions": ("repro.refinement.check", "VerifyOptions"),
+    "Verdict": ("repro.refinement.check", "Verdict"),
+}
+
+
+def __getattr__(name):
+    """Lazily resolve the public API (PEP 562) to keep import cheap."""
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    return getattr(module, attr)

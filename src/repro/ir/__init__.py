@@ -1,0 +1,56 @@
+"""A typed, SSA-based IR modelled on LLVM IR (§2 of the Alive2 paper).
+
+Supports fixed-width integers, small IEEE-754 floats, logical pointers,
+vectors, and arrays; immediate UB, `undef`, `poison`, and `freeze`;
+branches, switches, phi nodes, calls, and the memory instructions.
+
+The textual syntax accepted by :func:`repro.ir.parser.parse_module` is the
+LLVM assembly subset used throughout the tests and the paper's examples.
+"""
+
+from repro.ir.types import (
+    ArrayType,
+    FloatType,
+    IntType,
+    PointerType,
+    Type,
+    VectorType,
+    VoidType,
+)
+from repro.ir.values import (
+    Argument,
+    ConstantAggregate,
+    ConstantFloat,
+    ConstantInt,
+    ConstantNull,
+    GlobalVariable,
+    PoisonValue,
+    Register,
+    UndefValue,
+    Value,
+)
+from repro.ir.module import Module
+from repro.ir.function import BasicBlock, Function
+
+__all__ = [
+    "Type",
+    "IntType",
+    "FloatType",
+    "PointerType",
+    "VectorType",
+    "ArrayType",
+    "VoidType",
+    "Value",
+    "ConstantInt",
+    "ConstantFloat",
+    "ConstantAggregate",
+    "ConstantNull",
+    "UndefValue",
+    "PoisonValue",
+    "Register",
+    "Argument",
+    "GlobalVariable",
+    "Module",
+    "Function",
+    "BasicBlock",
+]

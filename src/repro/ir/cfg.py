@@ -1,0 +1,66 @@
+"""Control-flow graph utilities: successor/predecessor maps and orderings.
+
+Alive2 deliberately does not reuse LLVM's analyses (the compiler under
+test is untrusted), so this module implements them independently; we do
+the same rather than depending on our own optimizer's code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.ir.function import Function
+
+
+def successors(fn: Function) -> Dict[str, List[str]]:
+    return {label: block.successors() for label, block in fn.blocks.items()}
+
+
+def predecessors(fn: Function) -> Dict[str, List[str]]:
+    return fn.predecessors()
+
+
+def reverse_postorder(fn: Function) -> List[str]:
+    """Blocks in reverse postorder from the entry (unreachable ones excluded)."""
+    succ = successors(fn)
+    entry = next(iter(fn.blocks))
+    visited: Set[str] = set()
+    order: List[str] = []
+
+    # Iterative DFS with an explicit stack to avoid recursion limits.
+    stack: List[tuple[str, int]] = [(entry, 0)]
+    visited.add(entry)
+    while stack:
+        node, idx = stack.pop()
+        succs = [s for s in succ.get(node, []) if s in fn.blocks]
+        if idx < len(succs):
+            stack.append((node, idx + 1))
+            child = succs[idx]
+            if child not in visited:
+                visited.add(child)
+                stack.append((child, 0))
+        else:
+            order.append(node)
+    order.reverse()
+    return order
+
+
+def reachable_blocks(fn: Function) -> Set[str]:
+    return set(reverse_postorder(fn))
+
+
+def remove_unreachable_blocks(fn: Function) -> bool:
+    """Drop blocks unreachable from the entry; returns True if changed.
+
+    Phi nodes in surviving blocks lose incoming entries from removed blocks.
+    """
+    keep = reachable_blocks(fn)
+    dead = [label for label in fn.blocks if label not in keep]
+    if not dead:
+        return False
+    for label in dead:
+        del fn.blocks[label]
+    for block in fn.blocks.values():
+        for phi in block.phis():
+            phi.incoming = [(v, b) for v, b in phi.incoming if b in keep]
+    return True

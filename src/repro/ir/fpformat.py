@@ -1,0 +1,106 @@
+"""Concrete conversions between Python floats and the scaled FP formats.
+
+These are used by the parser/printer (float literals) and by tests as the
+reference semantics for the symbolic softfloat circuits.  All rounding is
+round-to-nearest-even, matching IEEE-754 default.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.ir.types import FloatType
+
+
+def float_to_bits(value: float, fmt: FloatType) -> int:
+    """Encode a Python float into ``fmt``'s bit pattern (RNE rounding)."""
+    sign = 0
+    if math.copysign(1.0, value) < 0:
+        sign = 1
+    bit_sign = sign << (fmt.exp_bits + fmt.frac_bits)
+    if math.isnan(value):
+        # Canonical quiet NaN: exponent all-ones, MSB of fraction set.
+        return (
+            bit_sign
+            | (((1 << fmt.exp_bits) - 1) << fmt.frac_bits)
+            | (1 << (fmt.frac_bits - 1))
+        )
+    if math.isinf(value):
+        return bit_sign | (((1 << fmt.exp_bits) - 1) << fmt.frac_bits)
+    value = abs(value)
+    if value == 0.0:
+        return bit_sign
+    mant, exp = math.frexp(value)  # value = mant * 2**exp, mant in [0.5, 1)
+    e = exp - 1  # value = (2*mant) * 2**(exp-1), 2*mant in [1, 2)
+    bias = fmt.bias
+    max_e = (1 << fmt.exp_bits) - 2 - bias
+    min_e = 1 - bias
+    if e > max_e:
+        # Round to infinity if beyond the largest finite value.
+        frac_scaled = value / (2.0**e)
+        return bit_sign | (((1 << fmt.exp_bits) - 1) << fmt.frac_bits)
+    if e < min_e:
+        # Subnormal range: value = f * 2**(min_e - frac_bits)
+        scaled = value / (2.0 ** (min_e - fmt.frac_bits))
+        frac = _round_half_even(scaled)
+        if frac >= (1 << fmt.frac_bits):
+            return bit_sign | (1 << fmt.frac_bits)  # rounded up to normal
+        return bit_sign | frac
+    significand = value / (2.0**e)  # in [1, 2)
+    frac_real = (significand - 1.0) * (1 << fmt.frac_bits)
+    frac = _round_half_even(frac_real)
+    if frac >= (1 << fmt.frac_bits):
+        frac = 0
+        e += 1
+        if e > max_e:
+            return bit_sign | (((1 << fmt.exp_bits) - 1) << fmt.frac_bits)
+    return bit_sign | ((e + bias) << fmt.frac_bits) | frac
+
+
+def _round_half_even(x: float) -> int:
+    floor = math.floor(x)
+    diff = x - floor
+    if diff > 0.5:
+        return floor + 1
+    if diff < 0.5:
+        return floor
+    return floor + (floor & 1)
+
+
+def bits_to_float(bits: int, fmt: FloatType) -> float:
+    """Decode a bit pattern into a Python float (exact: formats are tiny)."""
+    frac_mask = (1 << fmt.frac_bits) - 1
+    frac = bits & frac_mask
+    exp = (bits >> fmt.frac_bits) & ((1 << fmt.exp_bits) - 1)
+    sign = -1.0 if (bits >> (fmt.exp_bits + fmt.frac_bits)) & 1 else 1.0
+    if exp == (1 << fmt.exp_bits) - 1:
+        if frac:
+            return math.nan
+        return sign * math.inf
+    if exp == 0:
+        return sign * frac * 2.0 ** (1 - fmt.bias - fmt.frac_bits)
+    return sign * (1.0 + frac / (1 << fmt.frac_bits)) * 2.0 ** (exp - fmt.bias)
+
+
+def is_nan_bits(bits: int, fmt: FloatType) -> bool:
+    frac = bits & ((1 << fmt.frac_bits) - 1)
+    exp = (bits >> fmt.frac_bits) & ((1 << fmt.exp_bits) - 1)
+    return exp == (1 << fmt.exp_bits) - 1 and frac != 0
+
+
+def parse_float_literal(text: str, fmt: FloatType) -> Optional[int]:
+    """Parse an LLVM-style float literal into bits, or None if malformed.
+
+    Accepts decimal literals (``1.5``, ``-0.0``, ``2.5e1``) and raw-bit
+    hex (``0xH3C``, following LLVM's half-precision spelling).
+    """
+    if text.startswith("0xH") or text.startswith("0xh"):
+        try:
+            return int(text[3:], 16) & ((1 << fmt.bit_width) - 1)
+        except ValueError:
+            return None
+    try:
+        return float_to_bits(float(text), fmt)
+    except ValueError:
+        return None

@@ -1,0 +1,110 @@
+"""Functions and basic blocks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.ir.instructions import Instruction, Phi
+from repro.ir.types import Type, VoidType
+from repro.ir.values import Argument
+
+
+@dataclass
+class BasicBlock:
+    """A labelled straight-line sequence ending in a terminator."""
+
+    label: str
+    instructions: List[Instruction] = field(default_factory=list)
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        if self.instructions and self.instructions[-1].is_terminator():
+            return self.instructions[-1]
+        return None
+
+    def phis(self) -> List[Phi]:
+        out = []
+        for inst in self.instructions:
+            if isinstance(inst, Phi):
+                out.append(inst)
+            else:
+                break
+        return out
+
+    def non_phi_instructions(self) -> List[Instruction]:
+        return [i for i in self.instructions if not isinstance(i, Phi)]
+
+    def successors(self) -> List[str]:
+        term = self.terminator
+        if term is None:
+            return []
+        return term.successors()  # type: ignore[attr-defined]
+
+
+@dataclass
+class Function:
+    """A function definition (or declaration when ``blocks`` is empty)."""
+
+    name: str
+    return_type: Type
+    args: List[Argument] = field(default_factory=list)
+    blocks: "Dict[str, BasicBlock]" = field(default_factory=dict)  # ordered
+    attrs: frozenset = frozenset()  # e.g. {"mustprogress", "noreturn"}
+    # Labels of unroll sink blocks (§7): execution must not reach these;
+    # their reachability is negated into the function's precondition.
+    sink_labels: set = field(default_factory=set)
+
+    @property
+    def is_declaration(self) -> bool:
+        return not self.blocks
+
+    @property
+    def entry(self) -> BasicBlock:
+        return next(iter(self.blocks.values()))
+
+    def block_list(self) -> List[BasicBlock]:
+        return list(self.blocks.values())
+
+    def instructions(self) -> Iterator[Instruction]:
+        for block in self.blocks.values():
+            yield from block.instructions
+
+    def defined_names(self) -> Dict[str, Instruction]:
+        """Map of result register name -> defining instruction."""
+        out: Dict[str, Instruction] = {}
+        for inst in self.instructions():
+            name = getattr(inst, "name", None)
+            if name is not None:
+                out[name] = inst
+        return out
+
+    def predecessors(self) -> Dict[str, List[str]]:
+        preds: Dict[str, List[str]] = {label: [] for label in self.blocks}
+        for label, block in self.blocks.items():
+            for succ in block.successors():
+                if succ in preds:
+                    preds[succ].append(label)
+        return preds
+
+    def fresh_register(self, hint: str = "t") -> str:
+        """A register name not used by any instruction or argument."""
+        used = set(self.defined_names())
+        used.update(a.name for a in self.args)
+        i = 0
+        while f"{hint}.{i}" in used:
+            i += 1
+        return f"{hint}.{i}"
+
+    def fresh_label(self, hint: str) -> str:
+        i = 0
+        label = hint
+        while label in self.blocks:
+            label = f"{hint}.{i}"
+            i += 1
+        return label
+
+    def __str__(self) -> str:
+        from repro.ir.printer import print_function
+
+        return print_function(self)

@@ -1,0 +1,740 @@
+"""A concrete reference interpreter for the IR.
+
+This is a testing substrate: it executes *deterministic* programs (no
+undef/poison inputs, no unknown calls) and is used to cross-check the
+loop unroller and the optimizer passes against ground truth, and to
+confirm counterexamples produced by the refinement checker.
+
+UB is modelled explicitly: executing UB raises :class:`UndefinedBehavior`;
+producing poison yields the :data:`POISON` sentinel which propagates
+through arithmetic like the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.fpformat import bits_to_float, float_to_bits
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    ExtractElement,
+    ExtractValue,
+    FBinOp,
+    FCmp,
+    FNeg,
+    Freeze,
+    Gep,
+    ICmp,
+    InsertElement,
+    InsertValue,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    ShuffleVector,
+    Store,
+    Switch,
+    Unreachable,
+)
+from repro.ir.module import Module
+from repro.ir.types import (
+    ArrayType,
+    FloatType,
+    IntType,
+    PointerType,
+    StructType,
+    Type,
+    VectorType,
+    byte_size,
+)
+from repro.ir.values import (
+    ConstantAggregate,
+    ConstantFloat,
+    ConstantInt,
+    ConstantNull,
+    GlobalRef,
+    PoisonValue,
+    Register,
+    UndefValue,
+    Value,
+)
+
+
+class UndefinedBehavior(Exception):
+    """The program executed immediate UB."""
+
+
+class SinkReached(Exception):
+    """Execution reached an unroll sink block (ran past the bound)."""
+
+
+class InterpError(Exception):
+    """The interpreter cannot execute this program (unsupported feature)."""
+
+
+class _Poison:
+    def __repr__(self) -> str:
+        return "poison"
+
+
+POISON = _Poison()
+
+
+@dataclass
+class MemBlock:
+    data: List[object]  # one entry per byte: int 0..255 or POISON
+    alive: bool = True
+    writable: bool = True
+
+
+@dataclass
+class ExecResult:
+    """Outcome of running a function to completion."""
+
+    value: object  # int bits | POISON | tuple for aggregates | None for void
+    memory: "Interpreter"
+
+
+class Interpreter:
+    """Executes one function call on concrete arguments."""
+
+    def __init__(self, module: Module, max_steps: int = 100_000) -> None:
+        self.module = module
+        self.max_steps = max_steps
+        self.blocks_mem: Dict[int, MemBlock] = {}
+        self.globals_addr: Dict[str, int] = {}
+        self._next_bid = 1  # bid 0 is the null block
+        self._init_globals()
+
+    # -- memory ---------------------------------------------------------------
+    def _alloc(self, nbytes: int, writable: bool = True) -> int:
+        bid = self._next_bid
+        self._next_bid += 1
+        self.blocks_mem[bid] = MemBlock([POISON] * nbytes, True, writable)
+        return bid
+
+    def _init_globals(self) -> None:
+        for g in self.module.globals.values():
+            nbytes = byte_size(g.value_type)
+            bid = self._alloc(nbytes, writable=not g.is_constant)
+            self.globals_addr[g.name] = bid
+            if g.initializer is not None:
+                block = self.blocks_mem[bid]
+                init_bytes = self._value_to_bytes(g.initializer, g.value_type)
+                # Temporarily writable for initialization.
+                block.data[: len(init_bytes)] = init_bytes
+
+    def _value_to_bytes(self, value: object, ty: Type) -> List[object]:
+        concrete = self._const_value(value) if isinstance(value, Value) else value
+        nbytes = byte_size(ty)
+        if concrete is POISON:
+            return [POISON] * nbytes
+        if isinstance(ty, (VectorType, ArrayType)):
+            out: List[object] = []
+            assert isinstance(concrete, tuple)
+            for elem in concrete:
+                out.extend(self._value_to_bytes(elem, ty.elem))
+            return out
+        assert isinstance(concrete, int)
+        return [(concrete >> (8 * i)) & 0xFF for i in range(nbytes)]
+
+    def _bytes_to_value(self, data: List[object], ty: Type) -> object:
+        if isinstance(ty, (VectorType, ArrayType)):
+            elem_bytes = byte_size(ty.elem)
+            elems = []
+            for i in range(ty.count):
+                elems.append(
+                    self._bytes_to_value(
+                        data[i * elem_bytes : (i + 1) * elem_bytes], ty.elem
+                    )
+                )
+            return tuple(elems)
+        if any(b is POISON for b in data):
+            return POISON
+        value = 0
+        for i, b in enumerate(data):
+            assert isinstance(b, int)
+            value |= b << (8 * i)
+        if isinstance(ty, IntType):
+            value &= (1 << ty.width) - 1
+        return value
+
+    # -- constants ------------------------------------------------------------
+    def _const_value(self, value: Value) -> object:
+        if isinstance(value, ConstantInt):
+            return value.value
+        if isinstance(value, ConstantFloat):
+            return value.bits
+        if isinstance(value, ConstantNull):
+            return 0  # encoded pointer: block 0, offset 0
+        if isinstance(value, PoisonValue):
+            return POISON
+        if isinstance(value, UndefValue):
+            # Deterministic interpretation: undef picks 0.
+            ty = value.type
+            if isinstance(ty, (VectorType, ArrayType)):
+                return tuple([0] * ty.count)
+            if isinstance(ty, StructType):
+                return tuple([0] * len(ty.fields))
+            return 0
+        if isinstance(value, ConstantAggregate):
+            return tuple(self._const_value(e) for e in value.elems)
+        if isinstance(value, GlobalRef):
+            bid = self.globals_addr[value.name]
+            return self._encode_ptr(bid, 0)
+        raise InterpError(f"cannot evaluate constant {value!r}")
+
+    @staticmethod
+    def _encode_ptr(bid: int, off: int) -> int:
+        return (bid << 32) | (off & 0xFFFFFFFF)
+
+    @staticmethod
+    def _decode_ptr(ptr: int) -> Tuple[int, int]:
+        off = ptr & 0xFFFFFFFF
+        if off >= 1 << 31:
+            off -= 1 << 32
+        return ptr >> 32, off
+
+    # -- execution --------------------------------------------------------------
+    def run(self, fn: Function, args: List[object]) -> ExecResult:
+        """Execute ``fn`` with concrete arguments (ints / tuples / POISON)."""
+        if fn.is_declaration:
+            raise InterpError(f"@{fn.name} has no body")
+        env: Dict[str, object] = {}
+        for arg, value in zip(fn.args, args):
+            env[arg.name] = value
+        block = fn.entry
+        prev_label: Optional[str] = None
+        steps = 0
+        while True:
+            if block.label in fn.sink_labels:
+                raise SinkReached(block.label)
+            # Phis evaluate simultaneously from the incoming edge.
+            phi_updates: Dict[str, object] = {}
+            for phi in block.phis():
+                incoming = [v for v, b in phi.incoming if b == prev_label]
+                if not incoming:
+                    raise InterpError(
+                        f"phi %{phi.name} has no incoming for {prev_label!r}"
+                    )
+                phi_updates[phi.name] = self._operand(incoming[0], env)
+            env.update(phi_updates)
+            for inst in block.non_phi_instructions():
+                steps += 1
+                if steps > self.max_steps:
+                    raise InterpError("step budget exceeded (infinite loop?)")
+                if isinstance(inst, Ret):
+                    value = (
+                        None if inst.value is None else self._operand(inst.value, env)
+                    )
+                    return ExecResult(value, self)
+                if isinstance(inst, Br):
+                    if inst.cond is None:
+                        target = inst.true_label
+                    else:
+                        cond = self._operand(inst.cond, env)
+                        if cond is POISON:
+                            raise UndefinedBehavior("branch on poison/undef")
+                        target = inst.true_label if cond else inst.false_label
+                    prev_label = block.label
+                    block = fn.blocks[target]
+                    break
+                if isinstance(inst, Switch):
+                    sel = self._operand(inst.value, env)
+                    if sel is POISON:
+                        raise UndefinedBehavior("switch on poison/undef")
+                    target = inst.default_label
+                    for case_val, case_label in inst.cases:
+                        if self._const_value(case_val) == sel:
+                            target = case_label
+                            break
+                    prev_label = block.label
+                    block = fn.blocks[target]
+                    break
+                if isinstance(inst, Unreachable):
+                    raise UndefinedBehavior("reached unreachable")
+                self._execute(inst, env)
+            else:
+                raise InterpError(f"block {block.label} lacks a terminator")
+
+    def _operand(self, value: Value, env: Dict[str, object]) -> object:
+        if isinstance(value, Register):
+            if value.name not in env:
+                raise InterpError(f"use of undefined register %{value.name}")
+            return env[value.name]
+        if isinstance(value, ConstantAggregate):
+            return tuple(self._operand(e, env) for e in value.elems)
+        return self._const_value(value)
+
+    # -- instruction semantics ---------------------------------------------------
+    def _execute(self, inst, env: Dict[str, object]) -> None:
+        if isinstance(inst, BinOp):
+            lhs = self._operand(inst.lhs, env)
+            rhs = self._operand(inst.rhs, env)
+            env[inst.name] = self._map_elems(
+                inst.type, lhs, rhs, lambda a, b, ty: self._int_binop(inst, a, b, ty)
+            )
+            return
+        if isinstance(inst, ICmp):
+            lhs = self._operand(inst.lhs, env)
+            rhs = self._operand(inst.rhs, env)
+            op_ty = inst.lhs.type
+            elem_ty = op_ty.elem if isinstance(op_ty, VectorType) else op_ty
+            env[inst.name] = self._map_elems(
+                inst.type, lhs, rhs,
+                lambda a, b, _ty: self._icmp(inst.pred, a, b, elem_ty),
+            )
+            return
+        if isinstance(inst, FBinOp):
+            lhs = self._operand(inst.lhs, env)
+            rhs = self._operand(inst.rhs, env)
+            env[inst.name] = self._map_elems(
+                inst.type, lhs, rhs, lambda a, b, ty: self._fp_binop(inst, a, b, ty)
+            )
+            return
+        if isinstance(inst, FNeg):
+            val = self._operand(inst.operand, env)
+            ty = inst.type
+            if val is POISON:
+                env[inst.name] = POISON
+            else:
+                env[inst.name] = val ^ (1 << (ty.bit_width - 1))
+            return
+        if isinstance(inst, FCmp):
+            lhs = self._operand(inst.lhs, env)
+            rhs = self._operand(inst.rhs, env)
+            env[inst.name] = self._fcmp(inst.pred, lhs, rhs, inst.lhs.type)
+            return
+        if isinstance(inst, Select):
+            cond = self._operand(inst.cond, env)
+            tv = self._operand(inst.on_true, env)
+            fv = self._operand(inst.on_false, env)
+            if cond is POISON:
+                env[inst.name] = POISON
+            else:
+                env[inst.name] = tv if cond else fv
+            return
+        if isinstance(inst, Freeze):
+            val = self._operand(inst.operand, env)
+            if val is POISON:
+                val = 0  # freeze picks an arbitrary value; 0 is deterministic
+            if isinstance(val, tuple):
+                val = tuple(0 if v is POISON else v for v in val)
+            env[inst.name] = val
+            return
+        if isinstance(inst, Cast):
+            env[inst.name] = self._cast(inst, self._operand(inst.operand, env))
+            return
+        if isinstance(inst, Alloca):
+            nbytes = byte_size(inst.allocated_type)
+            bid = self._alloc(nbytes)
+            env[inst.name] = self._encode_ptr(bid, 0)
+            return
+        if isinstance(inst, Load):
+            ptr = self._operand(inst.pointer, env)
+            if ptr is POISON:
+                raise UndefinedBehavior("load from poison pointer")
+            bid, off = self._decode_ptr(ptr)
+            nbytes = byte_size(inst.type)
+            block = self.blocks_mem.get(bid)
+            if block is None or not block.alive:
+                raise UndefinedBehavior("load from dead or invalid block")
+            if off < 0 or off + nbytes > len(block.data):
+                raise UndefinedBehavior("out-of-bounds load")
+            env[inst.name] = self._bytes_to_value(
+                block.data[off : off + nbytes], inst.type
+            )
+            return
+        if isinstance(inst, Store):
+            ptr = self._operand(inst.pointer, env)
+            if ptr is POISON:
+                raise UndefinedBehavior("store to poison pointer")
+            value = self._operand(inst.value, env)
+            bid, off = self._decode_ptr(ptr)
+            block = self.blocks_mem.get(bid)
+            if block is None or not block.alive:
+                raise UndefinedBehavior("store to dead or invalid block")
+            if not block.writable:
+                raise UndefinedBehavior("store to read-only block")
+            data = self._value_to_bytes(value, inst.value.type)
+            if off < 0 or off + len(data) > len(block.data):
+                raise UndefinedBehavior("out-of-bounds store")
+            block.data[off : off + len(data)] = data
+            return
+        if isinstance(inst, Gep):
+            ptr = self._operand(inst.pointer, env)
+            if ptr is POISON:
+                env[inst.name] = POISON
+                return
+            bid, off = self._decode_ptr(ptr)
+            elem_bytes = byte_size(inst.source_type)
+            total = off
+            scale = elem_bytes
+            for idx_value in inst.indices:
+                idx = self._operand(idx_value, env)
+                if idx is POISON:
+                    env[inst.name] = POISON
+                    return
+                idx_ty = idx_value.type
+                assert isinstance(idx_ty, IntType)
+                if idx >= 1 << (idx_ty.width - 1):
+                    idx -= 1 << idx_ty.width
+                total += idx * scale
+                src = inst.source_type
+                if isinstance(src, (ArrayType, VectorType)):
+                    scale = byte_size(src.elem)
+            if inst.inbounds:
+                block = self.blocks_mem.get(bid)
+                size = len(block.data) if block is not None else 0
+                if total < 0 or total > size or off < 0 or off > size:
+                    env[inst.name] = POISON
+                    return
+            env[inst.name] = self._encode_ptr(bid, total)
+            return
+        if isinstance(inst, Call):
+            self._call(inst, env)
+            return
+        if isinstance(inst, ExtractElement):
+            vec = self._operand(inst.vector, env)
+            idx = self._operand(inst.index, env)
+            if vec is POISON or idx is POISON:
+                env[inst.name] = POISON
+                return
+            assert isinstance(vec, tuple)
+            if idx >= len(vec):
+                env[inst.name] = POISON
+                return
+            env[inst.name] = vec[idx]
+            return
+        if isinstance(inst, InsertElement):
+            vec = self._operand(inst.vector, env)
+            elem = self._operand(inst.element, env)
+            idx = self._operand(inst.index, env)
+            if vec is POISON:
+                vec = tuple([POISON] * inst.type.count)
+            if idx is POISON or idx >= len(vec):
+                env[inst.name] = POISON
+                return
+            out = list(vec)
+            out[idx] = elem
+            env[inst.name] = tuple(out)
+            return
+        if isinstance(inst, ExtractValue):
+            agg = self._operand(inst.aggregate, env)
+            for idx in inst.indices:
+                if agg is POISON:
+                    break
+                agg = agg[idx]
+            env[inst.name] = agg
+            return
+        if isinstance(inst, InsertValue):
+            agg = self._operand(inst.aggregate, env)
+            elem = self._operand(inst.element, env)
+            if agg is POISON:
+                nfields = (
+                    len(inst.type.fields)
+                    if isinstance(inst.type, StructType)
+                    else inst.type.count
+                )
+                agg = tuple([POISON] * nfields)
+            out = list(agg)
+            if len(inst.indices) == 1:
+                out[inst.indices[0]] = elem
+            else:
+                inner = list(out[inst.indices[0]])
+                inner[inst.indices[1]] = elem
+                out[inst.indices[0]] = tuple(inner)
+            env[inst.name] = tuple(out)
+            return
+        if isinstance(inst, ShuffleVector):
+            v1 = self._operand(inst.v1, env)
+            v2 = self._operand(inst.v2, env)
+            n = inst.v1.type.count
+            if v1 is POISON:
+                v1 = tuple([POISON] * n)
+            if v2 is POISON:
+                v2 = tuple([POISON] * n)
+            both = tuple(v1) + tuple(v2)
+            out = []
+            for m in inst.mask:
+                if m is None:
+                    out.append(0)  # undef mask element: any value; pick 0
+                elif m < len(both):
+                    out.append(both[m])
+                else:
+                    out.append(POISON)
+            env[inst.name] = tuple(out)
+            return
+        raise InterpError(f"unsupported instruction {inst!r}")
+
+    def _map_elems(self, ty: Type, lhs, rhs, fn) -> object:
+        if isinstance(ty, VectorType):
+            n = ty.count
+            lhs_t = tuple([POISON] * n) if lhs is POISON else lhs
+            rhs_t = tuple([POISON] * n) if rhs is POISON else rhs
+            return tuple(fn(a, b, ty.elem) for a, b in zip(lhs_t, rhs_t))
+        return fn(lhs, rhs, ty)
+
+    def _int_binop(self, inst: BinOp, a, b, ty: IntType) -> object:
+        op = inst.opcode
+        w = ty.width
+        mask = (1 << w) - 1
+        if op in ("udiv", "urem", "sdiv", "srem"):
+            if b is POISON or b == 0:
+                raise UndefinedBehavior(f"{op} by zero or poison divisor")
+            if a is POISON:
+                return POISON
+        if a is POISON or b is POISON:
+            return POISON
+
+        def signed(x: int) -> int:
+            return x - (1 << w) if x >= 1 << (w - 1) else x
+
+        if op == "add":
+            result = (a + b) & mask
+            if "nsw" in inst.flags and not (-(1 << (w - 1)) <= signed(a) + signed(b) < (1 << (w - 1))):
+                return POISON
+            if "nuw" in inst.flags and a + b > mask:
+                return POISON
+            return result
+        if op == "sub":
+            result = (a - b) & mask
+            if "nsw" in inst.flags and not (-(1 << (w - 1)) <= signed(a) - signed(b) < (1 << (w - 1))):
+                return POISON
+            if "nuw" in inst.flags and a < b:
+                return POISON
+            return result
+        if op == "mul":
+            result = (a * b) & mask
+            if "nsw" in inst.flags and not (-(1 << (w - 1)) <= signed(a) * signed(b) < (1 << (w - 1))):
+                return POISON
+            if "nuw" in inst.flags and a * b > mask:
+                return POISON
+            return result
+        if op == "udiv":
+            if "exact" in inst.flags and a % b != 0:
+                return POISON
+            return a // b
+        if op == "urem":
+            return a % b
+        if op == "sdiv":
+            sa, sb = signed(a), signed(b)
+            if sa == -(1 << (w - 1)) and sb == -1:
+                raise UndefinedBehavior("sdiv overflow")
+            q = abs(sa) // abs(sb)
+            if (sa < 0) != (sb < 0):
+                q = -q
+            if "exact" in inst.flags and sa != q * sb:
+                return POISON
+            return q & mask
+        if op == "srem":
+            sa, sb = signed(a), signed(b)
+            if sa == -(1 << (w - 1)) and sb == -1:
+                raise UndefinedBehavior("srem overflow")
+            r = abs(sa) % abs(sb)
+            if sa < 0:
+                r = -r
+            return r & mask
+        if op == "shl":
+            if b >= w:
+                return POISON
+            result = (a << b) & mask
+            if "nsw" in inst.flags and signed(result) >> b != signed(a):
+                return POISON
+            if "nuw" in inst.flags and (a << b) > mask:
+                return POISON
+            return result
+        if op == "lshr":
+            if b >= w:
+                return POISON
+            if "exact" in inst.flags and a & ((1 << b) - 1):
+                return POISON
+            return a >> b
+        if op == "ashr":
+            if b >= w:
+                return POISON
+            if "exact" in inst.flags and a & ((1 << b) - 1):
+                return POISON
+            return (signed(a) >> b) & mask
+        if op == "and":
+            return a & b
+        if op == "or":
+            return a | b
+        if op == "xor":
+            return a ^ b
+        raise InterpError(f"bad binop {op}")
+
+    def _icmp(self, pred: str, a, b, ty) -> object:
+        if a is POISON or b is POISON:
+            return POISON
+        w = ty.width if isinstance(ty, IntType) else 64
+
+        def signed(x: int) -> int:
+            return x - (1 << w) if x >= 1 << (w - 1) else x
+
+        table = {
+            "eq": a == b,
+            "ne": a != b,
+            "ugt": a > b,
+            "uge": a >= b,
+            "ult": a < b,
+            "ule": a <= b,
+            "sgt": signed(a) > signed(b),
+            "sge": signed(a) >= signed(b),
+            "slt": signed(a) < signed(b),
+            "sle": signed(a) <= signed(b),
+        }
+        return 1 if table[pred] else 0
+
+    def _fp_binop(self, inst: FBinOp, a, b, ty: FloatType) -> object:
+        if a is POISON or b is POISON:
+            return POISON
+        fa = bits_to_float(a, ty)
+        fb = bits_to_float(b, ty)
+        import math
+
+        if "nnan" in inst.fmf or "fast" in inst.fmf:
+            if math.isnan(fa) or math.isnan(fb):
+                return POISON
+        if "ninf" in inst.fmf or "fast" in inst.fmf:
+            if math.isinf(fa) or math.isinf(fb):
+                return POISON
+        try:
+            if inst.opcode == "fadd":
+                result = fa + fb
+            elif inst.opcode == "fsub":
+                result = fa - fb
+            elif inst.opcode == "fmul":
+                result = fa * fb
+            elif inst.opcode == "fdiv":
+                if fb == 0.0:
+                    result = math.nan if fa == 0.0 else math.copysign(math.inf, fa) * math.copysign(1.0, fb)
+                else:
+                    result = fa / fb
+            elif inst.opcode == "frem":
+                result = math.fmod(fa, fb) if fb != 0.0 else math.nan
+            else:
+                raise InterpError(f"bad fp op {inst.opcode}")
+        except (OverflowError, ValueError):
+            result = math.nan
+        bits = float_to_bits(result, ty)
+        if "nnan" in inst.fmf or "fast" in inst.fmf:
+            import math as m
+
+            if m.isnan(bits_to_float(bits, ty)):
+                return POISON
+        return bits
+
+    def _fcmp(self, pred: str, a, b, ty: FloatType) -> object:
+        if a is POISON or b is POISON:
+            return POISON
+        import math
+
+        fa = bits_to_float(a, ty)
+        fb = bits_to_float(b, ty)
+        unordered = math.isnan(fa) or math.isnan(fb)
+        ordered_result = {
+            "oeq": fa == fb, "ogt": fa > fb, "oge": fa >= fb,
+            "olt": fa < fb, "ole": fa <= fb, "one": fa != fb,
+        }
+        if pred == "false":
+            return 0
+        if pred == "true":
+            return 1
+        if pred == "ord":
+            return 0 if unordered else 1
+        if pred == "uno":
+            return 1 if unordered else 0
+        if pred.startswith("o"):
+            return 1 if (not unordered and ordered_result[pred]) else 0
+        base = "o" + pred[1:]
+        return 1 if (unordered or ordered_result[base]) else 0
+
+    def _cast(self, inst: Cast, val) -> object:
+        if val is POISON:
+            return POISON
+        src_ty = inst.operand.type
+        dst_ty = inst.type
+        if isinstance(dst_ty, VectorType):
+            assert isinstance(val, tuple)
+            return tuple(
+                self._cast_scalar(inst.opcode, v, src_ty.elem, dst_ty.elem)
+                for v in val
+            )
+        return self._cast_scalar(inst.opcode, val, src_ty, dst_ty)
+
+    def _cast_scalar(self, opcode: str, val, src_ty, dst_ty) -> object:
+        if val is POISON:
+            return POISON
+        if opcode == "zext":
+            return val
+        if opcode == "sext":
+            w = src_ty.width
+            if val >= 1 << (w - 1):
+                val -= 1 << w
+            return val & ((1 << dst_ty.width) - 1)
+        if opcode == "trunc":
+            return val & ((1 << dst_ty.width) - 1)
+        if opcode == "bitcast":
+            return val  # same bits; int<->float reinterpretation
+        if opcode in ("fpext", "fptrunc"):
+            return float_to_bits(bits_to_float(val, src_ty), dst_ty)
+        if opcode == "fptoui":
+            f = bits_to_float(val, src_ty)
+            import math
+
+            if math.isnan(f) or f < 0 or f >= (1 << dst_ty.width):
+                return POISON
+            return int(f)
+        if opcode == "fptosi":
+            f = bits_to_float(val, src_ty)
+            import math
+
+            lo, hi = -(1 << (dst_ty.width - 1)), 1 << (dst_ty.width - 1)
+            if math.isnan(f) or f < lo or f >= hi:
+                return POISON
+            return int(f) & ((1 << dst_ty.width) - 1)
+        if opcode == "uitofp":
+            return float_to_bits(float(val), dst_ty)
+        if opcode == "sitofp":
+            w = src_ty.width
+            if val >= 1 << (w - 1):
+                val -= 1 << w
+            return float_to_bits(float(val), dst_ty)
+        raise InterpError(f"unsupported cast {opcode}")
+
+    def _call(self, inst: Call, env: Dict[str, object]) -> None:
+        callee = self.module.get_function(inst.callee)
+        if callee is None or callee.is_declaration:
+            raise InterpError(f"call to unknown function @{inst.callee}")
+        args = [self._operand(a, env) for a in inst.args]
+        sub = Interpreter(self.module, self.max_steps)
+        sub.blocks_mem = self.blocks_mem
+        sub.globals_addr = self.globals_addr
+        sub._next_bid = self._next_bid
+        result = sub.run(callee, args)
+        self._next_bid = sub._next_bid
+        if inst.name is not None:
+            env[inst.name] = result.value
+
+
+class _FakeOperand:
+    def __init__(self, ty):
+        self.type = ty
+
+
+def run_function(
+    module: Module, name: str, args: List[object], max_steps: int = 100_000
+) -> object:
+    """Convenience: run @name on ``args`` and return the result value."""
+    interp = Interpreter(module, max_steps)
+    fn = module.get_function(name)
+    if fn is None:
+        raise InterpError(f"no function @{name}")
+    return interp.run(fn, args).value

@@ -1,0 +1,34 @@
+"""IR modules: globals + functions."""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.ir.function import Function
+from repro.ir.values import GlobalVariable
+
+
+@dataclass
+class Module:
+    functions: Dict[str, Function] = field(default_factory=dict)
+    globals: Dict[str, GlobalVariable] = field(default_factory=dict)
+
+    def add_function(self, fn: Function) -> None:
+        self.functions[fn.name] = fn
+
+    def get_function(self, name: str) -> Optional[Function]:
+        return self.functions.get(name)
+
+    def definitions(self) -> List[Function]:
+        return [f for f in self.functions.values() if not f.is_declaration]
+
+    def clone(self) -> "Module":
+        """Deep copy; used to snapshot IR before running optimization passes."""
+        return copy.deepcopy(self)
+
+    def __str__(self) -> str:
+        from repro.ir.printer import print_module
+
+        return print_module(self)

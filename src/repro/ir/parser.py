@@ -1,0 +1,741 @@
+"""Recursive-descent parser for the textual IR (an LLVM assembly subset).
+
+The accepted grammar covers the features the Alive2 paper discusses:
+integer/float/pointer/vector/array types, every supported instruction,
+parameter and function attributes, globals, and declarations.  See
+``tests/test_parser.py`` for a tour of the syntax.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.fpformat import parse_float_literal
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import (
+    CAST_OPS,
+    FAST_MATH_FLAGS,
+    FCMP_PREDS,
+    FP_BINOPS,
+    ICMP_PREDS,
+    INT_BINOPS,
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    ExtractElement,
+    ExtractValue,
+    FBinOp,
+    FCmp,
+    FNeg,
+    Freeze,
+    Gep,
+    ICmp,
+    InsertElement,
+    InsertValue,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    ShuffleVector,
+    Store,
+    Switch,
+    Unreachable,
+)
+from repro.ir.module import Module
+from repro.ir.types import (
+    FLOAT_TYPES,
+    PTR,
+    VOID,
+    ArrayType,
+    FloatType,
+    IntType,
+    PointerType,
+    StructType,
+    Type,
+    VectorType,
+)
+from repro.ir.values import (
+    Argument,
+    ConstantAggregate,
+    ConstantFloat,
+    ConstantInt,
+    ConstantNull,
+    GlobalRef,
+    GlobalVariable,
+    PoisonValue,
+    Register,
+    UndefValue,
+    Value,
+)
+
+PARAM_ATTRS = {"noundef", "nonnull", "readonly", "nocapture", "dereferenceable"}
+FN_ATTRS = {"mustprogress", "noreturn", "willreturn", "readnone", "readonly", "nofree", "nounwind"}
+
+
+class ParseError(ValueError):
+    """Raised on malformed IR text, with line information."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<ws>\s+)
+    | (?P<comment>;[^\n]*)
+    | (?P<gname>@[A-Za-z0-9._$\-]+)
+    | (?P<lname>%[A-Za-z0-9._$\-]+)
+    | (?P<label>[A-Za-z0-9._$\-]+:)
+    | (?P<hexfloat>0xH[0-9a-fA-F]+)
+    | (?P<number>-?\d+\.\d+(e[+-]?\d+)?|-?\d+e[+-]?\d+)
+    | (?P<int>-?\d+)
+    | (?P<word>[A-Za-z_][A-Za-z0-9._$]*)
+    | (?P<punct><|>|\[|\]|\(|\)|\{|\}|,|=|\*)
+    """,
+    re.VERBOSE,
+)
+
+
+class _Lexer:
+    def __init__(self, text: str) -> None:
+        self.tokens: List[Tuple[str, str, int]] = []
+        line = 1
+        pos = 0
+        while pos < len(text):
+            m = _TOKEN_RE.match(text, pos)
+            if m is None:
+                raise ParseError(f"unexpected character {text[pos]!r}", line)
+            kind = m.lastgroup
+            value = m.group()
+            line += value.count("\n")
+            pos = m.end()
+            if kind in ("ws", "comment"):
+                continue
+            self.tokens.append((kind, value, line))
+        self.index = 0
+
+    def peek(self, offset: int = 0) -> Optional[Tuple[str, str, int]]:
+        i = self.index + offset
+        return self.tokens[i] if i < len(self.tokens) else None
+
+    def next(self) -> Tuple[str, str, int]:
+        tok = self.peek()
+        if tok is None:
+            last_line = self.tokens[-1][2] if self.tokens else 1
+            raise ParseError("unexpected end of input", last_line)
+        self.index += 1
+        return tok
+
+    def accept(self, value: str) -> bool:
+        tok = self.peek()
+        if tok is not None and tok[1] == value:
+            self.index += 1
+            return True
+        return False
+
+    def expect(self, value: str) -> Tuple[str, str, int]:
+        tok = self.next()
+        if tok[1] != value:
+            raise ParseError(f"expected {value!r}, found {tok[1]!r}", tok[2])
+        return tok
+
+    @property
+    def line(self) -> int:
+        tok = self.peek()
+        if tok is not None:
+            return tok[2]
+        return self.tokens[-1][2] if self.tokens else 1
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.lex = _Lexer(text)
+        self.module = Module()
+
+    # -- types ---------------------------------------------------------------
+    def try_parse_type(self) -> Optional[Type]:
+        tok = self.lex.peek()
+        if tok is None:
+            return None
+        kind, value, line = tok
+        if kind == "word":
+            if value == "void":
+                self.lex.next()
+                return VOID
+            if value == "ptr":
+                self.lex.next()
+                return PTR
+            if value in FLOAT_TYPES:
+                self.lex.next()
+                return FLOAT_TYPES[value]
+            if re.fullmatch(r"i\d+", value):
+                self.lex.next()
+                return IntType(int(value[1:]))
+            return None
+        if value == "<":
+            self.lex.next()
+            count_tok = self.lex.next()
+            count = int(count_tok[1])
+            self.lex.expect("x")
+            elem = self.parse_type()
+            self.lex.expect(">")
+            return VectorType(elem, count)
+        if value == "[":
+            self.lex.next()
+            count_tok = self.lex.next()
+            count = int(count_tok[1])
+            self.lex.expect("x")
+            elem = self.parse_type()
+            self.lex.expect("]")
+            return ArrayType(elem, count)
+        if value == "{":
+            self.lex.next()
+            fields = [self.parse_type()]
+            while self.lex.accept(","):
+                fields.append(self.parse_type())
+            self.lex.expect("}")
+            return StructType(tuple(fields))
+        return None
+
+    def parse_type(self) -> Type:
+        ty = self.try_parse_type()
+        if ty is None:
+            tok = self.lex.peek()
+            found = tok[1] if tok else "<eof>"
+            raise ParseError(f"expected type, found {found!r}", self.lex.line)
+        return ty
+
+    # -- values --------------------------------------------------------------
+    def parse_value(self, ty: Type) -> Value:
+        tok = self.lex.next()
+        kind, value, line = tok
+        if kind == "lname":
+            return Register(ty, value[1:])
+        if kind == "gname":
+            if not isinstance(ty, PointerType):
+                raise ParseError("global reference must be pointer-typed", line)
+            return GlobalRef(PTR, value[1:])
+        if value == "undef":
+            return UndefValue(ty)
+        if value == "poison":
+            return PoisonValue(ty)
+        if value == "null":
+            if not isinstance(ty, PointerType):
+                raise ParseError("null requires pointer type", line)
+            return ConstantNull(PTR)
+        if value == "zeroinitializer":
+            return self._zero_value(ty, line)
+        if value in ("true", "false"):
+            if not isinstance(ty, IntType) or ty.width != 1:
+                raise ParseError("true/false requires type i1", line)
+            return ConstantInt(ty, 1 if value == "true" else 0)
+        if kind == "int":
+            if isinstance(ty, IntType):
+                return ConstantInt(ty, int(value))
+            if isinstance(ty, FloatType):
+                bits = parse_float_literal(value, ty)
+                assert bits is not None
+                return ConstantFloat(ty, bits)
+            raise ParseError(f"integer literal for non-numeric type {ty}", line)
+        if kind in ("number", "hexfloat"):
+            if not isinstance(ty, FloatType):
+                raise ParseError(f"float literal for non-float type {ty}", line)
+            bits = parse_float_literal(value, ty)
+            if bits is None:
+                raise ParseError(f"bad float literal {value!r}", line)
+            return ConstantFloat(ty, bits)
+        if value in ("<", "[", "{"):
+            if not isinstance(ty, (VectorType, ArrayType, StructType)):
+                raise ParseError(f"aggregate literal for non-aggregate {ty}", line)
+            close = {"<": ">", "[": "]", "{": "}"}[value]
+            elems = []
+            while True:
+                elem_ty = self.parse_type()
+                elems.append(self.parse_value(elem_ty))
+                if not self.lex.accept(","):
+                    break
+            self.lex.expect(close)
+            want = len(ty.fields) if isinstance(ty, StructType) else ty.count
+            if len(elems) != want:
+                raise ParseError(
+                    f"aggregate has {len(elems)} elements, type wants {want}", line
+                )
+            return ConstantAggregate(ty, tuple(elems))
+        raise ParseError(f"expected value, found {value!r}", line)
+
+    def _zero_value(self, ty: Type, line: int) -> Value:
+        if isinstance(ty, IntType):
+            return ConstantInt(ty, 0)
+        if isinstance(ty, FloatType):
+            return ConstantFloat(ty, 0)
+        if isinstance(ty, PointerType):
+            return ConstantNull(PTR)
+        if isinstance(ty, (VectorType, ArrayType)):
+            elem = self._zero_value(ty.elem, line)
+            return ConstantAggregate(ty, tuple([elem] * ty.count))
+        if isinstance(ty, StructType):
+            return ConstantAggregate(
+                ty, tuple(self._zero_value(f, line) for f in ty.fields)
+            )
+        raise ParseError(f"zeroinitializer for unsupported type {ty}", line)
+
+    def parse_typed_value(self) -> Tuple[Type, Value]:
+        ty = self.parse_type()
+        return ty, self.parse_value(ty)
+
+    # -- module-level --------------------------------------------------------
+    def parse_module(self) -> Module:
+        while self.lex.peek() is not None:
+            tok = self.lex.peek()
+            assert tok is not None
+            if tok[0] == "gname":
+                self._parse_global()
+            elif tok[1] == "define":
+                self._parse_define()
+            elif tok[1] == "declare":
+                self._parse_declare()
+            elif tok[1] == "target" or tok[1] == "source_filename":
+                # Skip target/source_filename lines: consume until we see a
+                # token that can start a new top-level entity.
+                self._skip_toplevel_line()
+            else:
+                raise ParseError(f"unexpected top-level token {tok[1]!r}", tok[2])
+        return self.module
+
+    def _skip_toplevel_line(self) -> None:
+        self.lex.next()
+        while True:
+            tok = self.lex.peek()
+            if tok is None or tok[1] in ("define", "declare", "target", "source_filename"):
+                return
+            if tok[0] == "gname":
+                return
+            self.lex.next()
+
+    def _parse_global(self) -> None:
+        name_tok = self.lex.next()
+        name = name_tok[1][1:]
+        self.lex.expect("=")
+        is_constant = False
+        while True:
+            tok = self.lex.peek()
+            assert tok is not None
+            if tok[1] == "constant":
+                is_constant = True
+                self.lex.next()
+            elif tok[1] in ("global", "private", "internal", "unnamed_addr", "local_unnamed_addr", "dso_local"):
+                self.lex.next()
+                if tok[1] == "global":
+                    break
+                continue
+            elif is_constant:
+                break
+            else:
+                raise ParseError(f"expected 'global' or 'constant', found {tok[1]!r}", tok[2])
+            if not is_constant:
+                continue
+            break
+        ty = self.parse_type()
+        initializer: Optional[Value] = None
+        tok = self.lex.peek()
+        if tok is not None and tok[1] not in ("define", "declare") and tok[0] != "gname":
+            initializer = self.parse_value(ty)
+        align = 1
+        if self.lex.accept(","):
+            self.lex.expect("align")
+            align = int(self.lex.next()[1])
+        self.module.globals[name] = GlobalVariable(name, ty, is_constant, initializer, align)
+
+    def _parse_signature(self) -> Tuple[Type, str, List[Argument], frozenset]:
+        ret_ty = self.parse_type()
+        name_tok = self.lex.next()
+        if name_tok[0] != "gname":
+            raise ParseError("expected function name", name_tok[2])
+        fn_name = name_tok[1][1:]
+        self.lex.expect("(")
+        args: List[Argument] = []
+        if not self.lex.accept(")"):
+            index = 0
+            while True:
+                arg_ty = self.parse_type()
+                attrs = set()
+                while True:
+                    tok = self.lex.peek()
+                    if tok is not None and tok[1] in PARAM_ATTRS:
+                        attrs.add(tok[1])
+                        self.lex.next()
+                        if tok[1] == "dereferenceable":
+                            self.lex.expect("(")
+                            self.lex.next()
+                            self.lex.expect(")")
+                    else:
+                        break
+                tok = self.lex.peek()
+                if tok is not None and tok[0] == "lname":
+                    arg_name = self.lex.next()[1][1:]
+                else:
+                    arg_name = str(index)
+                args.append(Argument(arg_name, arg_ty, frozenset(attrs)))
+                index += 1
+                if self.lex.accept(")"):
+                    break
+                self.lex.expect(",")
+        fn_attrs = set()
+        while True:
+            tok = self.lex.peek()
+            if tok is not None and tok[1] in FN_ATTRS:
+                fn_attrs.add(tok[1])
+                self.lex.next()
+            else:
+                break
+        return ret_ty, fn_name, args, frozenset(fn_attrs)
+
+    def _parse_declare(self) -> None:
+        self.lex.expect("declare")
+        ret_ty, fn_name, args, fn_attrs = self._parse_signature()
+        self.module.add_function(Function(fn_name, ret_ty, args, {}, fn_attrs))
+
+    def _parse_define(self) -> None:
+        self.lex.expect("define")
+        ret_ty, fn_name, args, fn_attrs = self._parse_signature()
+        self.lex.expect("{")
+        fn = Function(fn_name, ret_ty, args, {}, fn_attrs)
+        current: Optional[BasicBlock] = None
+        while not self.lex.accept("}"):
+            tok = self.lex.peek()
+            assert tok is not None
+            if tok[0] == "label":
+                label = tok[1][:-1]
+                self.lex.next()
+                current = BasicBlock(label)
+                fn.blocks[label] = current
+                continue
+            if current is None:
+                current = BasicBlock("entry")
+                fn.blocks["entry"] = current
+            current.instructions.append(self._parse_instruction())
+        if not fn.blocks:
+            raise ParseError("function has no basic blocks", self.lex.line)
+        self.module.add_function(fn)
+
+    # -- instructions ----------------------------------------------------------
+    def _parse_flags(self, allowed: set) -> frozenset:
+        flags = set()
+        while True:
+            tok = self.lex.peek()
+            if tok is not None and tok[1] in allowed:
+                flags.add(tok[1])
+                self.lex.next()
+            else:
+                break
+        return frozenset(flags)
+
+    def _parse_instruction(self):
+        tok = self.lex.peek()
+        assert tok is not None
+        if tok[0] == "lname":
+            name = self.lex.next()[1][1:]
+            self.lex.expect("=")
+            return self._parse_rhs(name)
+        return self._parse_void_instruction()
+
+    def _parse_void_instruction(self):
+        tok = self.lex.next()
+        op = tok[1]
+        line = tok[2]
+        if op == "ret":
+            ty = self.parse_type()
+            if isinstance(ty, type(VOID)):
+                return Ret(None)
+            return Ret(self.parse_value(ty))
+        if op == "br":
+            if self.lex.accept("label"):
+                target = self.lex.next()[1][1:]
+                return Br(None, target)
+            ty = self.parse_type()
+            if isinstance(ty, IntType) and ty.width == 1:
+                cond = self.parse_value(ty)
+                self.lex.expect(",")
+                self.lex.expect("label")
+                t_label = self.lex.next()[1][1:]
+                self.lex.expect(",")
+                self.lex.expect("label")
+                f_label = self.lex.next()[1][1:]
+                return Br(cond, t_label, f_label)
+            raise ParseError("br expects `br i1 ...` or `br label ...`", line)
+        if op == "switch":
+            ty = self.parse_type()
+            value = self.parse_value(ty)
+            self.lex.expect(",")
+            self.lex.expect("label")
+            default = self.lex.next()[1][1:]
+            self.lex.expect("[")
+            cases = []
+            while not self.lex.accept("]"):
+                case_ty = self.parse_type()
+                case_val = self.parse_value(case_ty)
+                self.lex.expect(",")
+                self.lex.expect("label")
+                case_label = self.lex.next()[1][1:]
+                cases.append((case_val, case_label))
+            return Switch(value, default, cases)
+        if op == "unreachable":
+            return Unreachable()
+        if op == "store":
+            ty, value = self.parse_typed_value()
+            self.lex.expect(",")
+            self.parse_type()  # ptr
+            pointer = self.parse_value(PTR)
+            align = 1
+            if self.lex.accept(","):
+                self.lex.expect("align")
+                align = int(self.lex.next()[1])
+            return Store(value, pointer, align)
+        if op == "call":
+            return self._parse_call(None)
+        raise ParseError(f"unknown instruction {op!r}", line)
+
+    def _parse_rhs(self, name: str):
+        tok = self.lex.next()
+        op = tok[1]
+        line = tok[2]
+        if op in INT_BINOPS:
+            flags = self._parse_flags({"nsw", "nuw", "exact"})
+            ty = self.parse_type()
+            lhs = self.parse_value(ty)
+            self.lex.expect(",")
+            rhs = self.parse_value(ty)
+            return BinOp(name, op, ty, lhs, rhs, flags)
+        if op in FP_BINOPS:
+            fmf = self._parse_flags(FAST_MATH_FLAGS)
+            ty = self.parse_type()
+            lhs = self.parse_value(ty)
+            self.lex.expect(",")
+            rhs = self.parse_value(ty)
+            return FBinOp(name, op, ty, lhs, rhs, fmf)
+        if op == "fneg":
+            fmf = self._parse_flags(FAST_MATH_FLAGS)
+            ty, val = self.parse_typed_value()
+            return FNeg(name, ty, val, fmf)
+        if op == "icmp":
+            pred_tok = self.lex.next()
+            pred = pred_tok[1]
+            if pred not in ICMP_PREDS:
+                raise ParseError(f"bad icmp predicate {pred!r}", pred_tok[2])
+            ty = self.parse_type()
+            lhs = self.parse_value(ty)
+            self.lex.expect(",")
+            rhs = self.parse_value(ty)
+            result_ty = (
+                VectorType(IntType(1), ty.count) if isinstance(ty, VectorType) else IntType(1)
+            )
+            return ICmp(name, pred, result_ty, lhs, rhs)
+        if op == "fcmp":
+            fmf = self._parse_flags(FAST_MATH_FLAGS)
+            pred_tok = self.lex.next()
+            pred = pred_tok[1]
+            if pred not in FCMP_PREDS:
+                raise ParseError(f"bad fcmp predicate {pred!r}", pred_tok[2])
+            ty = self.parse_type()
+            lhs = self.parse_value(ty)
+            self.lex.expect(",")
+            rhs = self.parse_value(ty)
+            result_ty = (
+                VectorType(IntType(1), ty.count) if isinstance(ty, VectorType) else IntType(1)
+            )
+            return FCmp(name, pred, result_ty, lhs, rhs, fmf)
+        if op == "select":
+            cond_ty = self.parse_type()
+            cond = self.parse_value(cond_ty)
+            self.lex.expect(",")
+            ty, on_true = self.parse_typed_value()
+            self.lex.expect(",")
+            ty2, on_false = self.parse_typed_value()
+            if ty != ty2:
+                raise ParseError("select arms have different types", line)
+            return Select(name, ty, cond, on_true, on_false)
+        if op == "freeze":
+            ty, val = self.parse_typed_value()
+            return Freeze(name, ty, val)
+        if op in CAST_OPS:
+            src_ty, val = self.parse_typed_value()
+            self.lex.expect("to")
+            dst_ty = self.parse_type()
+            return Cast(name, op, dst_ty, val)
+        if op == "phi":
+            ty = self.parse_type()
+            incoming = []
+            while True:
+                self.lex.expect("[")
+                val = self.parse_value(ty)
+                self.lex.expect(",")
+                pred_tok = self.lex.next()
+                if pred_tok[0] != "lname":
+                    raise ParseError("phi predecessor must be a label", pred_tok[2])
+                incoming.append((val, pred_tok[1][1:]))
+                self.lex.expect("]")
+                if not self.lex.accept(","):
+                    break
+            return Phi(name, ty, incoming)
+        if op == "alloca":
+            ty = self.parse_type()
+            align = 1
+            if self.lex.accept(","):
+                self.lex.expect("align")
+                align = int(self.lex.next()[1])
+            return Alloca(name, ty, align)
+        if op == "load":
+            ty = self.parse_type()
+            self.lex.expect(",")
+            self.parse_type()  # ptr
+            pointer = self.parse_value(PTR)
+            align = 1
+            if self.lex.accept(","):
+                self.lex.expect("align")
+                align = int(self.lex.next()[1])
+            return Load(name, ty, pointer, align)
+        if op == "getelementptr":
+            inbounds = self.lex.accept("inbounds")
+            source_ty = self.parse_type()
+            self.lex.expect(",")
+            self.parse_type()  # ptr
+            pointer = self.parse_value(PTR)
+            indices = []
+            while self.lex.accept(","):
+                idx_ty = self.parse_type()
+                indices.append(self.parse_value(idx_ty))
+            return Gep(name, source_ty, pointer, indices, inbounds)
+        if op == "call":
+            return self._parse_call(name)
+        if op == "extractvalue":
+            agg_ty = self.parse_type()
+            agg = self.parse_value(agg_ty)
+            indices = []
+            while self.lex.accept(","):
+                indices.append(int(self.lex.next()[1]))
+            if not indices:
+                raise ParseError("extractvalue needs at least one index", line)
+            result_ty = agg_ty
+            for idx in indices:
+                if isinstance(result_ty, StructType):
+                    result_ty = result_ty.fields[idx]
+                elif isinstance(result_ty, (ArrayType, VectorType)):
+                    result_ty = result_ty.elem
+                else:
+                    raise ParseError("extractvalue index into non-aggregate", line)
+            return ExtractValue(name, result_ty, agg, indices)
+        if op == "insertvalue":
+            agg_ty = self.parse_type()
+            agg = self.parse_value(agg_ty)
+            self.lex.expect(",")
+            elem_ty = self.parse_type()
+            elem = self.parse_value(elem_ty)
+            indices = []
+            while self.lex.accept(","):
+                indices.append(int(self.lex.next()[1]))
+            if not indices:
+                raise ParseError("insertvalue needs at least one index", line)
+            return InsertValue(name, agg_ty, agg, elem, indices)
+        if op == "extractelement":
+            vec_ty = self.parse_type()
+            vec = self.parse_value(vec_ty)
+            self.lex.expect(",")
+            idx_ty = self.parse_type()
+            idx = self.parse_value(idx_ty)
+            if not isinstance(vec_ty, VectorType):
+                raise ParseError("extractelement needs a vector", line)
+            return ExtractElement(name, vec_ty.elem, vec, idx)
+        if op == "insertelement":
+            vec_ty = self.parse_type()
+            vec = self.parse_value(vec_ty)
+            self.lex.expect(",")
+            elem_ty = self.parse_type()
+            elem = self.parse_value(elem_ty)
+            self.lex.expect(",")
+            idx_ty = self.parse_type()
+            idx = self.parse_value(idx_ty)
+            return InsertElement(name, vec_ty, vec, elem, idx)
+        if op == "shufflevector":
+            v1_ty = self.parse_type()
+            v1 = self.parse_value(v1_ty)
+            self.lex.expect(",")
+            v2_ty = self.parse_type()
+            v2 = self.parse_value(v2_ty)
+            self.lex.expect(",")
+            mask_ty = self.parse_type()
+            mask_val = self.parse_value(mask_ty)
+            if not isinstance(mask_ty, VectorType):
+                raise ParseError("shufflevector mask must be a vector constant", line)
+            mask: List[Optional[int]] = []
+            if isinstance(mask_val, ConstantAggregate):
+                for elem in mask_val.elems:
+                    if isinstance(elem, ConstantInt):
+                        mask.append(elem.value)
+                    else:
+                        mask.append(None)  # undef mask element
+            elif isinstance(mask_val, (UndefValue, PoisonValue)):
+                mask = [None] * mask_ty.count
+            elif isinstance(mask_val, ConstantAggregate) is False and hasattr(mask_val, "elems"):
+                raise ParseError("bad shufflevector mask", line)
+            else:
+                raise ParseError("shufflevector mask must be constant", line)
+            if not isinstance(v1_ty, VectorType):
+                raise ParseError("shufflevector operands must be vectors", line)
+            result_ty = VectorType(v1_ty.elem, len(mask))
+            return ShuffleVector(name, result_ty, v1, v2, mask)
+        raise ParseError(f"unknown instruction {op!r}", line)
+
+    def _parse_call(self, name: Optional[str]) -> Call:
+        ret_ty = self.parse_type()
+        callee_tok = self.lex.next()
+        if callee_tok[0] != "gname":
+            raise ParseError("call target must be a global symbol", callee_tok[2])
+        callee = callee_tok[1][1:]
+        self.lex.expect("(")
+        args: List[Value] = []
+        if not self.lex.accept(")"):
+            while True:
+                arg_ty = self.parse_type()
+                # Skip parameter attributes at the call site.
+                while True:
+                    tok = self.lex.peek()
+                    if tok is not None and tok[1] in PARAM_ATTRS:
+                        self.lex.next()
+                    else:
+                        break
+                args.append(self.parse_value(arg_ty))
+                if self.lex.accept(")"):
+                    break
+                self.lex.expect(",")
+        attrs = set()
+        while True:
+            tok = self.lex.peek()
+            if tok is not None and tok[1] in FN_ATTRS:
+                attrs.add(tok[1])
+                self.lex.next()
+            else:
+                break
+        return Call(name, ret_ty, callee, args, frozenset(attrs))
+
+
+def parse_module(text: str) -> Module:
+    """Parse textual IR into a :class:`Module`."""
+    return _Parser(text).parse_module()
+
+
+def parse_function(text: str, name: Optional[str] = None) -> Function:
+    """Parse a module and return one function (the only one by default)."""
+    module = parse_module(text)
+    defs = module.definitions()
+    if name is not None:
+        fn = module.get_function(name)
+        if fn is None:
+            raise ValueError(f"no function @{name}")
+        return fn
+    if len(defs) != 1:
+        raise ValueError(f"expected exactly one function, found {len(defs)}")
+    return defs[0]

@@ -1,0 +1,168 @@
+"""Textual printer for the IR — inverse of :mod:`repro.ir.parser`.
+
+``parse_module(print_module(m))`` round-trips for every supported
+construct (tested property-style in ``tests/test_parser.py``).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import (
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    ExtractElement,
+    ExtractValue,
+    FBinOp,
+    FCmp,
+    FNeg,
+    Freeze,
+    Gep,
+    ICmp,
+    InsertElement,
+    InsertValue,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    ShuffleVector,
+    Store,
+    Switch,
+    Unreachable,
+)
+from repro.ir.module import Module
+from repro.ir.types import IntType, VectorType
+
+
+def _flags(flags: frozenset) -> str:
+    if not flags:
+        return ""
+    order = ["fast", "nnan", "ninf", "nsz", "arcp", "contract", "afn", "reassoc",
+             "nuw", "nsw", "exact"]
+    listed = [f for f in order if f in flags]
+    listed += sorted(f for f in flags if f not in order)
+    return " " + " ".join(listed)
+
+
+def _tv(value) -> str:
+    return f"{value.type} {value}"
+
+
+def print_instruction(inst: Instruction) -> str:
+    if isinstance(inst, BinOp):
+        return f"%{inst.name} = {inst.opcode}{_flags(inst.flags)} {inst.type} {inst.lhs}, {inst.rhs}"
+    if isinstance(inst, FBinOp):
+        return f"%{inst.name} = {inst.opcode}{_flags(inst.fmf)} {inst.type} {inst.lhs}, {inst.rhs}"
+    if isinstance(inst, FNeg):
+        return f"%{inst.name} = fneg{_flags(inst.fmf)} {_tv(inst.operand)}"
+    if isinstance(inst, ICmp):
+        op_ty = inst.lhs.type
+        return f"%{inst.name} = icmp {inst.pred} {op_ty} {inst.lhs}, {inst.rhs}"
+    if isinstance(inst, FCmp):
+        op_ty = inst.lhs.type
+        return f"%{inst.name} = fcmp{_flags(inst.fmf)} {inst.pred} {op_ty} {inst.lhs}, {inst.rhs}"
+    if isinstance(inst, Select):
+        return (
+            f"%{inst.name} = select {_tv(inst.cond)}, "
+            f"{_tv(inst.on_true)}, {_tv(inst.on_false)}"
+        )
+    if isinstance(inst, Freeze):
+        return f"%{inst.name} = freeze {_tv(inst.operand)}"
+    if isinstance(inst, Cast):
+        return f"%{inst.name} = {inst.opcode} {_tv(inst.operand)} to {inst.type}"
+    if isinstance(inst, Phi):
+        pairs = ", ".join(f"[ {v}, %{b} ]" for v, b in inst.incoming)
+        return f"%{inst.name} = phi {inst.type} {pairs}"
+    if isinstance(inst, Br):
+        if inst.cond is None:
+            return f"br label %{inst.true_label}"
+        return f"br i1 {inst.cond}, label %{inst.true_label}, label %{inst.false_label}"
+    if isinstance(inst, Switch):
+        cases = " ".join(
+            f"{v.type} {v}, label %{label}" for v, label in inst.cases
+        )
+        return f"switch {_tv(inst.value)}, label %{inst.default_label} [ {cases} ]"
+    if isinstance(inst, Ret):
+        if inst.value is None:
+            return "ret void"
+        return f"ret {_tv(inst.value)}"
+    if isinstance(inst, Unreachable):
+        return "unreachable"
+    if isinstance(inst, Alloca):
+        align = f", align {inst.align}" if inst.align != 1 else ""
+        return f"%{inst.name} = alloca {inst.allocated_type}{align}"
+    if isinstance(inst, Load):
+        align = f", align {inst.align}" if inst.align != 1 else ""
+        return f"%{inst.name} = load {inst.type}, ptr {inst.pointer}{align}"
+    if isinstance(inst, Store):
+        align = f", align {inst.align}" if inst.align != 1 else ""
+        return f"store {_tv(inst.value)}, ptr {inst.pointer}{align}"
+    if isinstance(inst, Gep):
+        inbounds = " inbounds" if inst.inbounds else ""
+        idx = "".join(f", {i.type} {i}" for i in inst.indices)
+        return (
+            f"%{inst.name} = getelementptr{inbounds} {inst.source_type}, "
+            f"ptr {inst.pointer}{idx}"
+        )
+    if isinstance(inst, Call):
+        args = ", ".join(_tv(a) for a in inst.args)
+        attrs = _flags(inst.attrs)
+        prefix = f"%{inst.name} = " if inst.name is not None else ""
+        return f"{prefix}call {inst.type} @{inst.callee}({args}){attrs}"
+    if isinstance(inst, ExtractElement):
+        return (
+            f"%{inst.name} = extractelement {_tv(inst.vector)}, {_tv(inst.index)}"
+        )
+    if isinstance(inst, InsertElement):
+        return (
+            f"%{inst.name} = insertelement {_tv(inst.vector)}, "
+            f"{_tv(inst.element)}, {_tv(inst.index)}"
+        )
+    if isinstance(inst, ExtractValue):
+        idx = "".join(f", {i}" for i in inst.indices)
+        return f"%{inst.name} = extractvalue {_tv(inst.aggregate)}{idx}"
+    if isinstance(inst, InsertValue):
+        idx = "".join(f", {i}" for i in inst.indices)
+        return (
+            f"%{inst.name} = insertvalue {_tv(inst.aggregate)}, "
+            f"{_tv(inst.element)}{idx}"
+        )
+    if isinstance(inst, ShuffleVector):
+        n = len(inst.mask)
+        elems = ", ".join(
+            "i8 undef" if m is None else f"i8 {m}" for m in inst.mask
+        )
+        mask_ty = VectorType(IntType(8), n)
+        return (
+            f"%{inst.name} = shufflevector {_tv(inst.v1)}, {_tv(inst.v2)}, "
+            f"{mask_ty} <{elems}>"
+        )
+    raise NotImplementedError(type(inst).__name__)
+
+
+def print_block(block: BasicBlock) -> str:
+    lines = [f"{block.label}:"]
+    for inst in block.instructions:
+        lines.append(f"  {print_instruction(inst)}")
+    return "\n".join(lines)
+
+
+def print_function(fn: Function) -> str:
+    args = ", ".join(str(a) for a in fn.args)
+    attrs = "".join(f" {a}" for a in sorted(fn.attrs))
+    if fn.is_declaration:
+        return f"declare {fn.return_type} @{fn.name}({args}){attrs}"
+    head = f"define {fn.return_type} @{fn.name}({args}){attrs} {{"
+    body: List[str] = [print_block(b) for b in fn.blocks.values()]
+    return head + "\n" + "\n".join(body) + "\n}"
+
+
+def print_module(module: Module) -> str:
+    parts = [str(g) for g in module.globals.values()]
+    parts += [print_function(f) for f in module.functions.values()]
+    return "\n\n".join(parts) + "\n"

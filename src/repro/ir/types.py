@@ -1,0 +1,165 @@
+"""IR types.
+
+Floating-point types are scaled-down IEEE-754 binary formats (see
+DESIGN.md): the structure (sign / exponent / significand, subnormals,
+signed zeros, infinities, NaN payloads) is faithful, only the widths are
+smaller so the pure-Python bit-blaster stays fast.
+
+Pointers are logical ``(block-id, offset)`` pairs (§4); their bit width
+is decided per-verification by the memory encoder, so :class:`PointerType`
+itself is opaque here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Tuple
+
+
+class Type:
+    """Base class for all IR types."""
+
+    @property
+    def bit_width(self) -> int:
+        """Storage width in bits (pointer width is a memory-config choice)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return str(self)
+
+
+@dataclass(frozen=True, repr=False)
+class VoidType(Type):
+    def __str__(self) -> str:
+        return "void"
+
+    @property
+    def bit_width(self) -> int:
+        return 0
+
+
+@dataclass(frozen=True, repr=False)
+class IntType(Type):
+    width: int
+
+    def __post_init__(self) -> None:
+        assert self.width >= 1
+
+    def __str__(self) -> str:
+        return f"i{self.width}"
+
+    @property
+    def bit_width(self) -> int:
+        return self.width
+
+
+@dataclass(frozen=True, repr=False)
+class FloatType(Type):
+    """A small IEEE-754 binary format.
+
+    ``name`` is the LLVM spelling; ``exp_bits``/``frac_bits`` define the
+    scaled-down layout.  Total width = 1 + exp_bits + frac_bits.
+    """
+
+    name: str
+    exp_bits: int
+    frac_bits: int
+
+    def __str__(self) -> str:
+        return self.name
+
+    @property
+    def bit_width(self) -> int:
+        return 1 + self.exp_bits + self.frac_bits
+
+    @property
+    def bias(self) -> int:
+        return (1 << (self.exp_bits - 1)) - 1
+
+
+HALF = FloatType("half", 4, 3)  # 8 bits, E4M3
+FLOAT = FloatType("float", 4, 5)  # 10 bits, E4M5
+DOUBLE = FloatType("double", 5, 8)  # 14 bits, E5M8
+
+FLOAT_TYPES = {t.name: t for t in (HALF, FLOAT, DOUBLE)}
+
+
+@dataclass(frozen=True, repr=False)
+class PointerType(Type):
+    """An opaque pointer (single address space, logical addressing)."""
+
+    def __str__(self) -> str:
+        return "ptr"
+
+    @property
+    def bit_width(self) -> int:
+        raise ValueError("pointer width is decided by the memory encoder")
+
+
+@dataclass(frozen=True, repr=False)
+class VectorType(Type):
+    elem: Type
+    count: int
+
+    def __str__(self) -> str:
+        return f"<{self.count} x {self.elem}>"
+
+    @property
+    def bit_width(self) -> int:
+        return self.elem.bit_width * self.count
+
+
+@dataclass(frozen=True, repr=False)
+class ArrayType(Type):
+    elem: Type
+    count: int
+
+    def __str__(self) -> str:
+        return f"[{self.count} x {self.elem}]"
+
+    @property
+    def bit_width(self) -> int:
+        return self.elem.bit_width * self.count
+
+
+@dataclass(frozen=True, repr=False)
+class StructType(Type):
+    """A literal (unnamed, unpadded) struct: heterogeneous aggregate."""
+
+    fields: Tuple[Type, ...]
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(f) for f in self.fields)
+        return f"{{ {inner} }}"
+
+    @property
+    def bit_width(self) -> int:
+        return sum(f.bit_width for f in self.fields)
+
+
+VOID = VoidType()
+PTR = PointerType()
+I1 = IntType(1)
+
+
+def is_aggregate(ty: Type) -> bool:
+    return isinstance(ty, (VectorType, ArrayType, StructType))
+
+
+def scalar_elements(ty: Type) -> Tuple[Type, int]:
+    """Return (element type, count); scalars count as one element."""
+    if isinstance(ty, (VectorType, ArrayType)):
+        return ty.elem, ty.count
+    return ty, 1
+
+
+def byte_size(ty: Type, ptr_bytes: int = 2) -> int:
+    """Size in bytes for memory layout (bit widths round up to bytes)."""
+    if isinstance(ty, PointerType):
+        return ptr_bytes
+    if isinstance(ty, (VectorType, ArrayType)):
+        return byte_size(ty.elem, ptr_bytes) * ty.count
+    if isinstance(ty, StructType):
+        return sum(byte_size(f, ptr_bytes) for f in ty.fields)
+    return max(1, (ty.bit_width + 7) // 8)

@@ -1,0 +1,143 @@
+"""IR values: constants, undef/poison, registers, arguments, globals."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.ir.types import FloatType, IntType, PointerType, Type
+
+
+class Value:
+    """Base class for operand values."""
+
+    type: Type
+
+    def __repr__(self) -> str:
+        return str(self)
+
+
+@dataclass(frozen=True, repr=False)
+class ConstantInt(Value):
+    type: IntType
+    value: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "value", self.value & ((1 << self.type.width) - 1))
+
+    def __str__(self) -> str:
+        # Print i1 as true/false, others as signed decimal like LLVM.
+        if self.type.width == 1:
+            return "true" if self.value else "false"
+        signed = self.value
+        if signed >= 1 << (self.type.width - 1):
+            signed -= 1 << self.type.width
+        return str(signed)
+
+
+@dataclass(frozen=True, repr=False)
+class ConstantFloat(Value):
+    """A float constant stored as its raw bit pattern in the scaled format."""
+
+    type: FloatType
+    bits: int
+
+    def __str__(self) -> str:
+        return f"0xH{self.bits:0{(self.type.bit_width + 3) // 4}X}"
+
+
+@dataclass(frozen=True, repr=False)
+class ConstantNull(Value):
+    type: PointerType
+
+    def __str__(self) -> str:
+        return "null"
+
+
+@dataclass(frozen=True, repr=False)
+class UndefValue(Value):
+    type: Type
+
+    def __str__(self) -> str:
+        return "undef"
+
+
+@dataclass(frozen=True, repr=False)
+class PoisonValue(Value):
+    type: Type
+
+    def __str__(self) -> str:
+        return "poison"
+
+
+@dataclass(frozen=True, repr=False)
+class ConstantAggregate(Value):
+    """A vector or array constant (elements may be undef/poison)."""
+
+    type: Type
+    elems: Tuple[Value, ...]
+
+    def __str__(self) -> str:
+        type_str = str(self.type)
+        if type_str.startswith("<"):
+            open_c, close_c = "<", ">"
+        elif type_str.startswith("{"):
+            open_c, close_c = "{ ", " }"
+        else:
+            open_c, close_c = "[", "]"
+        inner = ", ".join(f"{e.type} {e}" for e in self.elems)
+        return f"{open_c}{inner}{close_c}"
+
+
+@dataclass(frozen=True, repr=False)
+class Register(Value):
+    """A reference to an SSA register (%name) of known type."""
+
+    type: Type
+    name: str
+
+    def __str__(self) -> str:
+        return f"%{self.name}"
+
+
+@dataclass(frozen=True, repr=False)
+class GlobalRef(Value):
+    """A reference to a global variable (@name); always pointer-typed."""
+
+    type: PointerType
+    name: str
+
+    def __str__(self) -> str:
+        return f"@{self.name}"
+
+
+@dataclass
+class Argument:
+    """A function parameter, with its parameter attributes."""
+
+    name: str
+    type: Type
+    attrs: frozenset = frozenset()  # e.g. {"noundef", "nonnull"}
+
+    def __str__(self) -> str:
+        attrs = "".join(f" {a}" for a in sorted(self.attrs))
+        return f"{self.type}{attrs} %{self.name}"
+
+    def as_operand(self) -> Register:
+        return Register(self.type, self.name)
+
+
+@dataclass
+class GlobalVariable:
+    """A module-level global: one memory block per global (§4)."""
+
+    name: str
+    value_type: Type
+    is_constant: bool = False
+    initializer: Optional[Value] = None
+    align: int = 1
+
+    def __str__(self) -> str:
+        kind = "constant" if self.is_constant else "global"
+        init = f" {self.initializer}" if self.initializer is not None else ""
+        return f"@{self.name} = {kind} {self.value_type}{init}"

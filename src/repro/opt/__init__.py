@@ -1,0 +1,17 @@
+"""The optimizer under test.
+
+Alive2 validates LLVM's optimizer; since LLVM itself is not available in
+this reproduction, this package implements the optimizer substrate: a
+pass manager and a set of intra-procedural passes covering the families
+the paper's evaluation exercises (instsimplify, instcombine, DCE, GVN,
+simplifycfg, mem2reg, LICM, reassociation/SLP).
+
+Every pass is correct by default; :mod:`repro.opt.bugs` provides *buggy
+variants* that reproduce the root causes of the miscompilation classes
+reported in §8.2, so the evaluation harness can regenerate the paper's
+bug-finding results against a compiler with realistic defects.
+"""
+
+from repro.opt.passmanager import PASS_REGISTRY, PassManager, run_pipeline
+
+__all__ = ["PassManager", "run_pipeline", "PASS_REGISTRY"]

@@ -1,0 +1,79 @@
+"""Registry of buggy pass variants, one per §8.2 miscompilation class.
+
+Each entry names the pass-manager option that switches the defect on, the
+pass it lives in, and the §8.2 result category it reproduces.  The
+evaluation harness uses this table to build a compiler with a realistic
+defect distribution and then measures how many of the injected bugs the
+translation validator reports (experiment E1 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class BugSpec:
+    option: str  # pass-manager option key
+    pass_name: str
+    category: str  # §8.2 category this defect belongs to
+    description: str
+
+
+BUG_REGISTRY: List[BugSpec] = [
+    BugSpec(
+        "bug:select-to-and-or",
+        "instcombine",
+        "select-ub",
+        "select %x, %y, false -> and %x, %y: wrong when %y may be poison "
+        "(the §8.4 miscompilation; 5 'UB-related select' bugs in §8.2)",
+    ),
+    BugSpec(
+        "bug:nsw-reassoc",
+        "reassociate",
+        "arithmetic",
+        "reassociating add-nsw chains keeps nsw: nsw addition is not "
+        "associative (Selected Bug #1; 4 'incorrect arithmetic' in §8.2)",
+    ),
+    BugSpec(
+        "bug:fadd-zero",
+        "instcombine",
+        "fast-math",
+        "fadd x, +0.0 -> x: wrong for x = -0.0 from an nsz fmul "
+        "(Selected Bug #2; 3 'fast-math' bugs in §8.2)",
+    ),
+    BugSpec(
+        "bug:speculate-branch",
+        "simplifycfg",
+        "branch-on-undef",
+        "select -> conditional branch introduces a branch on a possibly "
+        "undef/poison value (18 such bugs in §8.2)",
+    ),
+    BugSpec(
+        "bug:undef-shift",
+        "instcombine",
+        "undef-input",
+        "shl undef, x -> undef: over-claims behaviours; the largest §8.2 "
+        "category (43 'incorrect when undef is input' bugs)",
+    ),
+    BugSpec(
+        "bug:licm-speculate-div",
+        "licm",
+        "loop-memory",
+        "LICM hoists division out of conditionally-executed loop bodies, "
+        "speculating UB (4 'loop optimizations' bugs in §8.2)",
+    ),
+    BugSpec(
+        "bug:gvn-flags",
+        "gvn",
+        "arithmetic",
+        "GVN merges instructions that differ only in poison flags, keeping "
+        "the flagged one",
+    ),
+]
+
+BUGS_BY_OPTION: Dict[str, BugSpec] = {b.option: b for b in BUG_REGISTRY}
+BUGS_BY_CATEGORY: Dict[str, List[BugSpec]] = {}
+for _bug in BUG_REGISTRY:
+    BUGS_BY_CATEGORY.setdefault(_bug.category, []).append(_bug)

@@ -1,0 +1,35 @@
+"""Dead code elimination: drop unused side-effect-free instructions and
+unreachable blocks."""
+
+from __future__ import annotations
+
+from repro.ir.cfg import remove_unreachable_blocks
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.opt.passmanager import register_pass
+from repro.opt.util import has_side_effects, use_counts
+
+
+@register_pass("dce")
+def dce(fn: Function, module: Module, options: dict) -> bool:
+    changed = remove_unreachable_blocks(fn)
+    while True:
+        counts = use_counts(fn)
+        removed = False
+        for block in fn.blocks.values():
+            keep = []
+            for inst in block.instructions:
+                name = getattr(inst, "name", None)
+                if (
+                    name is not None
+                    and counts.get(name, 0) == 0
+                    and not has_side_effects(inst)
+                ):
+                    removed = True
+                    continue
+                keep.append(inst)
+            block.instructions = keep
+        if not removed:
+            break
+        changed = True
+    return changed

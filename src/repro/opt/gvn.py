@@ -1,0 +1,130 @@
+"""Global value numbering + simple redundant-load elimination.
+
+Value numbering is dominance-based: an instruction is replaced by an
+earlier, structurally identical one whose block dominates it.  Load
+elimination forwards a prior store/load through the same pointer within
+a block when no intervening instruction may write memory.
+
+The buggy variant ``bug:gvn-flags`` treats instructions that differ only
+in their poison flags as equal and keeps the *flagged* one — a classic
+§8.2 "incorrect arithmetic" defect (the surviving instruction claims
+``nsw`` on paths where the eliminated one did not).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.dominators import DominatorTree
+from repro.ir.cfg import reverse_postorder
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    BinOp,
+    Call,
+    Cast,
+    Gep,
+    ICmp,
+    Load,
+    Select,
+    Store,
+)
+from repro.ir.module import Module
+from repro.ir.values import Register, Value
+from repro.opt.passmanager import register_pass
+from repro.opt.util import replace_all_uses
+
+
+def _operand_key(value: Value):
+    if isinstance(value, Register):
+        return ("reg", value.name)
+    return ("const", str(value.type), str(value))
+
+
+def _value_key(inst, ignore_flags: bool) -> Optional[Tuple]:
+    if isinstance(inst, BinOp):
+        flags = frozenset() if ignore_flags else inst.flags
+        key = [
+            "bin", inst.opcode, str(inst.type), flags,
+            _operand_key(inst.lhs), _operand_key(inst.rhs),
+        ]
+        if inst.opcode in ("add", "mul", "and", "or", "xor"):
+            ops = sorted([_operand_key(inst.lhs), _operand_key(inst.rhs)])
+            key = ["bin", inst.opcode, str(inst.type), flags] + ops
+        return tuple(key)
+    if isinstance(inst, ICmp):
+        return (
+            "icmp", inst.pred, _operand_key(inst.lhs), _operand_key(inst.rhs)
+        )
+    if isinstance(inst, Cast):
+        return ("cast", inst.opcode, str(inst.type), _operand_key(inst.operand))
+    if isinstance(inst, Select):
+        return (
+            "select", str(inst.type), _operand_key(inst.cond),
+            _operand_key(inst.on_true), _operand_key(inst.on_false),
+        )
+    if isinstance(inst, Gep):
+        return (
+            "gep", str(inst.source_type), inst.inbounds,
+            _operand_key(inst.pointer),
+            tuple(_operand_key(i) for i in inst.indices),
+        )
+    return None
+
+
+@register_pass("gvn")
+def gvn(fn: Function, module: Module, options: dict) -> bool:
+    ignore_flags = options.get("bug:gvn-flags", False)
+    changed = False
+    dom = DominatorTree(fn)
+    # name -> (block, key); visit in RPO so dominators come first.
+    seen: Dict[Tuple, Tuple[str, str]] = {}
+    for label in reverse_postorder(fn):
+        block = fn.blocks[label]
+        keep: List = []
+        for inst in block.instructions:
+            key = _value_key(inst, ignore_flags)
+            if key is None:
+                keep.append(inst)
+                continue
+            hit = seen.get(key)
+            if hit is not None and dom.dominates(hit[1], label):
+                replace_all_uses(fn, inst.name, Register(inst.type, hit[0]))
+                changed = True
+                continue
+            seen[key] = (inst.name, label)
+            keep.append(inst)
+        block.instructions = keep
+    if _eliminate_redundant_loads(fn):
+        changed = True
+    return changed
+
+
+def _eliminate_redundant_loads(fn: Function) -> bool:
+    changed = False
+    for block in fn.blocks.values():
+        available: Dict[Tuple, Value] = {}  # (ptr key, type) -> value
+        keep: List = []
+        for inst in block.instructions:
+            if isinstance(inst, Store):
+                # A store may alias anything: invalidate, then record the
+                # stored value for its own pointer.
+                available = {
+                    (_operand_key(inst.pointer), str(inst.value.type)): inst.value
+                }
+                keep.append(inst)
+            elif isinstance(inst, Load):
+                key = (_operand_key(inst.pointer), str(inst.type))
+                hit = available.get(key)
+                if hit is not None:
+                    replace_all_uses(fn, inst.name, hit)
+                    changed = True
+                    continue
+                available[key] = Register(inst.type, inst.name)
+                keep.append(inst)
+            elif isinstance(inst, Call):
+                available = {}
+                keep.append(inst)
+            else:
+                keep.append(inst)
+        block.instructions = keep
+    return changed

@@ -1,0 +1,186 @@
+"""InstCombine: canonicalizing peepholes that may create new instructions.
+
+Includes the optional *buggy variants* from §8.2 of the paper:
+
+* ``bug:select-to-and-or`` — replace ``select %x, %y, false`` with
+  ``and %x, %y`` (and the ``or`` dual).  This was LLVM's behaviour at the
+  time of the paper and is wrong when %y may be poison (§8.4).
+* ``bug:fadd-zero`` — fold ``fadd (fmul nsz a b), +0.0`` to the bare
+  ``fmul`` (Selected Bug #2).
+* ``bug:undef-shift`` — fold ``shl undef, %x`` to ``undef`` (an
+  undef-as-input class bug: the result must be 0 for %x != 0... actually
+  poison-aware folds of shifts with undef operands were a recurring §8.2
+  category).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.ir.fpformat import float_to_bits
+from repro.ir.function import Function
+from repro.ir.instructions import BinOp, Cast, FBinOp, ICmp, Select
+from repro.ir.module import Module
+from repro.ir.types import FloatType, IntType
+from repro.ir.values import ConstantFloat, ConstantInt, Register, UndefValue, Value
+from repro.opt.passmanager import register_pass
+from repro.opt.util import const_int, replace_all_uses, same_register
+
+
+def _is_pos_zero(value: Value) -> bool:
+    return (
+        isinstance(value, ConstantFloat)
+        and value.bits == float_to_bits(0.0, value.type)
+    )
+
+
+def _is_neg_zero(value: Value) -> bool:
+    return (
+        isinstance(value, ConstantFloat)
+        and value.bits == float_to_bits(-0.0, value.type)
+    )
+
+
+def _power_of_two(value: Optional[int]) -> Optional[int]:
+    if value is None or value <= 0 or value & (value - 1):
+        return None
+    return value.bit_length() - 1
+
+
+@register_pass("instcombine")
+def instcombine(fn: Function, module: Module, options: dict) -> bool:
+    buggy_select = options.get("bug:select-to-and-or", False)
+    buggy_fadd = options.get("bug:fadd-zero", False)
+    buggy_undef_shift = options.get("bug:undef-shift", False)
+    changed = False
+    defs = fn.defined_names()
+
+    for block in fn.blocks.values():
+        new_instructions: List = []
+        for inst in block.instructions:
+            replacement_value: Optional[Value] = None
+            replacement_inst = None
+
+            if isinstance(inst, BinOp) and isinstance(inst.type, IntType):
+                op = inst.opcode
+                rc = const_int(inst.rhs)
+                # add x, x -> shl x, 1  (dropping flags: the add's nsw does
+                # not simply transfer; LLVM emits shl nsw which is fine —
+                # we conservatively drop flags).
+                if op == "add" and same_register(inst.lhs, inst.rhs):
+                    replacement_inst = BinOp(
+                        inst.name, "shl", inst.type, inst.lhs,
+                        ConstantInt(inst.type, 1), frozenset(),
+                    )
+                # mul x, 2^k -> shl x, k
+                elif op == "mul" and _power_of_two(rc) is not None:
+                    replacement_inst = BinOp(
+                        inst.name, "shl", inst.type, inst.lhs,
+                        ConstantInt(inst.type, _power_of_two(rc)), frozenset(),
+                    )
+                # udiv x, 2^k -> lshr x, k  (exact flag preserved)
+                elif op == "udiv" and _power_of_two(rc) is not None:
+                    replacement_inst = BinOp(
+                        inst.name, "lshr", inst.type, inst.lhs,
+                        ConstantInt(inst.type, _power_of_two(rc)),
+                        inst.flags & frozenset({"exact"}),
+                    )
+                # urem x, 2^k -> and x, 2^k-1
+                elif op == "urem" and _power_of_two(rc) is not None:
+                    replacement_inst = BinOp(
+                        inst.name, "and", inst.type, inst.lhs,
+                        ConstantInt(inst.type, rc - 1), frozenset(),
+                    )
+                elif (
+                    buggy_undef_shift
+                    and op in ("shl", "lshr", "ashr")
+                    and isinstance(inst.lhs, UndefValue)
+                ):
+                    # BUG (§8.2 "incorrect when undef is given as input"):
+                    # shl undef, x is 0 when x = width-1 is not... folding
+                    # to undef claims more behaviours than the source has.
+                    replacement_value = UndefValue(inst.type)
+                # (x + C1) + C2 -> x + (C1+C2)
+                elif op == "add" and rc is not None and isinstance(inst.lhs, Register):
+                    inner = defs.get(inst.lhs.name)
+                    if (
+                        isinstance(inner, BinOp)
+                        and inner.opcode == "add"
+                        and const_int(inner.rhs) is not None
+                        and not inner.flags
+                        and not inst.flags
+                    ):
+                        total = (const_int(inner.rhs) + rc) & (
+                            (1 << inst.type.width) - 1
+                        )
+                        replacement_inst = BinOp(
+                            inst.name, "add", inst.type, inner.lhs,
+                            ConstantInt(inst.type, total), frozenset(),
+                        )
+
+            elif isinstance(inst, Select) and isinstance(inst.type, IntType):
+                if inst.type.width == 1:
+                    tc = const_int(inst.on_true)
+                    fc = const_int(inst.on_false)
+                    # select c, true, false -> c ; select c, false, true -> xor c, 1
+                    if tc == 1 and fc == 0:
+                        replacement_value = inst.cond
+                    elif tc == 0 and fc == 1:
+                        replacement_inst = BinOp(
+                            inst.name, "xor", inst.type, inst.cond,
+                            ConstantInt(IntType(1), 1), frozenset(),
+                        )
+                    elif buggy_select and fc == 0 and tc is None:
+                        # BUG (§8.4): select %x, %y, false -> and %x, %y
+                        replacement_inst = BinOp(
+                            inst.name, "and", inst.type, inst.cond,
+                            inst.on_true, frozenset(),
+                        )
+                    elif buggy_select and tc == 1 and fc is None:
+                        # BUG dual: select %x, true, %y -> or %x, %y
+                        replacement_inst = BinOp(
+                            inst.name, "or", inst.type, inst.cond,
+                            inst.on_false, frozenset(),
+                        )
+
+            elif isinstance(inst, FBinOp):
+                # fadd x, -0.0 -> x   (always correct)
+                if inst.opcode == "fadd" and _is_neg_zero(inst.rhs):
+                    replacement_value = inst.lhs
+                # BUG (Selected Bug #2): fadd x, +0.0 -> x.  Wrong when x
+                # can be -0.0 (e.g. the result of an nsz fmul).
+                elif buggy_fadd and inst.opcode == "fadd" and _is_pos_zero(inst.rhs):
+                    replacement_value = inst.lhs
+                # fmul x, 1.0 -> x
+                elif inst.opcode == "fmul" and isinstance(inst.rhs, ConstantFloat):
+                    if inst.rhs.bits == float_to_bits(1.0, inst.rhs.type):
+                        replacement_value = inst.lhs
+
+            elif isinstance(inst, Cast):
+                # zext (trunc x) -> and x, mask  when widths round-trip.
+                if inst.opcode == "zext" and isinstance(inst.operand, Register):
+                    inner = defs.get(inst.operand.name)
+                    if (
+                        isinstance(inner, Cast)
+                        and inner.opcode == "trunc"
+                        and isinstance(inner.operand.type, IntType)
+                        and inner.operand.type == inst.type
+                    ):
+                        mask = (1 << inner.type.width) - 1
+                        replacement_inst = BinOp(
+                            inst.name, "and", inst.type, inner.operand,
+                            ConstantInt(inst.type, mask), frozenset(),
+                        )
+
+            if replacement_value is not None:
+                replace_all_uses(fn, inst.name, replacement_value)
+                changed = True
+                continue
+            if replacement_inst is not None:
+                new_instructions.append(replacement_inst)
+                defs[replacement_inst.name] = replacement_inst
+                changed = True
+                continue
+            new_instructions.append(inst)
+        block.instructions = new_instructions
+    return changed

@@ -1,0 +1,190 @@
+"""InstSimplify: fold instructions to existing values (no new instructions).
+
+The model for the paper's running example (§8.2): a collection of
+peephole folds that replace an instruction with a constant or an
+already-available value.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.function import Function
+from repro.ir.instructions import BinOp, ICmp, Select
+from repro.ir.module import Module
+from repro.ir.types import IntType
+from repro.ir.values import ConstantInt, Register, Value
+from repro.opt.passmanager import register_pass
+from repro.opt.util import (
+    const_int,
+    is_all_ones,
+    is_zero,
+    replace_all_uses,
+    same_register,
+)
+
+
+def _fold_binop(inst: BinOp) -> Optional[Value]:
+    op = inst.opcode
+    lhs, rhs = inst.lhs, inst.rhs
+    ty = inst.type
+    if not isinstance(ty, IntType):
+        return None
+    lc, rc = const_int(lhs), const_int(rhs)
+    width = ty.width
+    mask = (1 << width) - 1
+
+    if lc is not None and rc is not None:
+        # Full constant folding (poison-free operand case).
+        table = {
+            "add": lambda: lc + rc,
+            "sub": lambda: lc - rc,
+            "mul": lambda: lc * rc,
+            "and": lambda: lc & rc,
+            "or": lambda: lc | rc,
+            "xor": lambda: lc ^ rc,
+        }
+        fn = table.get(op)
+        if fn is not None:
+            return ConstantInt(ty, fn() & mask)
+        if op == "udiv" and rc != 0:
+            return ConstantInt(ty, lc // rc)
+        if op == "urem" and rc != 0:
+            return ConstantInt(ty, lc % rc)
+        if op in ("shl", "lshr") and rc < width:
+            val = (lc << rc) if op == "shl" else (lc >> rc)
+            return ConstantInt(ty, val & mask)
+
+    if op == "add" and is_zero(rhs):
+        return lhs
+    if op == "add" and is_zero(lhs):
+        return rhs
+    if op == "sub" and is_zero(rhs):
+        return lhs
+    if op == "sub" and same_register(lhs, rhs):
+        return ConstantInt(ty, 0)
+    if op == "mul":
+        if is_zero(rhs) or is_zero(lhs):
+            return ConstantInt(ty, 0)
+        if const_int(rhs) == 1:
+            return lhs
+        if const_int(lhs) == 1:
+            return rhs
+    if op == "and":
+        if is_zero(rhs) or is_zero(lhs):
+            return ConstantInt(ty, 0)
+        if is_all_ones(rhs):
+            return lhs
+        if is_all_ones(lhs):
+            return rhs
+        if same_register(lhs, rhs):
+            return lhs
+    if op == "or":
+        if is_zero(rhs):
+            return lhs
+        if is_zero(lhs):
+            return rhs
+        if is_all_ones(rhs) or is_all_ones(lhs):
+            return ConstantInt(ty, mask)
+        if same_register(lhs, rhs):
+            return lhs
+    if op == "xor":
+        if is_zero(rhs):
+            return lhs
+        if is_zero(lhs):
+            return rhs
+        if same_register(lhs, rhs):
+            return ConstantInt(ty, 0)
+    if op == "udiv" and const_int(rhs) == 1:
+        return lhs
+    if op in ("shl", "lshr", "ashr") and is_zero(rhs):
+        return lhs
+    # NOTE: `udiv 0, x -> 0` would be wrong (x may be 0: UB must stay).
+    return None
+
+
+def _fold_icmp(inst: ICmp, defs) -> Optional[Value]:
+    pred = inst.pred
+    lhs, rhs = inst.lhs, inst.rhs
+    i1 = IntType(1)
+    if same_register(lhs, rhs):
+        # x pred x — but only for poison-insensitive folds: icmp of a
+        # register with itself still propagates poison, and true/false are
+        # MORE defined, which is a valid refinement.
+        if pred in ("eq", "ule", "uge", "sle", "sge"):
+            return ConstantInt(i1, 1)
+        if pred in ("ne", "ult", "ugt", "slt", "sgt"):
+            return ConstantInt(i1, 0)
+    lc, rc = const_int(lhs), const_int(rhs)
+    if lc is not None and rc is not None and isinstance(lhs.type, IntType):
+        w = lhs.type.width
+
+        def signed(x):
+            return x - (1 << w) if x >= 1 << (w - 1) else x
+
+        table = {
+            "eq": lc == rc, "ne": lc != rc,
+            "ult": lc < rc, "ule": lc <= rc, "ugt": lc > rc, "uge": lc >= rc,
+            "slt": signed(lc) < signed(rc), "sle": signed(lc) <= signed(rc),
+            "sgt": signed(lc) > signed(rc), "sge": signed(lc) >= signed(rc),
+        }
+        return ConstantInt(i1, 1 if table[pred] else 0)
+    # The paper's unit-test example: %m = max(%x, %y); icmp slt %m, %x is
+    # always false.
+    if pred in ("slt", "sgt") and isinstance(rhs, Register):
+        sel = defs.get(lhs.name) if isinstance(lhs, Register) else None
+        if isinstance(sel, Select) and isinstance(sel.cond, Register):
+            cmp_def = defs.get(sel.cond.name)
+            if (
+                isinstance(cmp_def, ICmp)
+                and cmp_def.pred == "sgt"
+                and same_register(cmp_def.lhs, sel.on_true)
+                and same_register(cmp_def.rhs, sel.on_false)
+            ):
+                # %m = select (sgt x y), x, y  — the smax pattern.
+                if pred == "slt" and (
+                    same_register(rhs, sel.on_true)
+                    or same_register(rhs, sel.on_false)
+                ):
+                    return ConstantInt(i1, 0)
+    return None
+
+
+def _fold_select(inst: Select) -> Optional[Value]:
+    cond_c = const_int(inst.cond)
+    if cond_c is not None:
+        return inst.on_true if cond_c else inst.on_false
+    if (
+        same_register(inst.on_true, inst.on_false)
+        or inst.on_true == inst.on_false
+    ):
+        # select c, x, x -> x is only correct if c's poison may be dropped:
+        # select on poison cond is poison, so this REMOVES poison — allowed.
+        return inst.on_true
+    return None
+
+
+@register_pass("instsimplify")
+def instsimplify(fn: Function, module: Module, options: dict) -> bool:
+    changed = False
+    while True:
+        defs = fn.defined_names()
+        local_change = False
+        for block in fn.blocks.values():
+            for inst in list(block.instructions):
+                replacement: Optional[Value] = None
+                if isinstance(inst, BinOp):
+                    replacement = _fold_binop(inst)
+                elif isinstance(inst, ICmp):
+                    replacement = _fold_icmp(inst, defs)
+                elif isinstance(inst, Select):
+                    replacement = _fold_select(inst)
+                if replacement is None:
+                    continue
+                replace_all_uses(fn, inst.name, replacement)
+                block.instructions.remove(inst)
+                local_change = True
+        if not local_change:
+            break
+        changed = True
+    return changed

@@ -1,0 +1,89 @@
+"""Loop-invariant code motion.
+
+Hoists loop-invariant, speculatable instructions into the preheader.
+The buggy variant ``bug:licm-speculate-div`` also hoists division, which
+speculates UB (division by zero) onto paths where the loop body never
+ran — one of the §8.2 "loop optimizations incorrectly handling" class.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import BinOp, Br, Cast, ICmp, Instruction, Select
+from repro.ir.loops import LoopForest
+from repro.ir.module import Module
+from repro.ir.values import Register
+from repro.opt.passmanager import register_pass
+from repro.opt.util import may_trigger_ub
+
+
+def _is_invariant(inst: Instruction, loop_defs: Set[str]) -> bool:
+    return all(
+        not (isinstance(op, Register) and op.name in loop_defs)
+        for op in inst.operands
+    )
+
+
+def _speculatable(inst: Instruction, allow_div: bool) -> bool:
+    if isinstance(inst, (ICmp, Select, Cast)):
+        return True
+    if isinstance(inst, BinOp):
+        if inst.opcode in ("udiv", "sdiv", "urem", "srem"):
+            return allow_div  # BUG when allowed: speculates division UB
+        return True
+    return False
+
+
+def _preheader(fn: Function, header: str, body: Set[str]) -> Optional[str]:
+    preds = [p for p in fn.predecessors()[header] if p not in body]
+    if len(preds) != 1:
+        return None
+    pred_block = fn.blocks[preds[0]]
+    term = pred_block.terminator
+    if isinstance(term, Br) and term.cond is None:
+        return preds[0]
+    return None
+
+
+@register_pass("licm")
+def licm(fn: Function, module: Module, options: dict) -> bool:
+    allow_div = options.get("bug:licm-speculate-div", False)
+    forest = LoopForest(fn)
+    changed = False
+    for loop in forest.innermost_first():
+        if loop.irreducible:
+            continue
+        pre = _preheader(fn, loop.header, loop.body)
+        if pre is None:
+            continue
+        loop_defs: Set[str] = set()
+        for label in loop.body:
+            for inst in fn.blocks[label].instructions:
+                name = getattr(inst, "name", None)
+                if name is not None:
+                    loop_defs.add(name)
+        moved = True
+        while moved:
+            moved = False
+            for label in list(loop.body):
+                block = fn.blocks.get(label)
+                if block is None:
+                    continue
+                for inst in list(block.instructions):
+                    if inst.is_terminator() or not hasattr(inst, "name"):
+                        continue
+                    if not _speculatable(inst, allow_div):
+                        continue
+                    if not _is_invariant(inst, loop_defs):
+                        continue
+                    block.instructions.remove(inst)
+                    pre_block = fn.blocks[pre]
+                    pre_block.instructions.insert(
+                        len(pre_block.instructions) - 1, inst
+                    )
+                    loop_defs.discard(inst.name)
+                    moved = True
+                    changed = True
+    return changed

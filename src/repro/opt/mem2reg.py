@@ -1,0 +1,168 @@
+"""mem2reg / SROA-lite: promote allocas to SSA registers.
+
+Promotes allocas whose only uses are whole-value loads and stores (no
+geps, no escapes).  Uses the standard pruned-SSA construction: phi
+placement on the iterated dominance frontier of the store blocks, then a
+renaming walk over the dominator tree.  Loads before any store read
+``undef`` — exactly LLVM's semantics for uninitialized stack slots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.ir.cfg import predecessors, reverse_postorder
+from repro.ir.dominators import DominatorTree
+from repro.ir.function import Function
+from repro.ir.instructions import Alloca, Load, Phi, Store
+from repro.ir.module import Module
+from repro.ir.types import Type
+from repro.ir.values import Register, UndefValue, Value
+from repro.opt.passmanager import register_pass
+from repro.opt.util import replace_all_uses
+
+
+def _promotable_allocas(fn: Function) -> List[Alloca]:
+    allocas = [
+        inst for inst in fn.instructions() if isinstance(inst, Alloca)
+    ]
+    out = []
+    for alloca in allocas:
+        ok = True
+        for inst in fn.instructions():
+            for op in inst.operands:
+                if isinstance(op, Register) and op.name == alloca.name:
+                    if isinstance(inst, Load) and inst.type == alloca.allocated_type:
+                        continue
+                    if (
+                        isinstance(inst, Store)
+                        and isinstance(inst.pointer, Register)
+                        and inst.pointer.name == alloca.name
+                        and inst.value.type == alloca.allocated_type
+                        and not (
+                            isinstance(inst.value, Register)
+                            and inst.value.name == alloca.name
+                        )
+                    ):
+                        continue
+                    ok = False
+            if not ok:
+                break
+        if ok:
+            out.append(alloca)
+    return out
+
+
+def _dominance_frontiers(fn: Function, dom: DominatorTree) -> Dict[str, Set[str]]:
+    preds = predecessors(fn)
+    df: Dict[str, Set[str]] = {label: set() for label in dom.order}
+    for label in dom.order:
+        ps = [p for p in preds.get(label, []) if p in dom.idom]
+        if len(ps) < 2:
+            continue
+        for p in ps:
+            runner = p
+            while runner != dom.idom[label] and runner is not None:
+                df[runner].add(label)
+                if runner == dom.idom[runner]:
+                    break
+                runner = dom.idom[runner]
+    return df
+
+
+@register_pass("mem2reg")
+def mem2reg(fn: Function, module: Module, options: dict) -> bool:
+    allocas = _promotable_allocas(fn)
+    if not allocas:
+        return False
+    dom = DominatorTree(fn)
+    df = _dominance_frontiers(fn, dom)
+
+    for alloca in allocas:
+        _promote(fn, alloca, dom, df)
+    return True
+
+
+def _promote(
+    fn: Function, alloca: Alloca, dom: DominatorTree, df: Dict[str, Set[str]]
+) -> None:
+    ty = alloca.allocated_type
+    store_blocks: Set[str] = set()
+    for label, block in fn.blocks.items():
+        for inst in block.instructions:
+            if (
+                isinstance(inst, Store)
+                and isinstance(inst.pointer, Register)
+                and inst.pointer.name == alloca.name
+            ):
+                store_blocks.add(label)
+
+    # Phi placement on the iterated dominance frontier.
+    phi_blocks: Set[str] = set()
+    work = list(store_blocks)
+    while work:
+        b = work.pop()
+        for frontier in df.get(b, ()):  # may include unreachable-removed
+            if frontier not in phi_blocks:
+                phi_blocks.add(frontier)
+                if frontier not in store_blocks:
+                    work.append(frontier)
+
+    phis: Dict[str, Phi] = {}
+    for label in phi_blocks:
+        name = fn.fresh_register(f"{alloca.name}.phi")
+        phi = Phi(name, ty, [])
+        fn.blocks[label].instructions.insert(0, phi)
+        phis[label] = phi
+
+    # Renaming walk over the dominator tree.
+    children = dom.children()
+    preds = predecessors(fn)
+
+    def visit(label: str, incoming: Value) -> None:
+        block = fn.blocks[label]
+        if label in phis:
+            current = Register(ty, phis[label].name)
+        else:
+            current = incoming
+        keep = []
+        for inst in block.instructions:
+            if (
+                isinstance(inst, Store)
+                and isinstance(inst.pointer, Register)
+                and inst.pointer.name == alloca.name
+            ):
+                current = inst.value
+                continue
+            if (
+                isinstance(inst, Load)
+                and isinstance(inst.pointer, Register)
+                and inst.pointer.name == alloca.name
+            ):
+                replace_all_uses(fn, inst.name, current)
+                continue
+            keep.append(inst)
+        block.instructions = keep
+        for succ in block.successors():
+            phi = phis.get(succ)
+            if phi is not None:
+                phi.incoming.append((current, label))
+        for child in children.get(label, []):
+            visit(child, current)
+
+    entry = next(iter(fn.blocks))
+    visit(entry, UndefValue(ty))
+
+    # Remove the alloca itself.
+    for block in fn.blocks.values():
+        block.instructions = [
+            inst
+            for inst in block.instructions
+            if not (isinstance(inst, Alloca) and inst.name == alloca.name)
+        ]
+
+    # Prune phi incoming entries from non-predecessor blocks (unreachable
+    # or never-visited edges).
+    for label, phi in phis.items():
+        valid = set(preds.get(label, []))
+        phi.incoming = [(v, b) for v, b in phi.incoming if b in valid]

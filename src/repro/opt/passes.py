@@ -1,0 +1,10 @@
+"""Aggregator: importing this module registers every pass."""
+
+import repro.opt.dce  # noqa: F401
+import repro.opt.gvn  # noqa: F401
+import repro.opt.instcombine  # noqa: F401
+import repro.opt.instsimplify  # noqa: F401
+import repro.opt.licm  # noqa: F401
+import repro.opt.mem2reg  # noqa: F401
+import repro.opt.reassociate  # noqa: F401
+import repro.opt.simplifycfg  # noqa: F401

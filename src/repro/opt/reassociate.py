@@ -1,0 +1,109 @@
+"""Reassociation / SLP-style add-chain balancing.
+
+Rebalances a chain ``((a + b) + c) + d`` into ``(a + b) + (c + d)`` — the
+scalar core of the Selected Bug #1 transformation.  The correct variant
+drops ``nsw`` flags (the paper's fix); the buggy variant
+``bug:nsw-reassoc`` keeps them, which is unsound because nsw addition is
+not associative.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.ir.function import Function
+from repro.ir.instructions import BinOp
+from repro.ir.module import Module
+from repro.ir.types import IntType
+from repro.ir.values import Register, Value
+from repro.opt.passmanager import register_pass
+from repro.opt.util import use_counts
+
+
+def _collect_chain(
+    fn: Function, root: BinOp, defs, counts
+) -> Optional[Tuple[List[Value], List[str], bool]]:
+    """Collect the leaves of a single-use add chain rooted at ``root``."""
+    leaves: List[Value] = []
+    internal: List[str] = []
+    all_nsw = "nsw" in root.flags
+
+    def walk(value: Value, is_root: bool) -> bool:
+        nonlocal all_nsw
+        if isinstance(value, Register):
+            inner = defs.get(value.name)
+            if (
+                isinstance(inner, BinOp)
+                and inner.opcode == "add"
+                and counts.get(value.name, 0) == 1
+            ):
+                if "nsw" not in inner.flags:
+                    all_nsw = False
+                internal.append(inner.name)
+                return walk(inner.lhs, False) and walk(inner.rhs, False)
+        leaves.append(value)
+        return True
+
+    if not walk(root.lhs, True) or not walk(root.rhs, True):
+        return None
+    if len(leaves) < 4:
+        return None
+    return leaves, internal, all_nsw
+
+
+@register_pass("reassociate")
+def reassociate(fn: Function, module: Module, options: dict) -> bool:
+    keep_nsw = options.get("bug:nsw-reassoc", False)
+    changed = False
+    defs = fn.defined_names()
+    counts = use_counts(fn)
+    for block in fn.blocks.values():
+        for idx, inst in enumerate(list(block.instructions)):
+            if not (
+                isinstance(inst, BinOp)
+                and inst.opcode == "add"
+                and isinstance(inst.type, IntType)
+            ):
+                continue
+            chain = _collect_chain(fn, inst, defs, counts)
+            if chain is None:
+                continue
+            leaves, internal, all_nsw = chain
+            flags = (
+                frozenset({"nsw"}) if (keep_nsw and all_nsw) else frozenset()
+            )
+            # Build a balanced tree over the leaves.
+            new_insts: List[BinOp] = []
+            level: List[Value] = list(leaves)
+            counter = 0
+            while len(level) > 1:
+                next_level: List[Value] = []
+                for i in range(0, len(level) - 1, 2):
+                    if len(level) == 2:
+                        name = inst.name  # the root keeps its register
+                    else:
+                        name = fn.fresh_register(f"{inst.name}.ra{counter}")
+                        counter += 1
+                    add = BinOp(name, "add", inst.type, level[i], level[i + 1], flags)
+                    new_insts.append(add)
+                    next_level.append(Register(inst.type, name))
+                if len(level) % 2:
+                    next_level.append(level[-1])
+                level = next_level
+            # Splice: remove the internal chain instructions and the root,
+            # insert the balanced tree at the root's position.
+            internal_set = set(internal)
+            out = []
+            for existing in block.instructions:
+                name = getattr(existing, "name", None)
+                if name in internal_set:
+                    continue
+                if existing is inst:
+                    out.extend(new_insts)
+                    continue
+                out.append(existing)
+            block.instructions = out
+            changed = True
+            defs = fn.defined_names()
+            counts = use_counts(fn)
+    return changed

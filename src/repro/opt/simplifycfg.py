@@ -1,0 +1,182 @@
+"""SimplifyCFG: branch folding, block merging, and if-conversion.
+
+The buggy variant ``bug:speculate-branch`` performs the *inverse* of
+if-conversion — it turns a select into a conditional branch.  Under the
+branch-on-undef-is-UB semantics that Alive2 drove into LLVM (§8.3), this
+introduces UB the source did not have.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.ir.cfg import predecessors, remove_unreachable_blocks
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import Br, Phi, Ret, Select
+from repro.ir.module import Module
+from repro.ir.values import ConstantInt, Register
+from repro.opt.passmanager import register_pass
+from repro.opt.util import const_int
+
+
+def _fold_constant_branches(fn: Function) -> bool:
+    changed = False
+    for block in fn.blocks.values():
+        term = block.terminator
+        if isinstance(term, Br) and term.cond is not None:
+            c = const_int(term.cond)
+            if c is not None:
+                target = term.true_label if c else term.false_label
+                dropped = term.false_label if c else term.true_label
+                block.instructions[-1] = Br(None, target)
+                if dropped != target:
+                    for phi in fn.blocks[dropped].phis():
+                        phi.incoming = [
+                            (v, b) for v, b in phi.incoming if b != block.label
+                        ]
+                changed = True
+            elif term.true_label == term.false_label:
+                # br c, %x, %x -> br %x is only valid because branching on
+                # poison was UB anyway... no: this *removes* UB, which is
+                # allowed (target has fewer behaviours).
+                block.instructions[-1] = Br(None, term.true_label)
+                changed = True
+    return changed
+
+
+def _merge_straight_line(fn: Function) -> bool:
+    """Merge blocks with a single successor whose successor has a single
+    predecessor (and no phis)."""
+    preds = predecessors(fn)
+    for label, block in list(fn.blocks.items()):
+        term = block.terminator
+        if not isinstance(term, Br) or term.cond is not None:
+            continue
+        succ_label = term.true_label
+        if succ_label == label or succ_label not in fn.blocks:
+            continue
+        succ = fn.blocks[succ_label]
+        if len(preds.get(succ_label, [])) != 1 or succ.phis():
+            continue
+        if succ_label in fn.sink_labels:
+            continue
+        block.instructions = block.instructions[:-1] + succ.instructions
+        del fn.blocks[succ_label]
+        # Phis in succ's successors must be re-labelled.
+        for other in fn.blocks.values():
+            for phi in other.phis():
+                phi.incoming = [
+                    (v, label if b == succ_label else b) for v, b in phi.incoming
+                ]
+        return True
+    return False
+
+
+def _if_convert(fn: Function) -> bool:
+    """Convert a diamond (or triangle) with an empty body into a select."""
+    preds = predecessors(fn)
+    for label, block in list(fn.blocks.items()):
+        term = block.terminator
+        if not isinstance(term, Br) or term.cond is None:
+            continue
+        t_label, f_label = term.true_label, term.false_label
+        if t_label == f_label:
+            continue
+        t_block = fn.blocks.get(t_label)
+        f_block = fn.blocks.get(f_label)
+        if t_block is None or f_block is None:
+            continue
+
+        def is_empty_forwarder(b: BasicBlock) -> Optional[str]:
+            if len(b.instructions) == 1 and isinstance(b.terminator, Br):
+                t = b.terminator
+                if t.cond is None:
+                    return t.true_label
+            return None
+
+        join_t = is_empty_forwarder(t_block)
+        join_f = is_empty_forwarder(f_block)
+        if join_t is None or join_t != join_f:
+            continue
+        join = fn.blocks.get(join_t)
+        if join is None:
+            continue
+        if len(preds.get(t_label, [])) != 1 or len(preds.get(f_label, [])) != 1:
+            continue
+        # Replace each phi in the join by a select in `block`.
+        selects: List[Select] = []
+        ok = True
+        for phi in join.phis():
+            v_t = v_f = None
+            for v, b in phi.incoming:
+                if b == t_label:
+                    v_t = v
+                elif b == f_label:
+                    v_f = v
+            if v_t is None or v_f is None or len(phi.incoming) != 2:
+                ok = False
+                break
+            selects.append(Select(phi.name, phi.type, term.cond, v_t, v_f))
+        if not ok:
+            continue
+        join.instructions = selects + join.non_phi_instructions()
+        block.instructions = block.instructions[:-1] + [Br(None, join_t)]
+        del fn.blocks[t_label]
+        del fn.blocks[f_label]
+        return True
+    return False
+
+
+def _speculate_selects(fn: Function) -> bool:
+    """BUGGY inverse if-conversion: select -> conditional branch.
+
+    Introduces a branch on a possibly-undef/poison condition — exactly the
+    class of §8.2 bugs 'optimizations that introduce a branch on undef or
+    poison'.
+    """
+    for label, block in list(fn.blocks.items()):
+        for idx, inst in enumerate(block.instructions):
+            if not isinstance(inst, Select) or not isinstance(inst.cond, Register):
+                continue
+            rest = block.instructions[idx + 1 :]
+            t_label = fn.fresh_label(f"{label}.sel.t")
+            f_label = fn.fresh_label(f"{label}.sel.f")
+            join_label = fn.fresh_label(f"{label}.sel.join")
+            phi = Phi(inst.name, inst.type, [
+                (inst.on_true, t_label),
+                (inst.on_false, f_label),
+            ])
+            fn.blocks[t_label] = BasicBlock(t_label, [Br(None, join_label)])
+            fn.blocks[f_label] = BasicBlock(f_label, [Br(None, join_label)])
+            fn.blocks[join_label] = BasicBlock(join_label, [phi] + rest)
+            block.instructions = block.instructions[:idx] + [
+                Br(inst.cond, t_label, f_label)
+            ]
+            # Phis referring to `label` from `rest`'s successors move.
+            for other in fn.blocks.values():
+                if other.label in (t_label, f_label, join_label):
+                    continue
+                for p in other.phis():
+                    p.incoming = [
+                        (v, join_label if b == label else b)
+                        for v, b in p.incoming
+                    ]
+            return True
+    return False
+
+
+@register_pass("simplifycfg")
+def simplifycfg(fn: Function, module: Module, options: dict) -> bool:
+    changed = False
+    if options.get("bug:speculate-branch", False):
+        while _speculate_selects(fn):
+            changed = True
+        return changed
+    while True:
+        local = _fold_constant_branches(fn)
+        local |= remove_unreachable_blocks(fn)
+        local |= _merge_straight_line(fn)
+        local |= _if_convert(fn)
+        if not local:
+            return changed
+        changed = True

@@ -1,0 +1,85 @@
+"""Shared helpers for optimization passes."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Alloca,
+    Call,
+    Instruction,
+    Load,
+    Store,
+)
+from repro.ir.values import ConstantInt, Register, Value
+
+
+def replace_all_uses(fn: Function, name: str, replacement: Value) -> int:
+    """Replace every use of register ``name`` with ``replacement``."""
+    count = 0
+    mapping = {name: replacement}
+    for inst in fn.instructions():
+        before = [
+            op.name
+            for op in inst.operands
+            if isinstance(op, Register) and op.name == name
+        ]
+        if before:
+            inst.replace_operands(mapping)
+            count += len(before)
+    return count
+
+
+def has_side_effects(inst: Instruction) -> bool:
+    """Conservative: may the instruction affect state beyond its result?"""
+    if isinstance(inst, (Store, Call)):
+        return True
+    if inst.is_terminator():
+        return True
+    if isinstance(inst, Alloca):
+        return True  # its identity is observable through the pointer
+    return False
+
+
+def may_trigger_ub(inst: Instruction) -> bool:
+    """May executing the instruction be immediate UB? (blocks speculation)"""
+    from repro.ir.instructions import BinOp
+
+    if isinstance(inst, (Load, Store, Call)):
+        return True
+    if isinstance(inst, BinOp) and inst.opcode in ("udiv", "sdiv", "urem", "srem"):
+        return True
+    return False
+
+
+def use_counts(fn: Function) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for inst in fn.instructions():
+        for op in inst.operands:
+            if isinstance(op, Register):
+                counts[op.name] = counts.get(op.name, 0) + 1
+    return counts
+
+
+def const_int(value: Value) -> Optional[int]:
+    if isinstance(value, ConstantInt):
+        return value.value
+    return None
+
+
+def is_zero(value: Value) -> bool:
+    return isinstance(value, ConstantInt) and value.value == 0
+
+
+def is_all_ones(value: Value) -> bool:
+    return (
+        isinstance(value, ConstantInt)
+        and value.value == (1 << value.type.width) - 1
+    )
+
+
+def same_register(a: Value, b: Value) -> bool:
+    return (
+        isinstance(a, Register) and isinstance(b, Register) and a.name == b.name
+    )

@@ -1,0 +1,10 @@
+"""Refinement checking (§5 of the Alive2 paper)."""
+
+from repro.refinement.check import (
+    RefinementResult,
+    Verdict,
+    VerifyOptions,
+    verify_refinement,
+)
+
+__all__ = ["verify_refinement", "Verdict", "VerifyOptions", "RefinementResult"]

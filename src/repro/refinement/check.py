@@ -1,0 +1,779 @@
+"""The refinement check (§5) and its query sequence (§5.3).
+
+Given a (source, target) pair, we encode both functions over *shared*
+input variables and check the final refinement formula of §5.2 by a
+sequence of simpler exists-forall queries — the same decomposition the
+paper uses to produce precise error messages and to help the solver:
+
+1. a precondition is unsatisfiable (encoding bug / limitation),
+2. the target triggers UB only when the source does,
+3. the return/noreturn domains agree (unless the source is UB),
+4. the target returns poison only when the source does,
+5+6. the target's return value refines the source's (our per-reading
+   undef encoding folds the paper's separate undef query into this one),
+7. final memory refines.
+
+Each query is solved by CEGAR over the source-side nondeterminism
+(:mod:`repro.smt.exists_forall`); both verdicts are sound, and resource
+exhaustion is reported as TIMEOUT / OOM, mirroring the paper's outcome
+classes.
+"""
+
+from __future__ import annotations
+
+import copy as _copy
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.function import Function
+from repro.ir.instructions import Alloca
+from repro.ir.module import Module
+from repro.ir.types import PointerType
+from repro.ir.unroll import UnrollError, unroll_function
+from repro.semantics.encoder import (
+    CallRecord,
+    EncodedFunction,
+    EncodeError,
+    _Encoder,
+)
+from repro.semantics.libfuncs import pair_class_of
+from repro.semantics.memory import MemoryConfig, build_layout
+from repro.semantics.value import SymAggregate, SymValue
+from repro.smt.exists_forall import EFResult, QuantVar, solve_exists_forall
+from repro.smt.solver import CheckResult, ResourceLimits, SmtSolver
+from repro.smt.terms import (
+    FALSE,
+    TRUE,
+    BoolTerm,
+    Term,
+    bool_and,
+    bool_implies,
+    bool_not,
+    bool_or,
+    bool_var,
+    bv_const,
+    bv_eq,
+    bv_ule,
+    bv_var,
+    fresh_name,
+    substitute,
+    term_vars,
+)
+
+
+class Verdict(Enum):
+    CORRECT = "correct"
+    INCORRECT = "incorrect"
+    TIMEOUT = "timeout"
+    OOM = "oom"
+    UNSUPPORTED = "unsupported"
+    APPROX = "approx"  # a counterexample touched an over-approximated feature
+    EMPTY_PRE = "empty-pre"  # a precondition is unsatisfiable (check #1)
+
+
+@dataclass(frozen=True)
+class VerifyOptions:
+    """Verification knobs mirroring the paper's command-line options."""
+
+    unroll_factor: int = 4
+    timeout_s: Optional[float] = 30.0
+    max_conflicts: Optional[int] = None
+    max_learned_lits: Optional[int] = 2_000_000
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    check_memory: bool = True
+    max_ef_iterations: int = 32
+
+    def limits(self) -> ResourceLimits:
+        return ResourceLimits(
+            timeout_s=self.timeout_s,
+            max_conflicts=self.max_conflicts,
+            max_learned_lits=self.max_learned_lits,
+        )
+
+
+@dataclass
+class RefinementResult:
+    verdict: Verdict
+    failed_check: Optional[str] = None
+    counterexample: Dict[str, object] = field(default_factory=dict)
+    approx_features: List[str] = field(default_factory=list)
+    unsupported_feature: Optional[str] = None
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.verdict is Verdict.CORRECT
+
+    def describe(self) -> str:
+        if self.verdict is Verdict.CORRECT:
+            return "Transformation seems to be correct!"
+        if self.verdict is Verdict.INCORRECT:
+            lines = [
+                f"Transformation doesn't verify! (check: {self.failed_check})",
+                "Counterexample:",
+            ]
+            for name in sorted(self.counterexample):
+                lines.append(f"  {name} = {self.counterexample[name]}")
+            return "\n".join(lines)
+        if self.verdict is Verdict.APPROX:
+            feats = ", ".join(self.approx_features) or "unknown"
+            return f"Couldn't verify: depends on over-approximated features ({feats})"
+        if self.verdict is Verdict.UNSUPPORTED:
+            return f"Skipped: unsupported feature ({self.unsupported_feature})"
+        return f"Gave up: {self.verdict.value}"
+
+
+def verify_refinement(
+    src: Function,
+    tgt: Function,
+    module_src: Module,
+    module_tgt: Optional[Module] = None,
+    options: Optional[VerifyOptions] = None,
+) -> RefinementResult:
+    """Check that ``tgt`` refines ``src`` (the core Alive2 operation)."""
+    options = options or VerifyOptions()
+    start = time.monotonic()
+    module_tgt = module_tgt if module_tgt is not None else module_src
+
+    def done(result: RefinementResult) -> RefinementResult:
+        result.elapsed_s = time.monotonic() - start
+        return result
+
+    if src.is_declaration or tgt.is_declaration:
+        return done(
+            RefinementResult(Verdict.UNSUPPORTED, unsupported_feature="declaration")
+        )
+    if [(
+        a.type
+    ) for a in src.args] != [a.type for a in tgt.args] or src.return_type != tgt.return_type:
+        return done(
+            RefinementResult(
+                Verdict.UNSUPPORTED, unsupported_feature="signature-mismatch"
+            )
+        )
+
+    # Unroll copies up front so both functions share one memory layout.
+    try:
+        src_unrolled = _copy.deepcopy(src)
+        tgt_unrolled = _copy.deepcopy(tgt)
+        unroll_function(src_unrolled, options.unroll_factor)
+        unroll_function(tgt_unrolled, options.unroll_factor)
+    except UnrollError:
+        return done(
+            RefinementResult(Verdict.UNSUPPORTED, unsupported_feature="irreducible-loop")
+        )
+    pointer_args = [a.name for a in src.args if isinstance(a.type, PointerType)]
+    num_allocas = max(
+        sum(1 for i in src_unrolled.instructions() if isinstance(i, Alloca)),
+        sum(1 for i in tgt_unrolled.instructions() if isinstance(i, Alloca)),
+    )
+    globals_ = dict(module_src.globals)
+    globals_.update(module_tgt.globals)
+    try:
+        layout = build_layout(globals_, pointer_args, num_allocas, options.memory)
+        enc_src = _Encoder(src_unrolled, module_src, "src", layout).encode()
+        enc_tgt = _Encoder(tgt_unrolled, module_tgt, "tgt", layout).encode()
+    except EncodeError as exc:
+        return done(
+            RefinementResult(Verdict.UNSUPPORTED, unsupported_feature=exc.feature)
+        )
+    except ValueError as exc:
+        return done(
+            RefinementResult(Verdict.UNSUPPORTED, unsupported_feature=str(exc))
+        )
+
+    checker = _RefinementChecker(enc_src, enc_tgt, options)
+    return done(checker.run())
+
+
+class _RefinementChecker:
+    def __init__(
+        self,
+        src: EncodedFunction,
+        tgt: EncodedFunction,
+        options: VerifyOptions,
+    ) -> None:
+        self.src = src
+        self.tgt = tgt
+        self.options = options
+        self.deadline = (
+            time.monotonic() + options.timeout_s
+            if options.timeout_s is not None
+            else None
+        )
+        # Rename the source's nondeterminism for the inner (forall) copy.
+        self._prime_map: Dict[str, Term] = {}
+        self.forall_vars: List[QuantVar] = []
+        for qv in src.nondet_all:
+            primed = f"{qv.name}'"
+            self.forall_vars.append(QuantVar(primed, qv.width))
+            if qv.width == 0:
+                self._prime_map[qv.name] = bool_var(primed)
+            else:
+                self._prime_map[qv.name] = bv_var(primed, qv.width)
+        self.pairing_src, self.pairing_tgt, self.tgt_call_ub = _pair_calls(
+            src, tgt
+        )
+        self.env_consistency = self._cross_copy_axioms()
+        self.seeds = self._build_seeds()
+
+    def _cross_copy_axioms(self) -> BoolTerm:
+        """Environment consistency between the two source copies.
+
+        Unknown functions are *functions*: calling f on equal inputs yields
+        equal outputs.  The refinement formula re-quantifies the source's
+        nondeterminism on its right-hand side, so without these axioms the
+        re-chosen execution could pretend the environment answered
+        differently — masking bugs like 'load of a call-clobbered global
+        replaced by a constant' (§8.5's escaped-to-global tweak).
+        """
+        axioms: List[BoolTerm] = []
+        for c in self.src.calls:
+            # Relate call c in the original copy with the same call in the
+            # primed copy; their arguments are syntactically the primed
+            # versions of each other.
+            same_inputs = TRUE
+            for arg in c.args:
+                arg_primed_expr = self._prime(arg.expr)
+                arg_primed_poison = self._prime(arg.poison)
+                same_poison = bool_not(
+                    bool_or(
+                        bool_and(arg.poison, bool_not(arg_primed_poison)),
+                        bool_and(bool_not(arg.poison), arg_primed_poison),
+                    )
+                )
+                same_inputs = bool_and(
+                    same_inputs,
+                    bool_not(arg.varies),
+                    same_poison,
+                    bool_or(arg.poison, bv_eq(arg.expr, arg_primed_expr)),
+                )
+            same_outputs = TRUE
+            if c.result is not None:
+                primed_poison = self._prime(c.result.poison)
+                same_outputs = bool_and(
+                    same_outputs,
+                    bool_not(
+                        bool_or(
+                            bool_and(c.result.poison, bool_not(primed_poison)),
+                            bool_and(bool_not(c.result.poison), primed_poison),
+                        )
+                    ),
+                    bool_or(
+                        c.result.poison,
+                        bv_eq(c.result.expr, self._prime(c.result.expr)),
+                    ),
+                )
+            for (bid, off), (v_name, p_name) in c.havoc.items():
+                value = bv_var(v_name, 8)
+                poison = bool_var(p_name)
+                primed_value = self._prime(value)
+                primed_poison = self._prime(poison)
+                same_outputs = bool_and(
+                    same_outputs,
+                    bool_not(
+                        bool_or(
+                            bool_and(poison, bool_not(primed_poison)),
+                            bool_and(bool_not(poison), primed_poison),
+                        )
+                    ),
+                    bool_or(poison, bv_eq(value, primed_value)),
+                )
+            if same_outputs is not TRUE:
+                axioms.append(bool_implies(same_inputs, same_outputs))
+        return bool_and(*axioms) if axioms else TRUE
+
+    def _build_seeds(self) -> List[Dict[str, Term]]:
+        """Symbolic instantiations for the source-side universals.
+
+        Three heuristics (all sound — any instantiation of a universal is):
+
+        * *match*: pair each source nondet variable with the target
+          variable of the same origin (same argument's undef expansion,
+          same freeze/call site) — the analogue of the paper's syntactic
+          instantiation trick (§3.3);
+        * *identity*: reuse the outer existential copy of the source's
+          own nondeterminism;
+        * *defined*: send argument-undef expansions to the argument's
+          defined value.
+        """
+
+        def var_term(name: str, width: int) -> Term:
+            return bool_var(name) if width == 0 else bv_var(name, width)
+
+        tgt_by_origin: Dict[str, List[Tuple[str, int]]] = {}
+        for qv in self.tgt.nondet_all:
+            origin = self.tgt.origin.get(qv.name)
+            if origin is not None:
+                tgt_by_origin.setdefault(origin, []).append((qv.name, qv.width))
+
+        from repro.ir.fpformat import float_to_bits
+        from repro.ir.types import FLOAT_TYPES
+        import math
+
+        def nan_const(width: int) -> Optional[Term]:
+            for fmt in FLOAT_TYPES.values():
+                if fmt.bit_width == width:
+                    return bv_const(float_to_bits(math.nan, fmt), width)
+            return None
+
+        # The target's scalar return expression: the natural instantiation
+        # for NaN-payload variables in identity folds (fmul x, 1.0 -> x).
+        tgt_ret_expr = None
+        if isinstance(self.tgt.ret_value, SymValue):
+            tgt_ret_expr = self.tgt.ret_value.expr
+
+        match_seed: Dict[str, Term] = {}
+        identity_seed: Dict[str, Term] = {}
+        defined_seed: Dict[str, Term] = {}
+        origin_position: Dict[str, int] = {}
+        for qv in self.src.nondet_all:
+            primed = f"{qv.name}'"
+            identity_seed[primed] = var_term(qv.name, qv.width)
+            origin = self.src.origin.get(qv.name)
+            if origin is None:
+                continue
+            # Pair positionally: the i-th source variable of an origin maps
+            # to the i-th target variable of the same origin (so identical
+            # code maps to syntactically identical formulas).
+            pos = origin_position.get(origin, 0)
+            origin_position[origin] = pos + 1
+            hits = tgt_by_origin.get(origin, [])
+            if not hits and origin.rsplit("_", 1)[-1].isdigit():
+                # A call-site origin with no positional twin (the target
+                # deduplicated the call): fall back to any call site of the
+                # same callee, which is exactly the dedup justification.
+                prefix = origin.rsplit("_", 1)[0]
+                for other, entries in tgt_by_origin.items():
+                    if other.rsplit("_", 1)[0] == prefix and entries:
+                        hits = entries
+                        break
+            hit = hits[min(pos, len(hits) - 1)] if hits else None
+            if hit is not None and hit[1] == qv.width:
+                match_seed[primed] = var_term(hit[0], qv.width)
+            if origin.startswith("argundef_") and qv.width > 0:
+                arg = origin[len("argundef_") :]
+                defined_seed[primed] = bv_var(f"arg_{arg}", qv.width)
+                match_seed.setdefault(primed, defined_seed[primed])
+            if origin.startswith(("fpnan_", "nanbits_")) and qv.width > 0:
+                # These variables are constrained to be NaN patterns; a zero
+                # completion would falsify the precondition and void the
+                # whole seed, so default them to the canonical NaN, and try
+                # tracking the target's return bits.
+                nan = nan_const(qv.width)
+                if nan is None:
+                    continue
+                value: Term = nan
+                if tgt_ret_expr is not None and tgt_ret_expr.width == qv.width:
+                    # Track the target's return bits when they are a NaN
+                    # (otherwise keep the canonical pattern so the NaN
+                    # constraint — and thus the whole seed — stays alive).
+                    from repro.semantics import softfloat as sf
+                    from repro.smt.terms import bv_ite
+
+                    for fmt in FLOAT_TYPES.values():
+                        if fmt.bit_width == qv.width:
+                            value = bv_ite(
+                                sf.fp_is_nan(fmt, tgt_ret_expr), tgt_ret_expr, nan
+                            )
+                            break
+                for seed in (match_seed, identity_seed, defined_seed):
+                    if primed not in seed:
+                        seed[primed] = value
+        return [s for s in (match_seed, identity_seed, defined_seed) if s]
+
+    def _prime(self, term: Term) -> Term:
+        return substitute(term, self._prime_map)
+
+    def _limits(self) -> ResourceLimits:
+        timeout = None
+        if self.deadline is not None:
+            timeout = max(0.0, self.deadline - time.monotonic())
+        return ResourceLimits(
+            timeout_s=timeout,
+            max_conflicts=self.options.max_conflicts,
+            max_learned_lits=self.options.max_learned_lits,
+        )
+
+    # -- the query sequence (§5.3) ------------------------------------------------
+    def run(self) -> RefinementResult:
+        src, tgt = self.src, self.tgt
+        pre_src = bool_and(src.pre, bool_not(src.sink), self.pairing_src)
+        pre_tgt = bool_and(
+            tgt.pre, bool_not(tgt.sink), self.pairing_tgt, self.pairing_src
+        )
+        ub_tgt = bool_or(tgt.ub, self.tgt_call_ub)
+
+        # Check 1: preconditions must be satisfiable.
+        sat_check = self._is_satisfiable(bool_and(pre_src, pre_tgt))
+        if sat_check is not None:
+            return sat_check
+
+        phi_base = bool_and(pre_src, pre_tgt)
+        pre_src_primed = self._prime(pre_src)
+        ub_src_primed = self._prime(src.ub)
+
+        # Check 2: target is UB only when the source is.
+        result = self._query(
+            "ub",
+            phi=bool_and(phi_base, ub_tgt),
+            psi=bool_and(pre_src_primed, ub_src_primed),
+        )
+        if result is not None:
+            return result
+
+        # Check 3: return domain (incl. noreturn) matches unless source is UB.
+        domains_agree = bool_and(
+            bool_not(
+                bool_or(
+                    bool_and(self._prime(src.ret_domain), bool_not(tgt.ret_domain)),
+                    bool_and(bool_not(self._prime(src.ret_domain)), tgt.ret_domain),
+                )
+            ),
+            bool_not(
+                bool_or(
+                    bool_and(self._prime(src.noreturn), bool_not(tgt.noreturn)),
+                    bool_and(bool_not(self._prime(src.noreturn)), tgt.noreturn),
+                )
+            ),
+        )
+        result = self._query(
+            "return-domain",
+            phi=bool_and(phi_base, bool_not(ub_tgt)),
+            psi=bool_and(
+                pre_src_primed, bool_or(ub_src_primed, domains_agree)
+            ),
+        )
+        if result is not None:
+            return result
+
+        # Checks 4-6: the return value refines.
+        if src.ret_value is not None and tgt.ret_value is not None:
+            # Check 4 (separately reported): poison refinement.
+            tgt_poison = _value_poison(tgt.ret_value)
+            src_poison_primed = self._prime(_value_poison(src.ret_value))
+            result = self._query(
+                "return-poison",
+                phi=bool_and(phi_base, bool_not(ub_tgt), tgt.ret_domain, tgt_poison),
+                psi=bool_and(
+                    pre_src_primed,
+                    bool_or(
+                        ub_src_primed,
+                        bool_and(self._prime(src.ret_domain), src_poison_primed),
+                    ),
+                ),
+            )
+            if result is not None:
+                return result
+
+            # Checks 5+6: value refinement (covers undef per-reading).
+            refines = self._prime_refines_value(src.ret_value, tgt.ret_value)
+            result = self._query(
+                "return-value",
+                phi=bool_and(phi_base, bool_not(ub_tgt), tgt.ret_domain),
+                psi=bool_and(
+                    pre_src_primed,
+                    bool_or(
+                        ub_src_primed,
+                        bool_and(self._prime(src.ret_domain), refines),
+                    ),
+                ),
+            )
+            if result is not None:
+                return result
+
+        # Check 7: memory refinement over caller-visible blocks.
+        if self.options.check_memory:
+            mem_ref = self._memory_refines()
+            if mem_ref is not TRUE:
+                result = self._query(
+                    "memory",
+                    phi=bool_and(phi_base, bool_not(ub_tgt), tgt.ret_domain),
+                    psi=bool_and(
+                        pre_src_primed,
+                        bool_or(
+                            ub_src_primed,
+                            bool_and(self._prime(src.ret_domain), mem_ref),
+                        ),
+                    ),
+                )
+                if result is not None:
+                    return result
+
+        return RefinementResult(Verdict.CORRECT)
+
+    # -- helpers ----------------------------------------------------------------------
+    def _is_satisfiable(self, formula: BoolTerm) -> Optional[RefinementResult]:
+        solver = SmtSolver()
+        solver.assert_term(formula)
+        res = solver.check(self._limits())
+        if res is CheckResult.UNSAT:
+            return RefinementResult(Verdict.EMPTY_PRE, failed_check="precondition")
+        if res is CheckResult.TIMEOUT:
+            return RefinementResult(Verdict.TIMEOUT, failed_check="precondition")
+        if res is CheckResult.MEMOUT:
+            return RefinementResult(Verdict.OOM, failed_check="precondition")
+        return None
+
+    def _query(self, name: str, phi: BoolTerm, psi: BoolTerm) -> Optional[RefinementResult]:
+        """Run one exists-forall query; None means the check passed."""
+        psi = bool_and(self.env_consistency, psi)
+        outcome = solve_exists_forall(
+            phi,
+            psi,
+            self.forall_vars,
+            limits=self._limits(),
+            max_iterations=self.options.max_ef_iterations,
+            symbolic_seeds=self.seeds,
+        )
+        if outcome.result is EFResult.UNSAT:
+            return None
+        if outcome.result is EFResult.TIMEOUT:
+            return RefinementResult(Verdict.TIMEOUT, failed_check=name)
+        if outcome.result is EFResult.MEMOUT:
+            return RefinementResult(Verdict.OOM, failed_check=name)
+        # Counterexample found; filter for over-approximation (§3.8).
+        approx = sorted(
+            (self.src.approx_vars | self.tgt.approx_vars)
+            & set(outcome.model.keys())
+        )
+        if approx:
+            return RefinementResult(
+                Verdict.APPROX, failed_check=name, approx_features=approx
+            )
+        cex = {
+            k: v
+            for k, v in outcome.model.items()
+            if k.startswith(("arg_", "isundef_", "ispoison_", "glob_", "argmem_"))
+        }
+        return RefinementResult(
+            Verdict.INCORRECT, failed_check=name, counterexample=cex or dict(outcome.model)
+        )
+
+    def _prime_refines_value(self, src_value, tgt_value) -> BoolTerm:
+        """src' ⊒ tgt for return values (Figure 4 rules, element-wise)."""
+        if isinstance(src_value, SymAggregate) or isinstance(tgt_value, SymAggregate):
+            src_elems = src_value.elems if isinstance(src_value, SymAggregate) else None
+            tgt_elems = tgt_value.elems if isinstance(tgt_value, SymAggregate) else None
+            if src_elems is None or tgt_elems is None or len(src_elems) != len(tgt_elems):
+                return FALSE
+            return bool_and(
+                *[
+                    self._prime_refines_value(s, t)
+                    for s, t in zip(src_elems, tgt_elems)
+                ]
+            )
+        assert isinstance(src_value, SymValue) and isinstance(tgt_value, SymValue)
+        s_poison = self._prime(src_value.poison)
+        s_expr = self._prime(src_value.expr)
+        return bool_or(
+            s_poison,
+            bool_and(
+                bool_not(tgt_value.poison), bv_eq(s_expr, tgt_value.expr)
+            ),
+        )
+
+    def _memory_refines(self) -> BoolTerm:
+        src_mem = self.src.final_memory
+        tgt_mem = self.tgt.final_memory
+        if src_mem is None or tgt_mem is None:
+            return TRUE
+        clauses: List[BoolTerm] = []
+        for bid in src_mem.non_local_bids():
+            s_bytes = src_mem.blocks.get(bid)
+            t_bytes = tgt_mem.blocks.get(bid)
+            if s_bytes is None or t_bytes is None:
+                continue
+            info = src_mem.infos[bid]
+            if not info.writable:
+                continue  # read-only blocks cannot change
+            for sb, tb in zip(s_bytes, t_bytes):
+                s_poison = self._prime(sb.poison)
+                s_value = self._prime(sb.value)
+                s_tag = self._prime(sb.is_ptr)
+                clause = bool_or(
+                    s_poison,
+                    bool_and(
+                        bool_not(tb.poison),
+                        bv_eq(s_value, tb.value),
+                        bool_not(
+                            bool_or(
+                                bool_and(s_tag, bool_not(tb.is_ptr)),
+                                bool_and(bool_not(s_tag), tb.is_ptr),
+                            )
+                        ),
+                    ),
+                )
+                if clause is not TRUE:
+                    clauses.append(clause)
+        if not clauses:
+            return TRUE
+        return bool_and(*clauses)
+
+
+def _value_poison(value) -> BoolTerm:
+    if isinstance(value, SymAggregate):
+        return bool_or(*[_value_poison(e) for e in value.elems])
+    return value.poison
+
+
+# ---------------------------------------------------------------------------
+# Call pairing (§6)
+# ---------------------------------------------------------------------------
+
+
+def _args_equal(a: CallRecord, b: CallRecord) -> BoolTerm:
+    """Exact input equality for source-source dedup axioms (§6).
+
+    Possibly-undef arguments disable the axiom (the two reads may have
+    resolved differently), which only makes the source *more*
+    nondeterministic — sound for the zero-false-alarm goal.
+    """
+    if len(a.args) != len(b.args):
+        return FALSE
+    clauses = []
+    for x, y in zip(a.args, b.args):
+        if x.expr.width != y.expr.width:
+            return FALSE
+        same_poison = bool_not(
+            bool_or(
+                bool_and(x.poison, bool_not(y.poison)),
+                bool_and(bool_not(x.poison), y.poison),
+            )
+        )
+        clauses.append(
+            bool_and(
+                bool_not(x.varies),
+                bool_not(y.varies),
+                same_poison,
+                bool_or(x.poison, bv_eq(x.expr, y.expr)),
+            )
+        )
+    return bool_and(*clauses)
+
+
+def _args_refined(src_call: CallRecord, tgt_call: CallRecord) -> BoolTerm:
+    """Each src arg ⊒ tgt arg (Fig. 5).
+
+    An undef source argument (``varies``) refines *any* target argument —
+    the value-level rule of Figure 4, which a per-reading equality would
+    miss and then misreport as an introduced call.
+    """
+    if len(src_call.args) != len(tgt_call.args):
+        return FALSE
+    clauses = []
+    for s, t in zip(src_call.args, tgt_call.args):
+        if s.expr.width != t.expr.width:
+            return FALSE
+        clauses.append(
+            bool_or(
+                s.poison,
+                s.varies,
+                bool_and(bool_not(t.poison), bv_eq(s.expr, t.expr)),
+            )
+        )
+    return bool_and(*clauses)
+
+
+def _compatible(a: CallRecord, b: CallRecord) -> bool:
+    if a.callee == b.callee:
+        same = True
+    else:
+        ca, cb = pair_class_of(a.callee), pair_class_of(b.callee)
+        same = ca is not None and ca == cb
+    if not same:
+        return False
+    if not (a.reads_memory or b.reads_memory):
+        # Memory-oblivious callees: prior calls cannot influence them.
+        return True
+    # §6 pruning: ranges of prior-call counts must overlap (a call with
+    # strictly more preceding calls may have observed different memory).
+    return not (a.max_prior < b.min_prior or b.max_prior < a.min_prior)
+
+
+def _pair_calls(
+    src: EncodedFunction, tgt: EncodedFunction
+) -> Tuple[BoolTerm, BoolTerm, BoolTerm]:
+    """Build (source-side axioms, target-side axioms, target no-match UB)."""
+    src_axioms: List[BoolTerm] = []
+    # Source-source: same function, equal inputs => equal outputs.  Only for
+    # calls that do not read memory (we do not relate memory inputs).
+    for i, c1 in enumerate(src.calls):
+        for c2 in src.calls[i + 1 :]:
+            if c1.callee != c2.callee or c1.reads_memory or c2.reads_memory:
+                continue
+            if not _compatible(c1, c2):
+                continue
+            if c1.result is None or c2.result is None:
+                continue
+            cond = bool_and(c1.dom, c2.dom, _args_equal(c1, c2))
+            same_out = bool_and(
+                bool_not(
+                    bool_or(
+                        bool_and(c1.result.poison, bool_not(c2.result.poison)),
+                        bool_and(bool_not(c1.result.poison), c2.result.poison),
+                    )
+                ),
+                bool_or(c1.result.poison, bv_eq(c1.result.expr, c2.result.expr)),
+            )
+            src_axioms.append(bool_implies(cond, same_out))
+
+    tgt_axioms: List[BoolTerm] = []
+    tgt_ub = FALSE
+    for t in tgt.calls:
+        candidates = [s for s in src.calls if _compatible(s, t)]
+        if not candidates:
+            # A call the source never makes: introducing calls is illegal.
+            tgt_ub = bool_or(tgt_ub, t.dom)
+            continue
+        sel_width = max(1, len(candidates).bit_length())
+        sel = bv_var(fresh_name("tgt.callsel"), sel_width)
+        # sel <= len(candidates); == len means "no source call matches".
+        tgt_axioms.append(bv_ule(sel, bv_const(len(candidates), sel_width)))
+        matches: List[BoolTerm] = []
+        for j, s in enumerate(candidates):
+            is_j = bv_eq(sel, bv_const(j, sel_width))
+            match = bool_and(s.dom, _args_refined(s, t))
+            matches.append(match)
+            tgt_axioms.append(bool_implies(is_j, match))
+            if t.result is not None and s.result is not None:
+                out_ref = bool_or(
+                    s.result.poison,
+                    bool_and(
+                        bool_not(t.result.poison),
+                        bv_eq(s.result.expr, t.result.expr),
+                    ),
+                )
+                tgt_axioms.append(bool_implies(is_j, out_ref))
+            elif t.result is not None and s.result is None:
+                tgt_axioms.append(bool_implies(is_j, FALSE))
+            # Fig. 5: the memory output of the paired calls must be related
+            # too (M_o ⊒ M'_o); tie the target's havoc bytes to the source
+            # call's havoc bytes.
+            for key, (t_val, t_poison) in t.havoc.items():
+                hit = s.havoc.get(key)
+                if hit is None:
+                    continue
+                s_val, s_poison = hit
+                byte_ref = bool_or(
+                    bool_var(s_poison),
+                    bool_and(
+                        bool_not(bool_var(t_poison)),
+                        bv_eq(bv_var(s_val, 8), bv_var(t_val, 8)),
+                    ),
+                )
+                tgt_axioms.append(bool_implies(is_j, byte_ref))
+        # §6: i = |C| holds iff NO source call is refined by this call —
+        # without this direction the solver could simply "choose" no-match
+        # and fabricate target UB.
+        no_match = bv_eq(sel, bv_const(len(candidates), sel_width))
+        tgt_axioms.append(
+            bool_implies(no_match, bool_and(*[bool_not(m) for m in matches]))
+        )
+        tgt_ub = bool_or(tgt_ub, bool_and(t.dom, no_match))
+
+    src_pre = bool_and(*src_axioms) if src_axioms else TRUE
+    tgt_pre = bool_and(*tgt_axioms) if tgt_axioms else TRUE
+    return src_pre, tgt_pre, tgt_ub

@@ -1,0 +1,14 @@
+"""Conflict-driven clause-learning SAT solver.
+
+This package is the bottom of the solver stack that replaces Z3 in the
+Alive2 reproduction.  It is a self-contained CDCL solver with two-literal
+watching, VSIDS branching, Luby restarts and learned-clause reduction.
+
+The public entry point is :class:`SatSolver`; literals use the DIMACS
+convention (positive/negative non-zero integers).
+"""
+
+from repro.sat.solver import SatResult, SatSolver
+from repro.sat.types import Clause, Lit, neg, var_of
+
+__all__ = ["SatSolver", "SatResult", "Clause", "Lit", "neg", "var_of"]

@@ -1,0 +1,25 @@
+"""Basic SAT types: literals and clauses.
+
+Literals follow the DIMACS convention: a variable is a positive integer
+``v >= 1``; the literal ``v`` asserts the variable true and ``-v`` asserts
+it false.  Internally the solver maps DIMACS literals to a dense
+"coded literal" space (``2*v`` / ``2*v+1``) but that encoding is private
+to :mod:`repro.sat.solver`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+Lit = int
+Clause = List[Lit]
+
+
+def neg(lit: Lit) -> Lit:
+    """Return the negation of a DIMACS literal."""
+    return -lit
+
+
+def var_of(lit: Lit) -> int:
+    """Return the (positive) variable index of a DIMACS literal."""
+    return lit if lit > 0 else -lit

@@ -1,0 +1,33 @@
+"""SMT encoding of the IR semantics (§3, §4 of the Alive2 paper).
+
+* :mod:`repro.semantics.value` — symbolic values: (expr, poison, undef-set).
+* :mod:`repro.semantics.softfloat` — IEEE-754 circuits for the scaled formats.
+* :mod:`repro.semantics.memory` — the block-based memory model.
+* :mod:`repro.semantics.encoder` — function -> SMT encoding.
+* :mod:`repro.semantics.libfuncs` / ``intrinsics`` — known-function specs and
+  over-approximation of unsupported features.
+"""
+
+__all__ = [
+    "encode_function",
+    "EncodedFunction",
+    "EncodeError",
+    "MemoryConfig",
+]
+
+_LAZY = {
+    "encode_function": "repro.semantics.encoder",
+    "EncodedFunction": "repro.semantics.encoder",
+    "EncodeError": "repro.semantics.encoder",
+    "MemoryConfig": "repro.semantics.memory",
+}
+
+
+def __getattr__(name):
+    try:
+        module_name = _LAZY[name]
+    except KeyError:
+        raise AttributeError(name) from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

@@ -1,0 +1,349 @@
+"""Supported intrinsics (§3.8).
+
+Alive2 supports 54 of LLVM's 258 platform-independent intrinsics; we
+implement the analogous most-used core.  Anything not in the table is
+over-approximated as an unknown call and *tagged*, so a refinement
+failure that depends on it is reported as "approximated", never as a bug
+(the zero-false-alarm discipline).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.instructions import Call
+from repro.ir.types import IntType, VectorType
+from repro.semantics.value import SymAggregate, SymValue
+from repro.smt.terms import (
+    FALSE,
+    TRUE,
+    bool_and,
+    bool_not,
+    bool_or,
+    bv_add,
+    bv_and,
+    bv_ashr,
+    bv_const,
+    bv_eq,
+    bv_extract,
+    bv_ite,
+    bv_lshr,
+    bv_mul,
+    bv_neg,
+    bv_or,
+    bv_sext,
+    bv_shl,
+    bv_slt,
+    bv_sub,
+    bv_ult,
+    bv_xor,
+    bv_zext,
+)
+
+
+def encode_intrinsic(enc, inst: Call, alive, mem) -> Optional[object]:
+    """Encode a supported intrinsic; returns None when unsupported."""
+    base = _base_name(inst.callee)
+    handler = _HANDLERS.get(base)
+    if handler is None:
+        return None
+    args = [enc._read(a) for a in inst.args]
+    result = handler(enc, inst, args, alive)
+    if result is _UNSUPPORTED:
+        return None
+    if inst.name is not None and result is not None:
+        enc.regs[inst.name] = result
+    return alive
+
+
+_UNSUPPORTED = object()
+
+
+def _base_name(callee: str) -> str:
+    # llvm.sadd.sat.i8 -> sadd.sat ; llvm.ctpop.i8 -> ctpop
+    parts = callee.split(".")
+    out = []
+    for p in parts[1:]:
+        if p.startswith("i") and p[1:].isdigit():
+            break
+        if p.startswith("v") and "i" in p:
+            break
+        out.append(p)
+    return ".".join(out)
+
+
+def _scalarize(fn):
+    """Lift a scalar handler over vector operands elementwise."""
+
+    def wrapped(enc, inst, args, alive):
+        ty = inst.type
+        if isinstance(ty, VectorType):
+            parts = []
+            from repro.semantics.encoder import _as_elems
+
+            elem_args = [
+                _as_elems(a, ty.count, enc) if isinstance(a, (SymAggregate, SymValue)) else a
+                for a in args
+            ]
+            for i in range(ty.count):
+                scalar_args = [ea[i] for ea in elem_args]
+                parts.append(fn(enc, inst, scalar_args, alive, ty.elem))
+            return SymAggregate(tuple(parts))
+        return fn(enc, inst, args, alive, ty)
+
+    return wrapped
+
+
+def _join(*svs: SymValue):
+    poison = FALSE
+    undef: frozenset = frozenset()
+    varies = FALSE
+    for sv in svs:
+        poison = bool_or(poison, sv.poison)
+        undef = undef | sv.undef_vars
+        varies = bool_or(varies, sv.varies)
+    return poison, undef, varies
+
+
+@_scalarize
+def _sat_arith(enc, inst, args, alive, ty):
+    a, b = args
+    w = ty.width
+    x, y = a.expr, b.expr
+    poison, undef, varies = _join(a, b)
+    base = _base_name(inst.callee)
+    if base.startswith("u"):
+        wide = (bv_add if "add" in base else bv_sub)(bv_zext(x, w + 1), bv_zext(y, w + 1))
+        overflow = bv_eq(bv_extract(wide, w, w), bv_const(1, 1))
+        clamp = bv_const((1 << w) - 1, w) if "add" in base else bv_const(0, w)
+        expr = bv_ite(overflow, clamp, bv_extract(wide, w - 1, 0))
+    else:
+        wide = (bv_add if "add" in base else bv_sub)(bv_sext(x, w + 1), bv_sext(y, w + 1))
+        narrowed = bv_extract(wide, w - 1, 0)
+        no_ovf = bv_eq(bv_sext(narrowed, w + 1), wide)
+        is_neg = bv_eq(bv_extract(wide, w, w), bv_const(1, 1))
+        clamp = bv_ite(
+            is_neg, bv_const(1 << (w - 1), w), bv_const((1 << (w - 1)) - 1, w)
+        )
+        expr = bv_ite(no_ovf, narrowed, clamp)
+    return SymValue(expr, poison, undef, varies).normalized()
+
+
+@_scalarize
+def _minmax(enc, inst, args, alive, ty):
+    a, b = args
+    base = _base_name(inst.callee)
+    x, y = a.expr, b.expr
+    if base == "smax":
+        cond = bv_slt(y, x)
+    elif base == "smin":
+        cond = bv_slt(x, y)
+    elif base == "umax":
+        cond = bv_ult(y, x)
+    else:
+        cond = bv_ult(x, y)
+    poison, undef, varies = _join(a, b)
+    return SymValue(bv_ite(cond, x, y), poison, undef, varies).normalized()
+
+
+@_scalarize
+def _abs(enc, inst, args, alive, ty):
+    a = args[0]
+    w = ty.width
+    # Second arg (is_int_min_poison) if present.
+    poison = a.poison
+    undef = a.undef_vars
+    varies = a.varies
+    neg = bv_slt(a.expr, bv_const(0, w))
+    expr = bv_ite(neg, bv_neg(a.expr), a.expr)
+    if len(args) > 1:
+        flag = args[1]
+        int_min = bv_const(1 << (w - 1), w)
+        poison = bool_or(
+            poison,
+            bool_and(
+                bv_eq(flag.expr, bv_const(1, flag.expr.width)),
+                bv_eq(a.expr, int_min),
+            ),
+        )
+    return SymValue(expr, poison, undef, varies).normalized()
+
+
+@_scalarize
+def _ctpop(enc, inst, args, alive, ty):
+    a = args[0]
+    w = ty.width
+    total = bv_const(0, w)
+    for i in range(w):
+        bit = bv_zext(bv_extract(a.expr, i, i), w)
+        total = bv_add(total, bit)
+    return SymValue(total, a.poison, a.undef_vars, a.varies).normalized()
+
+
+@_scalarize
+def _ctlz(enc, inst, args, alive, ty):
+    a = args[0]
+    w = ty.width
+    out = bv_const(w, w)
+    for i in range(w):
+        out = bv_ite(
+            bv_eq(bv_extract(a.expr, i, i), bv_const(1, 1)),
+            bv_const(w - 1 - i, w),
+            out,
+        )
+    poison = a.poison
+    if len(args) > 1:
+        zero_poison = args[1]
+        poison = bool_or(
+            poison,
+            bool_and(
+                bv_eq(zero_poison.expr, bv_const(1, zero_poison.expr.width)),
+                bv_eq(a.expr, bv_const(0, w)),
+            ),
+        )
+    return SymValue(out, poison, a.undef_vars, a.varies).normalized()
+
+
+@_scalarize
+def _cttz(enc, inst, args, alive, ty):
+    a = args[0]
+    w = ty.width
+    out = bv_const(w, w)
+    for i in reversed(range(w)):
+        out = bv_ite(
+            bv_eq(bv_extract(a.expr, i, i), bv_const(1, 1)),
+            bv_const(i, w),
+            out,
+        )
+    poison = a.poison
+    if len(args) > 1:
+        zero_poison = args[1]
+        poison = bool_or(
+            poison,
+            bool_and(
+                bv_eq(zero_poison.expr, bv_const(1, zero_poison.expr.width)),
+                bv_eq(a.expr, bv_const(0, w)),
+            ),
+        )
+    return SymValue(out, poison, a.undef_vars, a.varies).normalized()
+
+
+@_scalarize
+def _bitreverse(enc, inst, args, alive, ty):
+    a = args[0]
+    w = ty.width
+    expr = bv_extract(a.expr, w - 1, w - 1)
+    for i in range(1, w):
+        from repro.smt.terms import bv_concat
+
+        expr = bv_concat(bv_extract(a.expr, i, i), expr)
+    return SymValue(expr, a.poison, a.undef_vars, a.varies).normalized()
+
+
+@_scalarize
+def _bswap(enc, inst, args, alive, ty):
+    a = args[0]
+    w = ty.width
+    assert w % 8 == 0
+    from repro.smt.terms import bv_concat
+
+    nbytes = w // 8
+    expr = None
+    for i in range(nbytes):
+        byte = bv_extract(a.expr, 8 * i + 7, 8 * i)
+        expr = byte if expr is None else bv_concat(expr, byte)
+    return SymValue(expr, a.poison, a.undef_vars, a.varies).normalized()
+
+
+@_scalarize
+def _fshl(enc, inst, args, alive, ty):
+    a, b, c = args
+    w = ty.width
+    from repro.smt.terms import bv_concat, bv_urem
+
+    amt = bv_urem(c.expr, bv_const(w, w))
+    cat = bv_concat(a.expr, b.expr)  # 2w bits
+    base = _base_name(inst.callee)
+    if base == "fshl":
+        shifted = bv_shl(cat, bv_zext(amt, 2 * w))
+        expr = bv_extract(shifted, 2 * w - 1, w)
+    else:
+        shifted = bv_lshr(cat, bv_zext(amt, 2 * w))
+        expr = bv_extract(shifted, w - 1, 0)
+    poison, undef, varies = _join(a, b, c)
+    return SymValue(expr, poison, undef, varies).normalized()
+
+
+def _with_overflow(enc, inst, args, alive):
+    """llvm.sadd/uadd/ssub/usub/smul/umul.with.overflow -> {res, i1}."""
+    a, b = args
+    assert isinstance(a, SymValue) and isinstance(b, SymValue)
+    w = a.expr.width
+    base = _base_name(inst.callee)
+    signed = base.startswith("s")
+    op = base[1:4]
+    ext = bv_sext if signed else bv_zext
+    ww = 2 * w if op == "mul" else w + 1
+    wide_op = {"add": bv_add, "sub": bv_sub, "mul": bv_mul}[op]
+    wide = wide_op(ext(a.expr, ww), ext(b.expr, ww))
+    narrow = bv_extract(wide, w - 1, 0)
+    overflow = bool_not(bv_eq(ext(narrow, ww), wide))
+    poison, undef, varies = _join(a, b)
+    res = SymValue(narrow, poison, undef, varies).normalized()
+    ovf = SymValue(
+        bv_ite(overflow, bv_const(1, 1), bv_const(0, 1)), poison, undef, varies
+    ).normalized()
+    return SymAggregate((res, ovf))
+
+
+def _assume(enc, inst, args, alive):
+    cond = args[0]
+    assert isinstance(cond, SymValue)
+    # assume(false/poison/undef) is UB; otherwise constrains the path.
+    enc.ub_terms.append(
+        bool_and(
+            alive,
+            bool_or(
+                cond.poison, cond.varies, bv_eq(cond.expr, bv_const(0, 1))
+            ),
+        )
+    )
+    return None
+
+
+def _expect(enc, inst, args, alive):
+    return args[0]
+
+
+def _freeze_like(enc, inst, args, alive):
+    return enc._freeze(args[0])
+
+
+_HANDLERS = {
+    "sadd.sat": _sat_arith,
+    "uadd.sat": _sat_arith,
+    "ssub.sat": _sat_arith,
+    "usub.sat": _sat_arith,
+    "smax": _minmax,
+    "smin": _minmax,
+    "umax": _minmax,
+    "umin": _minmax,
+    "abs": _abs,
+    "ctpop": _ctpop,
+    "ctlz": _ctlz,
+    "cttz": _cttz,
+    "bitreverse": _bitreverse,
+    "bswap": _bswap,
+    "fshl": _fshl,
+    "fshr": _fshl,
+    "sadd.with.overflow": _with_overflow,
+    "uadd.with.overflow": _with_overflow,
+    "ssub.with.overflow": _with_overflow,
+    "usub.with.overflow": _with_overflow,
+    "smul.with.overflow": _with_overflow,
+    "umul.with.overflow": _with_overflow,
+    "assume": _assume,
+    "expect": _expect,
+}
+
+SUPPORTED_INTRINSICS = sorted(_HANDLERS)

@@ -1,0 +1,87 @@
+"""Library-function specifications (§3.8).
+
+LLVM ships coarse-grained semantics for 463 library functions; optimizers
+lean on predicates like "always returns", "never writes memory", or
+"returns non-null".  Alive2 mirrors that knowledge for 117 functions; we
+do the same for the set our optimizer and corpus use.  A spec contributes
+function attributes that the call encoder (§6) honours, plus an optional
+*pairing class* so that e.g. ``printf`` in the source can be refined by
+``puts`` in the target (the paper's canonical example).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class LibFuncSpec:
+    name: str
+    attrs: frozenset = frozenset()
+    # Calls whose pair_class matches may be related across source/target
+    # even when the callee names differ (printf -> puts).
+    pair_class: Optional[str] = None
+    # True when only some call shapes are modelled (paper: "some of which
+    # only partially").
+    partial: bool = False
+
+
+def _spec(name, attrs=(), pair_class=None, partial=False):
+    return LibFuncSpec(name, frozenset(attrs), pair_class, partial)
+
+
+LIBRARY_SPECS: Dict[str, LibFuncSpec] = {
+    spec.name: spec
+    for spec in [
+        # -- <stdlib.h> ----------------------------------------------------
+        _spec("abort", attrs={"noreturn"}),
+        _spec("exit", attrs={"noreturn"}),
+        _spec("_Exit", attrs={"noreturn"}),
+        _spec("abs", attrs={"readnone", "willreturn"}),
+        _spec("labs", attrs={"readnone", "willreturn"}),
+        _spec("atoi", attrs={"readonly", "willreturn"}, partial=True),
+        _spec("rand", attrs={"willreturn"}),
+        # -- <string.h> ----------------------------------------------------
+        _spec("strlen", attrs={"readonly", "willreturn"}),
+        _spec("strcmp", attrs={"readonly", "willreturn"}),
+        _spec("strncmp", attrs={"readonly", "willreturn"}),
+        _spec("strchr", attrs={"readonly", "willreturn"}, partial=True),
+        _spec("memcmp", attrs={"readonly", "willreturn"}),
+        _spec("memchr", attrs={"readonly", "willreturn"}, partial=True),
+        _spec("memcpy", attrs={"willreturn"}, partial=True),
+        _spec("memmove", attrs={"willreturn"}, partial=True),
+        _spec("memset", attrs={"willreturn"}, partial=True),
+        # -- <stdio.h> -----------------------------------------------------
+        _spec("printf", pair_class="stdio-out", attrs={"willreturn"}),
+        _spec("puts", pair_class="stdio-out", attrs={"willreturn"}),
+        _spec("putchar", pair_class="stdio-out", attrs={"willreturn"}),
+        _spec("fprintf", attrs={"willreturn"}, partial=True),
+        _spec("fputs", attrs={"willreturn"}, partial=True),
+        _spec("fputc", attrs={"willreturn"}, partial=True),
+        # -- <math.h> (operate on our scaled formats) ------------------------
+        _spec("fabs", attrs={"readnone", "willreturn"}),
+        _spec("fabsf", attrs={"readnone", "willreturn"}),
+        _spec("sqrt", attrs={"readnone", "willreturn"}, partial=True),
+        _spec("sqrtf", attrs={"readnone", "willreturn"}, partial=True),
+        _spec("fmin", attrs={"readnone", "willreturn"}),
+        _spec("fmax", attrs={"readnone", "willreturn"}),
+        _spec("floor", attrs={"readnone", "willreturn"}),
+        _spec("ceil", attrs={"readnone", "willreturn"}),
+        _spec("trunc", attrs={"readnone", "willreturn"}),
+        _spec("round", attrs={"readnone", "willreturn"}),
+        # -- pthreads / misc (treated as opaque but willreturn) -------------
+        _spec("free", attrs={"willreturn"}, partial=True),
+        _spec("malloc", attrs={"willreturn"}, partial=True),
+        _spec("calloc", attrs={"willreturn"}, partial=True),
+    ]
+}
+
+
+def pair_class_of(callee: str) -> Optional[str]:
+    spec = LIBRARY_SPECS.get(callee)
+    return spec.pair_class if spec is not None else None
+
+
+def spec_count() -> int:
+    return len(LIBRARY_SPECS)

@@ -1,0 +1,473 @@
+"""Symbolic IEEE-754 circuits over bitvector terms.
+
+Implements add/sub/mul/div, comparisons and classification for the scaled
+binary formats of :mod:`repro.ir.types`, operating on symbolic bitvector
+terms so the results can be bit-blasted.  Rounding is round-to-nearest,
+ties-to-even; subnormals, signed zeros, infinities and NaNs all behave
+per IEEE-754, which is exactly the structure the paper's floating-point
+findings (the nsz bug, NaN bitcast nondeterminism) depend on.
+
+The circuits are validated against :mod:`repro.ir.fpformat` (the concrete
+reference) by randomized differential tests.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.ir.types import FloatType
+from repro.smt.terms import (
+    FALSE,
+    TRUE,
+    BoolTerm,
+    BvTerm,
+    bool_and,
+    bool_ite,
+    bool_not,
+    bool_or,
+    bool_xor,
+    bv_add,
+    bv_and,
+    bv_concat,
+    bv_const,
+    bv_eq,
+    bv_extract,
+    bv_ite,
+    bv_lshr,
+    bv_mul,
+    bv_or,
+    bv_shl,
+    bv_sub,
+    bv_udiv,
+    bv_ult,
+    bv_zext,
+)
+
+
+class FloatParts:
+    """Decomposition of a float bit pattern."""
+
+    def __init__(self, fmt: FloatType, bits: BvTerm) -> None:
+        assert bits.width == fmt.bit_width
+        self.fmt = fmt
+        fb, eb = fmt.frac_bits, fmt.exp_bits
+        self.sign = bv_eq(bv_extract(bits, fb + eb, fb + eb), bv_const(1, 1))
+        self.exp = bv_extract(bits, fb + eb - 1, fb)
+        self.frac = bv_extract(bits, fb - 1, 0)
+        exp_ones = bv_const((1 << eb) - 1, eb)
+        exp_zero = bv_const(0, eb)
+        frac_zero = bv_const(0, fb)
+        self.exp_all_ones = bv_eq(self.exp, exp_ones)
+        self.exp_is_zero = bv_eq(self.exp, exp_zero)
+        self.frac_is_zero = bv_eq(self.frac, frac_zero)
+        self.is_nan = bool_and(self.exp_all_ones, bool_not(self.frac_is_zero))
+        self.is_inf = bool_and(self.exp_all_ones, self.frac_is_zero)
+        self.is_zero = bool_and(self.exp_is_zero, self.frac_is_zero)
+        self.is_subnormal = bool_and(self.exp_is_zero, bool_not(self.frac_is_zero))
+
+
+def fp_is_nan(fmt: FloatType, bits: BvTerm) -> BoolTerm:
+    return FloatParts(fmt, bits).is_nan
+
+
+def fp_is_inf(fmt: FloatType, bits: BvTerm) -> BoolTerm:
+    return FloatParts(fmt, bits).is_inf
+
+
+def fp_is_zero(fmt: FloatType, bits: BvTerm) -> BoolTerm:
+    return FloatParts(fmt, bits).is_zero
+
+
+def fp_nan(fmt: FloatType) -> BvTerm:
+    """The canonical quiet NaN bit pattern."""
+    fb, eb = fmt.frac_bits, fmt.exp_bits
+    return bv_const(
+        (((1 << eb) - 1) << fb) | (1 << (fb - 1)), fmt.bit_width
+    )
+
+
+def fp_inf(fmt: FloatType, sign: BoolTerm) -> BvTerm:
+    fb, eb = fmt.frac_bits, fmt.exp_bits
+    mag = bv_const(((1 << eb) - 1) << fb, fmt.bit_width)
+    return bv_or(mag, _sign_bit(fmt, sign))
+
+
+def fp_zero(fmt: FloatType, sign: BoolTerm) -> BvTerm:
+    return _sign_bit(fmt, sign)
+
+
+def _sign_bit(fmt: FloatType, sign: BoolTerm) -> BvTerm:
+    return bv_ite(
+        sign,
+        bv_const(1 << (fmt.bit_width - 1), fmt.bit_width),
+        bv_const(0, fmt.bit_width),
+    )
+
+
+def fp_neg(fmt: FloatType, bits: BvTerm) -> BvTerm:
+    """Flip the sign bit (fneg is a pure bit operation, even for NaN)."""
+    return bv_concat(
+        bv_ite(
+            bv_eq(bv_extract(bits, fmt.bit_width - 1, fmt.bit_width - 1), bv_const(1, 1)),
+            bv_const(0, 1),
+            bv_const(1, 1),
+        ),
+        bv_extract(bits, fmt.bit_width - 2, 0),
+    )
+
+
+def fp_abs(fmt: FloatType, bits: BvTerm) -> BvTerm:
+    return bv_concat(bv_const(0, 1), bv_extract(bits, fmt.bit_width - 2, 0))
+
+
+# ---------------------------------------------------------------------------
+# Comparison
+# ---------------------------------------------------------------------------
+
+
+def _mag(fmt: FloatType, parts: FloatParts) -> BvTerm:
+    """Magnitude key (exp ++ frac) for ordering comparisons."""
+    return bv_concat(parts.exp, parts.frac)
+
+
+def fp_lt(fmt: FloatType, a: BvTerm, b: BvTerm) -> BoolTerm:
+    """Ordered less-than (false if either is NaN)."""
+    pa, pb = FloatParts(fmt, a), FloatParts(fmt, b)
+    both_zero = bool_and(pa.is_zero, pb.is_zero)
+    ma, mb = _mag(fmt, pa), _mag(fmt, pb)
+    # Same sign: compare magnitudes (flip for negatives).
+    pos_lt = bv_ult(ma, mb)
+    neg_lt = bv_ult(mb, ma)
+    same_sign = bool_ite(pa.sign, neg_lt, pos_lt)
+    diff_sign = bool_and(pa.sign, bool_not(pb.sign))  # a < 0 <= b
+    result = bool_ite(bool_xor(pa.sign, pb.sign), diff_sign, same_sign)
+    return bool_and(
+        bool_not(pa.is_nan), bool_not(pb.is_nan), bool_not(both_zero), result
+    )
+
+
+def fp_eq(fmt: FloatType, a: BvTerm, b: BvTerm) -> BoolTerm:
+    """Ordered equality (+0 == -0; NaN != NaN)."""
+    pa, pb = FloatParts(fmt, a), FloatParts(fmt, b)
+    both_zero = bool_and(pa.is_zero, pb.is_zero)
+    return bool_and(
+        bool_not(pa.is_nan),
+        bool_not(pb.is_nan),
+        bool_or(both_zero, bv_eq(a, b)),
+    )
+
+
+def fp_unordered(fmt: FloatType, a: BvTerm, b: BvTerm) -> BoolTerm:
+    return bool_or(fp_is_nan(fmt, a), fp_is_nan(fmt, b))
+
+
+# ---------------------------------------------------------------------------
+# Rounding / packing
+# ---------------------------------------------------------------------------
+
+
+def _count_leading_zeros(value: BvTerm) -> BvTerm:
+    """CLZ of a bitvector, returned at the same width."""
+    w = value.width
+    out = bv_const(w, w)  # all-zero input
+    for i in range(w):
+        # If bit i is set, leading zeros = w - 1 - i; later (higher) bits win.
+        bit = bv_extract(value, i, i)
+        out = bv_ite(bv_eq(bit, bv_const(1, 1)), bv_const(w - 1 - i, w), out)
+    return out
+
+
+def _round_pack(
+    fmt: FloatType,
+    sign: BoolTerm,
+    exp: BvTerm,
+    sig: BvTerm,
+) -> BvTerm:
+    """Normalize, round (RNE) and pack.
+
+    ``sig`` is an unsigned significand scaled so that a *normalized* value
+    has its leading 1 at bit position ``fb + 3`` (三 extra low bits: guard,
+    round, sticky).  ``exp`` is the unbiased-but-biased exponent (i.e. the
+    final biased exponent if sig's MSB is exactly at position fb+3), as a
+    signed value in a wide bitvector.  Zero ``sig`` gives a signed zero.
+    """
+    fb = fmt.frac_bits
+    eb = fmt.exp_bits
+    sw = sig.width
+    ew = exp.width
+    top = fb + 3  # position of the hidden bit in `sig`
+
+    # Normalize left: shift so the leading 1 lands at `top` (if sig != 0).
+    clz = _count_leading_zeros(sig)
+    lead = bv_sub(bv_const(sw - 1, sw), clz)  # index of leading 1
+    shift_left = bv_sub(bv_const(top, sw), lead)  # >0: shift left
+    is_zero_sig = bv_eq(sig, bv_const(0, sw))
+    # Apply: if lead > top shift right (collecting sticky), else shift left.
+    right_amt = bv_sub(lead, bv_const(top, sw))
+    needs_right = bv_ult(bv_const(top, sw), lead)
+    # Sticky bits lost by the right shift.
+    lost_mask = bv_sub(bv_shl(bv_const(1, sw), right_amt), bv_const(1, sw))
+    lost = bv_and(sig, bv_ite(needs_right, lost_mask, bv_const(0, sw)))
+    sticky_extra = bool_not(bv_eq(lost, bv_const(0, sw)))
+    sig_norm = bv_ite(
+        needs_right, bv_lshr(sig, right_amt), bv_shl(sig, shift_left)
+    )
+    sig_norm = bv_or(
+        sig_norm, bv_ite(sticky_extra, bv_const(1, sw), bv_const(0, sw))
+    )
+    exp_adj = bv_ite(
+        needs_right,
+        bv_add(exp, _fit(right_amt, ew)),
+        bv_sub(exp, _fit(shift_left, ew)),
+    )
+
+    # Subnormal handling: if exp_adj <= 0, shift right by (1 - exp_adj) and
+    # use biased exponent 0.
+    one = bv_const(1, ew)
+    exp_pos = _slt(bv_const(0, ew), exp_adj)
+    denorm_shift = bv_sub(one, exp_adj)  # >= 1 when exp_adj <= 0
+    big_shift = bv_const(sw - 1, ew)
+    denorm_shift = bv_ite(bv_ult(big_shift, denorm_shift), big_shift, denorm_shift)
+    dshift = _fit(denorm_shift, sw)
+    dlost = bv_and(sig_norm, bv_sub(bv_shl(bv_const(1, sw), dshift), bv_const(1, sw)))
+    dsticky = bool_not(bv_eq(dlost, bv_const(0, sw)))
+    sig_den = bv_or(
+        bv_lshr(sig_norm, dshift),
+        bv_ite(dsticky, bv_const(1, sw), bv_const(0, sw)),
+    )
+    sig_final = bv_ite(exp_pos, sig_norm, sig_den)
+    biased = bv_ite(exp_pos, exp_adj, bv_const(0, ew))
+
+    # Round to nearest even on the 3 low bits (guard at bit 2).
+    keep = bv_lshr(sig_final, bv_const(3, sw))  # fb+1 significant bits at low end
+    guard = bv_extract(sig_final, 2, 2)
+    rest = bv_or(
+        bv_extract(sig_final, 1, 1), bv_extract(sig_final, 0, 0)
+    )
+    lsb = bv_extract(keep, 0, 0)
+    round_up = bool_and(
+        bv_eq(guard, bv_const(1, 1)),
+        bool_or(
+            bv_eq(rest, bv_const(1, 1)),
+            bv_eq(lsb, bv_const(1, 1)),
+        ),
+    )
+    rounded = bv_add(keep, bv_ite(round_up, bv_const(1, sw), bv_const(0, sw)))
+
+    # Rounding may carry out: 1.111..1 -> 10.000..0  => exponent + 1.
+    carry_out = bv_eq(bv_extract(rounded, fb + 1, fb + 1), bv_const(1, 1))
+    rounded = bv_ite(carry_out, bv_lshr(rounded, bv_const(1, sw)), rounded)
+    biased = bv_add(biased, bv_ite(carry_out, one, bv_const(0, ew)))
+    # Subnormal rounding may promote to normal: if biased == 0 and the hidden
+    # bit (fb) is now set, the exponent becomes 1 -- which equals what the
+    # packing below produces automatically since biased+hidden overlap:
+    hidden_set = bv_eq(bv_extract(rounded, fb, fb), bv_const(1, 1))
+    biased = bv_ite(
+        bool_and(bv_eq(biased, bv_const(0, ew)), hidden_set), one, biased
+    )
+
+    # Overflow to infinity.
+    max_exp = bv_const((1 << eb) - 1, ew)
+    overflow = bool_not(bv_ult(biased, max_exp))
+
+    frac_out = bv_extract(rounded, fb - 1, 0)
+    exp_out = bv_extract(biased, eb - 1, 0)
+    sign_bv = bv_ite(sign, bv_const(1, 1), bv_const(0, 1))
+    packed = bv_concat(bv_concat(sign_bv, exp_out), frac_out)
+    packed = bv_ite(overflow, fp_inf(fmt, sign), packed)
+    return bv_ite(is_zero_sig, fp_zero(fmt, sign), packed)
+
+
+def _fit(value: BvTerm, width: int) -> BvTerm:
+    if value.width == width:
+        return value
+    if value.width < width:
+        return bv_zext(value, width)
+    return bv_extract(value, width - 1, 0)
+
+
+def _slt(a: BvTerm, b: BvTerm) -> BoolTerm:
+    from repro.smt.terms import bv_slt
+
+    return bv_slt(a, b)
+
+
+def _unpack(fmt: FloatType, parts: FloatParts, sw: int, ew: int) -> Tuple[BvTerm, BvTerm]:
+    """Return (exp, sig) with sig = 1.f or 0.f scaled by 2^3 (grs = 0).
+
+    The significand is placed with its hidden-bit position at fb+3 for
+    normals; subnormals keep their natural (smaller) magnitude with
+    exponent 1, to be normalized by :func:`_round_pack`.
+    """
+    fb = fmt.frac_bits
+    frac_w = bv_zext(parts.frac, sw)
+    hidden = bv_const(1 << (fb + 3), sw)
+    sig_norm = bv_or(bv_shl(frac_w, bv_const(3, sw)), hidden)
+    sig_sub = bv_shl(frac_w, bv_const(3, sw))
+    sig = bv_ite(parts.exp_is_zero, sig_sub, sig_norm)
+    exp = bv_ite(parts.exp_is_zero, bv_const(1, ew), bv_zext(parts.exp, ew))
+    return exp, sig
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic
+# ---------------------------------------------------------------------------
+
+
+def fp_add(fmt: FloatType, a: BvTerm, b: BvTerm, negate_b: bool = False) -> BvTerm:
+    """fadd (or fsub when ``negate_b``), full IEEE-754 semantics."""
+    if negate_b:
+        b = fp_neg(fmt, b)
+    pa, pb = FloatParts(fmt, a), FloatParts(fmt, b)
+    fb, eb = fmt.frac_bits, fmt.exp_bits
+    sw = 2 * fb + 8
+    ew = eb + 3
+
+    exp_a, sig_a = _unpack(fmt, pa, sw, ew)
+    exp_b, sig_b = _unpack(fmt, pb, sw, ew)
+
+    # Order so |A| >= |B| (exp ++ frac compares as magnitude).
+    a_smaller = bv_ult(_mag(fmt, pa), _mag(fmt, pb))
+    exp_l = bv_ite(a_smaller, exp_b, exp_a)
+    exp_s = bv_ite(a_smaller, exp_a, exp_b)
+    sig_l = bv_ite(a_smaller, sig_b, sig_a)
+    sig_s = bv_ite(a_smaller, sig_a, sig_b)
+    sign_l = bool_ite(a_smaller, pb.sign, pa.sign)
+    sign_s = bool_ite(a_smaller, pa.sign, pb.sign)
+
+    # Align the smaller significand, folding shifted-out bits into sticky.
+    diff = bv_sub(exp_l, exp_s)
+    max_shift = bv_const(sw - 1, ew)
+    diff = bv_ite(bv_ult(max_shift, diff), max_shift, diff)
+    shift = _fit(diff, sw)
+    lost = bv_and(sig_s, bv_sub(bv_shl(bv_const(1, sw), shift), bv_const(1, sw)))
+    sticky = bool_not(bv_eq(lost, bv_const(0, sw)))
+    sig_s_aligned = bv_or(
+        bv_lshr(sig_s, shift),
+        bv_ite(sticky, bv_const(1, sw), bv_const(0, sw)),
+    )
+
+    subtract = bool_xor(sign_l, sign_s)
+    sig_sum = bv_ite(
+        subtract,
+        bv_sub(sig_l, sig_s_aligned),
+        bv_add(sig_l, sig_s_aligned),
+    )
+    result_sign = sign_l
+    # Exact cancellation: sign is + (RNE), unless both inputs were -0.
+    cancel = bv_eq(sig_sum, bv_const(0, sw))
+    result_sign = bool_ite(cancel, bool_and(pa.sign, pb.sign), result_sign)
+
+    packed = _round_pack(fmt, result_sign, exp_l, sig_sum)
+
+    # Special cases.
+    any_nan = bool_or(pa.is_nan, pb.is_nan)
+    inf_conflict = bool_and(pa.is_inf, pb.is_inf, bool_xor(pa.sign, pb.sign))
+    result = packed
+    result = bv_ite(pb.is_inf, fp_inf(fmt, pb.sign), result)
+    result = bv_ite(pa.is_inf, fp_inf(fmt, pa.sign), result)
+    result = bv_ite(bool_or(any_nan, inf_conflict), fp_nan(fmt), result)
+    return result
+
+
+def fp_sub(fmt: FloatType, a: BvTerm, b: BvTerm) -> BvTerm:
+    return fp_add(fmt, a, b, negate_b=True)
+
+
+def fp_mul(fmt: FloatType, a: BvTerm, b: BvTerm) -> BvTerm:
+    pa, pb = FloatParts(fmt, a), FloatParts(fmt, b)
+    fb, eb = fmt.frac_bits, fmt.exp_bits
+    sw = 2 * fb + 8
+    ew = eb + 3
+
+    exp_a, sig_a = _unpack(fmt, pa, sw, ew)
+    exp_b, sig_b = _unpack(fmt, pb, sw, ew)
+    sign = bool_xor(pa.sign, pb.sign)
+
+    # sig_a, sig_b have hidden bit at fb+3: product has value bit at
+    # 2*(fb+3); shift down to keep grs precision: take product >> (fb + 3),
+    # folding the dropped bits into sticky.
+    prod = bv_mul(sig_a, sig_b)  # may wrap if sw too small: sw = 2fb+8 is
+    # enough: max value < 2^(2fb+8).
+    drop = fb + 3
+    lost = bv_and(prod, bv_const((1 << drop) - 1, sw))
+    sticky = bool_not(bv_eq(lost, bv_const(0, sw)))
+    sig = bv_or(
+        bv_lshr(prod, bv_const(drop, sw)),
+        bv_ite(sticky, bv_const(1, sw), bv_const(0, sw)),
+    )
+    bias = bv_const(fmt.bias, ew)
+    exp = bv_sub(bv_add(exp_a, exp_b), bias)
+
+    packed = _round_pack(fmt, sign, exp, sig)
+
+    any_nan = bool_or(pa.is_nan, pb.is_nan)
+    any_inf = bool_or(pa.is_inf, pb.is_inf)
+    any_zero = bool_or(pa.is_zero, pb.is_zero)
+    result = packed
+    result = bv_ite(any_zero, fp_zero(fmt, sign), result)
+    result = bv_ite(any_inf, fp_inf(fmt, sign), result)
+    result = bv_ite(
+        bool_or(any_nan, bool_and(any_inf, any_zero)), fp_nan(fmt), result
+    )
+    return result
+
+
+def fp_div(fmt: FloatType, a: BvTerm, b: BvTerm) -> BvTerm:
+    pa, pb = FloatParts(fmt, a), FloatParts(fmt, b)
+    fb, eb = fmt.frac_bits, fmt.exp_bits
+    sw = 2 * fb + 10
+    ew = eb + 3
+
+    exp_a, sig_a = _unpack(fmt, pa, sw, ew)
+    exp_b, sig_b = _unpack(fmt, pb, sw, ew)
+    sign = bool_xor(pa.sign, pb.sign)
+
+    # Pre-normalize subnormal significands so the quotient always carries
+    # full precision; otherwise the post-division left-normalization in
+    # _round_pack would shift the sticky bit into a value bit.
+    def normalize(exp: BvTerm, sig: BvTerm) -> Tuple[BvTerm, BvTerm]:
+        clz = _count_leading_zeros(sig)
+        lead = bv_sub(bv_const(sw - 1, sw), clz)
+        shift = bv_sub(bv_const(fb + 3, sw), lead)
+        needs = bv_ult(lead, bv_const(fb + 3, sw))
+        sig_n = bv_ite(needs, bv_shl(sig, shift), sig)
+        exp_n = bv_ite(needs, bv_sub(exp, _fit(shift, ew)), exp)
+        return exp_n, sig_n
+
+    exp_a, sig_a = normalize(exp_a, sig_a)
+    exp_b, sig_b = normalize(exp_b, sig_b)
+
+    # Scale the dividend so the quotient keeps fb+4 bits of precision.
+    scale = fb + 4
+    num = bv_shl(sig_a, bv_const(scale, sw))
+    quo = bv_udiv(num, sig_b)
+    rem_exact = bv_eq(bv_mul(quo, sig_b), num)
+    sig = bv_or(quo, bv_ite(rem_exact, bv_const(0, sw), bv_const(1, sw)))
+    # Quotient of two 1.x significands lies in (0.5, 2): hidden position is
+    # at (fb+3) + scale - (fb+3) = scale ... after the shift arithmetic the
+    # leading bit sits near position `scale`; _round_pack renormalizes, we
+    # only must get the exponent bias right:
+    # value = sig * 2^(exp_a - exp_b + (fb+3) - scale - (fb+3) + ...):
+    # with sig's hidden position for _round_pack at fb+3, the biased
+    # exponent is  exp_a - exp_b + bias + (fb + 3) - scale.
+    bias = bv_const(fmt.bias, ew)
+    exp = bv_add(bv_sub(exp_a, exp_b), bias)
+    exp = bv_add(exp, bv_const(fb + 3, ew))
+    exp = bv_sub(exp, bv_const(scale, ew))
+
+    packed = _round_pack(fmt, sign, exp, sig)
+
+    any_nan = bool_or(pa.is_nan, pb.is_nan)
+    result = packed
+    # x / inf = 0; x / 0 = inf (x != 0); inf / x = inf.
+    result = bv_ite(pb.is_inf, fp_zero(fmt, sign), result)
+    result = bv_ite(pb.is_zero, fp_inf(fmt, sign), result)
+    result = bv_ite(pa.is_inf, fp_inf(fmt, sign), result)
+    result = bv_ite(pa.is_zero, fp_zero(fmt, sign), result)
+    invalid = bool_or(
+        bool_and(pa.is_zero, pb.is_zero),
+        bool_and(pa.is_inf, pb.is_inf),
+    )
+    result = bv_ite(bool_or(any_nan, invalid), fp_nan(fmt), result)
+    return result

@@ -1,0 +1,81 @@
+"""Symbolic values: the (value, ispoison) pairs of §3.1.
+
+A scalar value is a triple:
+
+* ``expr`` — bitvector term for the defined value (meaningful when not
+  poison),
+* ``poison`` — boolean term, true when the value is poison,
+* ``undef_vars`` — names of quantified *undef expansion* variables that
+  occur in ``expr``/``poison``; each *use* of the value renames them to
+  fresh variables (§3.3), and ``freeze`` clears the set,
+* ``varies`` — a boolean term over-approximating "this value is undef"
+  (can evaluate to more than one value).  It is used to encode
+  branch-on-undef UB and the return-value undef check; when ``expr``
+  no longer mentions any undef variable (constant folding removed them)
+  it collapses to false, which implements the paper's closed-form
+  special cases (§3.7).
+
+Aggregates (vectors/arrays) are element-wise lists of scalars, matching
+the element-wise refinement rules of Figure 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.smt.terms import (
+    FALSE,
+    BoolTerm,
+    BvTerm,
+    bool_or,
+    term_vars,
+)
+
+
+@dataclass(frozen=True)
+class SymValue:
+    """A scalar symbolic value."""
+
+    expr: BvTerm
+    poison: BoolTerm = FALSE
+    undef_vars: frozenset = frozenset()
+    varies: BoolTerm = FALSE
+
+    def normalized(self) -> "SymValue":
+        """Drop undef bookkeeping that constant folding made irrelevant."""
+        if not self.undef_vars:
+            if self.varies is FALSE:
+                return self
+            return SymValue(self.expr, self.poison, frozenset(), FALSE)
+        live = term_vars(self.expr) | term_vars(self.poison)
+        kept = self.undef_vars & live
+        if kept == self.undef_vars:
+            return self
+        varies = self.varies if kept else FALSE
+        return SymValue(self.expr, self.poison, kept, varies)
+
+
+@dataclass(frozen=True)
+class SymAggregate:
+    """An aggregate value: one SymValue per element."""
+
+    elems: Tuple[SymValue, ...]
+
+    @property
+    def poison_any(self) -> BoolTerm:
+        return bool_or(*[e.poison for e in self.elems])
+
+
+SomeValue = object  # SymValue | SymAggregate
+
+
+def make_poison_like(value) -> object:
+    """A fully-poison value with the same shape as ``value``."""
+    from repro.smt.terms import TRUE, bv_const
+
+    if isinstance(value, SymAggregate):
+        return SymAggregate(
+            tuple(make_poison_like(e) for e in value.elems)  # type: ignore[arg-type]
+        )
+    return SymValue(bv_const(0, value.expr.width), TRUE, frozenset(), FALSE)

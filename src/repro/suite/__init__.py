@@ -1,0 +1,16 @@
+"""Evaluation substrate: the corpora behind the paper's experiments.
+
+* :mod:`repro.suite.unittests` — the "LLVM unit test suite" analogue: IR
+  transformation test cases with pass pipelines (§8.2);
+* :mod:`repro.suite.genir` — seeded random IR generator used to scale the
+  corpora;
+* :mod:`repro.suite.apps` — synthetic "single-file applications" named
+  after the paper's five benchmarks (§8.4, Figure 7);
+* :mod:`repro.suite.knownbugs` — the §8.5 catalogue of independently
+  reported miscompilations, with expected detectability.
+"""
+
+from repro.suite.unittests import UNIT_TESTS, UnitTest
+from repro.suite.knownbugs import KNOWN_BUGS, KnownBug
+
+__all__ = ["UNIT_TESTS", "UnitTest", "KNOWN_BUGS", "KnownBug"]

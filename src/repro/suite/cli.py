@@ -1,0 +1,86 @@
+"""``alive-suite``: run the evaluation corpora from the command line."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.refinement.check import VerifyOptions
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="alive-suite",
+        description="Run the Alive2-reproduction evaluation corpora.",
+    )
+    parser.add_argument(
+        "what",
+        choices=["unittests", "apps", "knownbugs"],
+        help="which corpus to run",
+    )
+    parser.add_argument("--timeout", type=float, default=20.0)
+    parser.add_argument("--unroll", type=int, default=4)
+    parser.add_argument(
+        "--clean", action="store_true",
+        help="unittests: run without injected bugs (false-alarm measurement)",
+    )
+    args = parser.parse_args(argv)
+    options = VerifyOptions(timeout_s=args.timeout, unroll_factor=args.unroll)
+
+    if args.what == "unittests":
+        from repro.suite.runner import run_suite
+        from repro.suite.unittests import UNIT_TESTS
+
+        outcome = run_suite(UNIT_TESTS, options, inject_bugs=not args.clean)
+        print(f"analyzed: {outcome.tally.analyzed}")
+        print(f"correct: {outcome.tally.correct}  incorrect: {outcome.tally.incorrect}")
+        print(f"timeout: {outcome.tally.timeout}  oom: {outcome.tally.oom}")
+        print("violations by category:")
+        for row in outcome.summary_rows():
+            print(f"  {row['category']}: {row['violations']}")
+        if outcome.missed:
+            print(f"missed injected bugs: {outcome.missed}")
+        if outcome.clean_failures:
+            print(f"FALSE ALARMS: {outcome.clean_failures}")
+        return 1 if outcome.clean_failures else 0
+
+    if args.what == "apps":
+        from repro.suite.apps import APP_SPECS, O3_PIPELINE, build_app
+        from repro.tv.plugin import validate_pipeline
+
+        print(f"{'prog':>8} {'fns':>5} {'time(s)':>8} {'ok':>4} {'bad':>4} "
+              f"{'TO':>3} {'OOM':>4} {'unsup':>6}")
+        for spec in APP_SPECS:
+            module = build_app(spec)
+            report = validate_pipeline(module, O3_PIPELINE, options)
+            t = report.tally
+            print(
+                f"{spec.name:>8} {spec.functions:>5} {t.total_time_s:>8.1f} "
+                f"{t.correct:>4} {t.incorrect:>4} {t.timeout:>3} {t.oom:>4} "
+                f"{t.unsupported + t.approx:>6}"
+            )
+        return 0
+
+    # knownbugs
+    from repro.ir.parser import parse_module
+    from repro.refinement.check import Verdict, verify_refinement
+    from repro.suite.knownbugs import KNOWN_BUGS
+
+    detected = missed = 0
+    for bug in KNOWN_BUGS:
+        sm, tm = parse_module(bug.src), parse_module(bug.tgt)
+        result = verify_refinement(
+            sm.definitions()[0], tm.definitions()[0], sm, tm, options
+        )
+        found = result.verdict is Verdict.INCORRECT
+        status = "DETECTED" if found else f"missed ({bug.miss_reason or '?'})"
+        print(f"  {bug.name}: {status}")
+        detected += found
+        missed += not found
+    print(f"{detected} detected, {missed} missed of {len(KNOWN_BUGS)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

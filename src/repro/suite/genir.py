@@ -1,0 +1,224 @@
+"""Seeded random IR generator.
+
+Produces well-formed functions over a configurable feature mix:
+straight-line integer arithmetic, comparisons and selects, branches and
+phi diamonds, bounded loops, memory (alloca/load/store/gep), floats, and
+calls to a few declared externals.  Used to scale the unit-test corpus
+and to synthesize the "application" modules of Figure 7.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.ir.module import Module
+from repro.ir.parser import parse_module
+
+
+@dataclass
+class GenConfig:
+    width: int = 8  # integer width for generated code
+    max_instructions: int = 10
+    allow_branches: bool = True
+    allow_loops: bool = False
+    allow_memory: bool = False
+    allow_floats: bool = False
+    allow_calls: bool = False
+    allow_flags: bool = True
+    allow_undef_consts: bool = True
+    num_args: int = 3
+
+
+_INT_OPS = ["add", "sub", "mul", "and", "or", "xor", "shl", "lshr", "ashr"]
+_DIV_OPS = ["udiv", "urem", "sdiv", "srem"]
+_ICMP_PREDS = ["eq", "ne", "ult", "ule", "slt", "sle", "ugt", "sgt"]
+
+
+class FunctionGenerator:
+    """Generates one function's textual IR."""
+
+    def __init__(self, rng: random.Random, config: GenConfig) -> None:
+        self.rng = rng
+        self.config = config
+        self.counter = 0
+        self.int_values: List[str] = []  # available iN registers/constants
+        self.bool_values: List[str] = []  # available i1 registers
+        self.lines: List[str] = []
+
+    def fresh(self, hint: str = "t") -> str:
+        self.counter += 1
+        return f"%{hint}{self.counter}"
+
+    def _ty(self) -> str:
+        return f"i{self.config.width}"
+
+    def operand(self) -> str:
+        rng = self.rng
+        choices = list(self.int_values)
+        if rng.random() < 0.35 or not choices:
+            if self.config.allow_undef_consts and rng.random() < 0.08:
+                return "undef"
+            return str(rng.randint(-4, 2 ** self.config.width - 1))
+        return rng.choice(choices)
+
+    def emit_arith(self) -> None:
+        rng = self.rng
+        name = self.fresh()
+        if rng.random() < 0.12:
+            op = rng.choice(_DIV_OPS)
+            # Keep divisors non-zero-ish to avoid trivially-UB programs.
+            divisor = rng.choice(
+                [str(rng.randint(1, 2 ** self.config.width - 1))]
+                + self.int_values[-1:]
+            )
+            self.lines.append(
+                f"  {name} = {op} {self._ty()} {self.operand()}, {divisor}"
+            )
+        else:
+            op = rng.choice(_INT_OPS)
+            flags = ""
+            if self.config.allow_flags and op in ("add", "sub", "mul", "shl"):
+                if rng.random() < 0.3:
+                    flags = " " + rng.choice(["nsw", "nuw", "nsw nuw"])
+            self.lines.append(
+                f"  {name} = {op}{flags} {self._ty()} {self.operand()}, {self.operand()}"
+            )
+        self.int_values.append(name)
+
+    def emit_icmp(self) -> None:
+        name = self.fresh("c")
+        pred = self.rng.choice(_ICMP_PREDS)
+        self.lines.append(
+            f"  {name} = icmp {pred} {self._ty()} {self.operand()}, {self.operand()}"
+        )
+        self.bool_values.append(name)
+
+    def emit_select(self) -> None:
+        if not self.bool_values:
+            self.emit_icmp()
+        name = self.fresh("s")
+        cond = self.rng.choice(self.bool_values)
+        ty = self._ty()
+        self.lines.append(
+            f"  {name} = select i1 {cond}, {ty} {self.operand()}, {ty} {self.operand()}"
+        )
+        self.int_values.append(name)
+
+    def emit_freeze(self) -> None:
+        name = self.fresh("fr")
+        self.lines.append(
+            f"  {name} = freeze {self._ty()} {self.operand()}"
+        )
+        self.int_values.append(name)
+
+    def straight_line_body(self, count: int) -> None:
+        for _ in range(count):
+            roll = self.rng.random()
+            if roll < 0.55:
+                self.emit_arith()
+            elif roll < 0.75:
+                self.emit_icmp()
+            elif roll < 0.92:
+                self.emit_select()
+            else:
+                self.emit_freeze()
+
+    def generate(self, name: str) -> str:
+        rng = self.rng
+        config = self.config
+        ty = self._ty()
+        args = ", ".join(f"{ty} %a{i}" for i in range(config.num_args))
+        self.int_values = [f"%a{i}" for i in range(config.num_args)]
+        self.lines = []
+
+        shape = "straight"
+        if config.allow_loops and rng.random() < 0.35:
+            shape = "loop"
+        elif config.allow_branches and rng.random() < 0.5:
+            shape = "diamond"
+        if config.allow_memory and rng.random() < 0.4:
+            shape = "memory"
+
+        if shape == "straight":
+            self.straight_line_body(rng.randint(2, config.max_instructions))
+            result = self.operand()
+            body = "entry:\n" + "\n".join(self.lines) + f"\n  ret {ty} {result}"
+        elif shape == "diamond":
+            self.straight_line_body(rng.randint(1, 3))
+            self.emit_icmp()
+            cond = self.bool_values[-1]
+            then_gen = rng.randint(1, 3)
+            head = "entry:\n" + "\n".join(self.lines)
+            # Values defined in one branch must not be used in the other
+            # (SSA dominance): snapshot the pools around each branch body.
+            entry_ints = list(self.int_values)
+            entry_bools = list(self.bool_values)
+            self.lines = []
+            self.straight_line_body(then_gen)
+            v_then = self.operand()
+            then_body = "\n".join(self.lines)
+            self.int_values = list(entry_ints)
+            self.bool_values = list(entry_bools)
+            self.lines = []
+            self.straight_line_body(rng.randint(1, 3))
+            v_else = self.operand()
+            else_body = "\n".join(self.lines)
+            self.int_values = list(entry_ints)
+            self.bool_values = list(entry_bools)
+            body = (
+                f"{head}\n  br i1 {cond}, label %then, label %else\n"
+                f"then:\n{then_body}\n  br label %join\n"
+                f"else:\n{else_body}\n  br label %join\n"
+                "join:\n"
+                f"  %phi = phi {ty} [ {v_then}, %then ], [ {v_else}, %else ]\n"
+                f"  ret {ty} %phi"
+            )
+        elif shape == "loop":
+            trip = rng.randint(1, 3)
+            self.straight_line_body(rng.randint(1, 3))
+            step = self.operand()
+            head = "entry:\n" + "\n".join(self.lines)
+            body = (
+                f"{head}\n  br label %header\n"
+                "header:\n"
+                f"  %i = phi {ty} [ 0, %entry ], [ %i.next, %latch ]\n"
+                f"  %acc = phi {ty} [ {step}, %entry ], [ %acc.next, %latch ]\n"
+                f"  %cond = icmp ult {ty} %i, {trip}\n"
+                "  br i1 %cond, label %latch, label %exit\n"
+                "latch:\n"
+                f"  %acc.next = add {ty} %acc, %i\n"
+                f"  %i.next = add {ty} %i, 1\n"
+                "  br label %header\n"
+                "exit:\n"
+                f"  ret {ty} %acc"
+            )
+        else:  # memory
+            self.straight_line_body(rng.randint(1, 3))
+            v = self.operand()
+            idx = rng.randint(0, 3)
+            body = (
+                "entry:\n" + "\n".join(self.lines) + "\n"
+                "  %slot = alloca [4 x " + ty + "]\n"
+                f"  %p = getelementptr {ty}, ptr %slot, {ty} {idx}\n"
+                f"  store {ty} {v}, ptr %p\n"
+                f"  %lv = load {ty}, ptr %p\n"
+                f"  ret {ty} %lv"
+            )
+        return f"define {ty} @{name}({args}) {{\n{body}\n}}"
+
+
+def generate_module(
+    seed: int,
+    num_functions: int,
+    config: Optional[GenConfig] = None,
+) -> Module:
+    """Generate a module with ``num_functions`` random functions."""
+    rng = random.Random(seed)
+    config = config or GenConfig()
+    parts = []
+    for i in range(num_functions):
+        gen = FunctionGenerator(rng, config)
+        parts.append(gen.generate(f"fn{i}"))
+    return parse_module("\n\n".join(parts))

@@ -1,0 +1,241 @@
+"""The §8.5 experiment: independently-known miscompilations.
+
+A catalogue of (source, target) pairs modelling intra-procedural LLVM
+miscompilations that were reported publicly.  For each bug we record
+whether bounded TV is expected to detect it, and — for the misses — the
+reason (the same three the paper found: unroll bound too small, infinite
+loops, and calls not modifying escaped locals), plus a *manually tweaked*
+variant that brings the bug within reach, mirroring §8.5's follow-up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class KnownBug:
+    name: str
+    src: str
+    tgt: str
+    detectable: bool
+    miss_reason: Optional[str] = None  # "unroll-bound" | "infinite-loop" | "escaped-local"
+    # §8.5: the paper manually changed missed tests (smaller loops, escape
+    # to globals) and re-checked; this is that variant when it exists.
+    tweaked_src: Optional[str] = None
+    tweaked_tgt: Optional[str] = None
+
+
+def _fn(body: str, sig: str = "i8 @f(i8 %a, i8 %b)") -> str:
+    return f"define {sig} {{\n{body}\n}}"
+
+
+KNOWN_BUGS: List[KnownBug] = [
+    # ---- detectable: peephole / poison bugs ------------------------------
+    KnownBug(
+        "select-to-and",
+        _fn("entry:\n  %r = select i1 %x, i1 %y, i1 false\n  ret i1 %r",
+            "i1 @f(i1 %x, i1 %y)"),
+        _fn("entry:\n  %r = and i1 %x, %y\n  ret i1 %r", "i1 @f(i1 %x, i1 %y)"),
+        detectable=True,
+    ),
+    KnownBug(
+        "select-to-or",
+        _fn("entry:\n  %r = select i1 %x, i1 true, i1 %y\n  ret i1 %r",
+            "i1 @f(i1 %x, i1 %y)"),
+        _fn("entry:\n  %r = or i1 %x, %y\n  ret i1 %r", "i1 @f(i1 %x, i1 %y)"),
+        detectable=True,
+    ),
+    KnownBug(
+        "nsw-introduced",
+        _fn("entry:\n  %r = add i8 %a, %b\n  ret i8 %r"),
+        _fn("entry:\n  %r = add nsw i8 %a, %b\n  ret i8 %r"),
+        detectable=True,
+    ),
+    KnownBug(
+        "nsw-reassociation",
+        _fn(
+            "entry:\n  %s1 = add nsw i8 %a, %b\n  %s2 = add nsw i8 %s1, %c\n"
+            "  %s3 = add nsw i8 %s2, %d\n  ret i8 %s3",
+            "i8 @f(i8 %a, i8 %b, i8 %c, i8 %d)",
+        ),
+        _fn(
+            "entry:\n  %p1 = add nsw i8 %a, %c\n  %p2 = add nsw i8 %b, %d\n"
+            "  %s = add nsw i8 %p1, %p2\n  ret i8 %s",
+            "i8 @f(i8 %a, i8 %b, i8 %c, i8 %d)",
+        ),
+        detectable=True,
+    ),
+    KnownBug(
+        "mul2-to-add-undef",
+        _fn("entry:\n  %r = mul i8 %a, 2\n  ret i8 %r", "i8 @f(i8 %a)"),
+        _fn("entry:\n  %r = add i8 %a, %a\n  ret i8 %r", "i8 @f(i8 %a)"),
+        detectable=True,
+    ),
+    KnownBug(
+        "wrong-icmp-fold",
+        _fn("entry:\n  %c = icmp ult i8 %a, 128\n  ret i1 %c", "i1 @f(i8 %a)"),
+        _fn("entry:\n  ret i1 true", "i1 @f(i8 %a)"),
+        detectable=True,
+    ),
+    KnownBug(
+        "branch-introduced-on-maybe-undef",
+        _fn("entry:\n  %z = zext i1 %c to i8\n  ret i8 %z", "i8 @f(i1 %c)"),
+        _fn(
+            "entry:\n  br i1 %c, label %t, label %e\nt:\n  ret i8 1\n"
+            "e:\n  ret i8 0",
+            "i8 @f(i1 %c)",
+        ),
+        detectable=True,
+    ),
+    KnownBug(
+        "freeze-removed",
+        _fn(
+            "entry:\n  %f = freeze i8 %a\n  %r = add i8 %f, %f\n  ret i8 %r",
+            "i8 @f(i8 %a)",
+        ),
+        _fn("entry:\n  %r = add i8 %a, %a\n  ret i8 %r", "i8 @f(i8 %a)"),
+        detectable=True,
+    ),
+    KnownBug(
+        "fadd-pos-zero-identity",
+        _fn("entry:\n  %r = fadd half %x, 0.0\n  ret half %r", "half @f(half %x)"),
+        _fn("entry:\n  ret half %x", "half @f(half %x)"),
+        detectable=True,
+    ),
+    KnownBug(
+        "fast-math-nnan-introduced",
+        _fn("entry:\n  %r = fadd half %x, %y\n  ret half %r", "half @f(half %x, half %y)"),
+        _fn("entry:\n  %r = fadd nnan half %x, %y\n  ret half %r", "half @f(half %x, half %y)"),
+        detectable=True,
+    ),
+    KnownBug(
+        "shuffle-lane-swap",
+        _fn(
+            "entry:\n  %s = shufflevector <2 x i8> %v, <2 x i8> poison, <2 x i8> <i8 1, i8 0>\n"
+            "  ret <2 x i8> %s",
+            "<2 x i8> @f(<2 x i8> %v)",
+        ),
+        _fn("entry:\n  ret <2 x i8> %v", "<2 x i8> @f(<2 x i8> %v)"),
+        detectable=True,
+    ),
+    KnownBug(
+        "store-dropped",
+        _fn("entry:\n  store i8 9, ptr %p\n  ret void", "void @f(ptr %p)"),
+        _fn("entry:\n  ret void", "void @f(ptr %p)"),
+        detectable=True,
+    ),
+    KnownBug(
+        "store-wrong-value",
+        _fn("entry:\n  store i8 1, ptr %p\n  ret void", "void @f(ptr %p)"),
+        _fn("entry:\n  store i8 255, ptr %p\n  ret void", "void @f(ptr %p)"),
+        detectable=True,
+    ),
+    KnownBug(
+        "division-ub-removed-guard",
+        _fn(
+            "entry:\n  %z = icmp eq i8 %b, 0\n  br i1 %z, label %s, label %d\n"
+            "s:\n  ret i8 0\nd:\n  %q = udiv i8 %a, %b\n  ret i8 %q"
+        ),
+        _fn("entry:\n  %q = udiv i8 %a, %b\n  ret i8 %q"),
+        detectable=True,
+    ),
+    # ---- missed: loop bound too small (paper: needed ~2^16 iterations) ----
+    KnownBug(
+        "wrong-after-many-iterations",
+        _fn(
+            "entry:\n  br label %h\n"
+            "h:\n  %i = phi i8 [ 0, %entry ], [ %i2, %b ]\n"
+            "  %c = icmp ult i8 %i, %n\n  br i1 %c, label %b, label %x\n"
+            "b:\n  %i2 = add i8 %i, 1\n  br label %h\n"
+            "x:\n  ret i8 %i",
+            "i8 @f(i8 %n)",
+        ),
+        # Wrong only when the loop runs more than `unroll` iterations:
+        _fn(
+            "entry:\n  %big = icmp ugt i8 %n, 64\n"
+            "  br i1 %big, label %bad, label %ok\n"
+            "bad:\n  ret i8 0\nok:\n  ret i8 %n",
+            "i8 @f(i8 %n)",
+        ),
+        detectable=False,
+        miss_reason="unroll-bound",
+        # §8.5 tweak: make the loop exit after fewer iterations.
+        tweaked_src=_fn(
+            "entry:\n  br label %h\n"
+            "h:\n  %i = phi i8 [ 0, %entry ], [ %i2, %b ]\n"
+            "  %c = icmp ult i8 %i, %n\n  br i1 %c, label %b, label %x\n"
+            "b:\n  %i2 = add i8 %i, 1\n  br label %h\n"
+            "x:\n  ret i8 %i",
+            "i8 @f(i8 %n)",
+        ),
+        tweaked_tgt=_fn(
+            "entry:\n  %big = icmp ugt i8 %n, 2\n"
+            "  br i1 %big, label %bad, label %ok\n"
+            "bad:\n  ret i8 0\nok:\n  ret i8 %n",
+            "i8 @f(i8 %n)",
+        ),
+    ),
+    # ---- missed: infinite loop (unsupported under bounded TV) --------------
+    KnownBug(
+        "infinite-loop-removed",
+        _fn(
+            "entry:\n  br label %spin\n"
+            "spin:\n  br label %spin",
+            "i8 @f(i8 %a)",
+        ),
+        _fn("entry:\n  ret i8 0", "i8 @f(i8 %a)"),
+        detectable=False,
+        miss_reason="infinite-loop",
+    ),
+    # ---- missed: escaped locals not modified by calls (§8.5's five) --------
+    KnownBug(
+        "escaped-local-clobbered-1",
+        "declare void @ext(ptr)\n\n"
+        + _fn(
+            "entry:\n  %s = alloca i8\n  store i8 1, ptr %s\n"
+            "  call void @ext(ptr %s)\n  %v = load i8, ptr %s\n  ret i8 %v",
+            "i8 @f()",
+        ),
+        "declare void @ext(ptr)\n\n"
+        + _fn(
+            "entry:\n  %s = alloca i8\n  store i8 1, ptr %s\n"
+            "  call void @ext(ptr %s)\n  ret i8 1",
+            "i8 @f()",
+        ),
+        detectable=False,
+        miss_reason="escaped-local",
+        # §8.5 tweak: escape through a global instead of a local.
+        tweaked_src="@g = global i8 0\ndeclare void @ext(ptr)\n\n"
+        + _fn(
+            "entry:\n  store i8 1, ptr @g\n  call void @ext(ptr @g)\n"
+            "  %v = load i8, ptr @g\n  ret i8 %v",
+            "i8 @f()",
+        ),
+        tweaked_tgt="@g = global i8 0\ndeclare void @ext(ptr)\n\n"
+        + _fn(
+            "entry:\n  store i8 1, ptr @g\n  call void @ext(ptr @g)\n"
+            "  ret i8 1",
+            "i8 @f()",
+        ),
+    ),
+    KnownBug(
+        "escaped-local-clobbered-2",
+        "declare void @ext(ptr)\n\n"
+        + _fn(
+            "entry:\n  %s = alloca i8\n  store i8 5, ptr %s\n"
+            "  call void @ext(ptr %s)\n  %v = load i8, ptr %s\n"
+            "  %r = add i8 %v, 1\n  ret i8 %r",
+            "i8 @f()",
+        ),
+        "declare void @ext(ptr)\n\n"
+        + _fn(
+            "entry:\n  %s = alloca i8\n  store i8 5, ptr %s\n"
+            "  call void @ext(ptr %s)\n  ret i8 6",
+            "i8 @f()",
+        ),
+        detectable=False,
+        miss_reason="escaped-local",
+    ),
+]

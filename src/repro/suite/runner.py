@@ -1,0 +1,94 @@
+"""Harness that runs corpora through the TV plugin and classifies outcomes.
+
+This is the analogue of the paper's lit-based monitoring setup (§8.2):
+for each unit test, run the (possibly buggy) pipeline and validate each
+changed pass; aggregate verdicts and bucket refinement failures by the
+injected defect's §8.2 category.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.ir.parser import parse_module
+from repro.refinement.check import Verdict, VerifyOptions
+from repro.suite.unittests import UnitTest
+from repro.tv.plugin import validate_pipeline
+from repro.tv.report import Tally, ValidationReport
+
+
+@dataclass
+class SuiteOutcome:
+    tally: Tally = field(default_factory=Tally)
+    violations_by_category: Dict[str, int] = field(default_factory=dict)
+    detected: List[str] = field(default_factory=list)  # test names with bugs caught
+    missed: List[str] = field(default_factory=list)  # injected bugs not caught
+    clean_failures: List[str] = field(default_factory=list)  # false alarms
+
+    def summary_rows(self) -> List[Dict[str, object]]:
+        return [
+            {"category": cat, "violations": n}
+            for cat, n in sorted(self.violations_by_category.items())
+        ]
+
+
+def run_suite(
+    tests: List[UnitTest],
+    options: Optional[VerifyOptions] = None,
+    inject_bugs: bool = True,
+    batch: int = 1,
+) -> SuiteOutcome:
+    """Validate every test; returns outcome statistics.
+
+    With ``inject_bugs`` the per-test buggy pass variant is switched on,
+    reproducing a compiler with the §8.2 defect classes; without it the
+    same corpus measures the zero-false-alarm property.
+    """
+    options = options or VerifyOptions(timeout_s=30.0)
+    outcome = SuiteOutcome()
+    for test in tests:
+        pass_options = {}
+        if inject_bugs and test.bug_option is not None:
+            pass_options[test.bug_option] = True
+        if inject_bugs and test.buggy_target is not None:
+            # FileCheck-style test: the buggy expected output is explicit.
+            from repro.refinement.check import verify_refinement
+
+            sm = parse_module(test.ir)
+            tm = parse_module(test.buggy_target)
+            result = verify_refinement(
+                sm.definitions()[0], tm.definitions()[0], sm, tm, options
+            )
+            outcome.tally.add(result)
+            if result.verdict is Verdict.INCORRECT:
+                outcome.violations_by_category[test.category] = (
+                    outcome.violations_by_category.get(test.category, 0) + 1
+                )
+                outcome.detected.append(test.name)
+            else:
+                outcome.missed.append(test.name)
+            continue
+        module = parse_module(test.ir)
+        report = validate_pipeline(
+            module, list(test.pipeline), options, pass_options, batch=batch
+        )
+        for record in report.records:
+            outcome.tally.add(record.result)
+        outcome.tally.skipped_unchanged += report.tally.skipped_unchanged
+        bug_injected = inject_bugs and test.bug_option is not None
+        found = bool(report.failures())
+        if found:
+            category = test.category if bug_injected else None
+            if category is None:
+                category = "tool-or-test"  # paper: failures due to Alive2/tests
+                if not bug_injected:
+                    outcome.clean_failures.append(test.name)
+            outcome.violations_by_category[category] = (
+                outcome.violations_by_category.get(category, 0) + 1
+            )
+            if bug_injected:
+                outcome.detected.append(test.name)
+        elif bug_injected:
+            outcome.missed.append(test.name)
+    return outcome

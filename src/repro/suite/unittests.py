@@ -1,0 +1,594 @@
+"""The "LLVM unit test suite" analogue (§8.2).
+
+A corpus of IR transformation test cases: each case carries the IR, the
+pass pipeline to run, and (optionally) the pass option that injects a
+§8.2-class defect together with its expected category.  The monitoring
+harness runs every case through the TV plugin and classifies the
+detected refinement failures — experiment E1 in DESIGN.md regenerates
+the paper's violation breakdown from exactly this corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.suite.genir import GenConfig, generate_module
+from repro.ir.printer import print_module
+
+
+@dataclass(frozen=True)
+class UnitTest:
+    name: str
+    ir: str
+    pipeline: tuple
+    # Pass option that injects a defect, and the §8.2 category it belongs
+    # to; None for tests expected to validate cleanly.
+    bug_option: Optional[str] = None
+    category: Optional[str] = None
+    # Some historical miscompilations are easier to state as an explicit
+    # buggy *output* than to re-implement inside a pass: when set, the
+    # harness validates ir -> buggy_target directly (a FileCheck-style
+    # test whose expected output encodes the bug).
+    buggy_target: Optional[str] = None
+
+
+def _t(name, ir, pipeline, bug_option=None, category=None, buggy_target=None) -> UnitTest:
+    return UnitTest(name, ir, tuple(pipeline), bug_option, category, buggy_target)
+
+
+_HANDWRITTEN: List[UnitTest] = [
+    # ---- instsimplify family (clean) --------------------------------------
+    _t(
+        "simplify-max-pattern",
+        """
+        define i1 @max1(i8 %x, i8 %y) {
+        entry:
+          %c = icmp sgt i8 %x, %y
+          %m = select i1 %c, i8 %x, i8 %y
+          %r = icmp slt i8 %m, %x
+          ret i1 %r
+        }
+        """,
+        ["instsimplify", "dce"],
+    ),
+    _t(
+        "simplify-algebra",
+        """
+        define i8 @f(i8 %a, i8 %b) {
+        entry:
+          %x = add i8 %a, 0
+          %y = mul i8 %x, 1
+          %z = xor i8 %y, %y
+          %w = or i8 %z, %b
+          ret i8 %w
+        }
+        """,
+        ["instsimplify", "dce"],
+    ),
+    _t(
+        "simplify-sub-self",
+        """
+        define i8 @f(i8 %a) {
+        entry:
+          %d = sub i8 %a, %a
+          %r = add i8 %d, 1
+          ret i8 %r
+        }
+        """,
+        ["instsimplify"],
+    ),
+    # ---- instcombine family -------------------------------------------------
+    _t(
+        "combine-add-self",
+        "define i8 @f(i8 %a) {\nentry:\n  %x = add i8 %a, %a\n  ret i8 %x\n}",
+        ["instcombine"],
+    ),
+    _t(
+        "combine-mul-pow2",
+        "define i8 @f(i8 %a) {\nentry:\n  %x = mul i8 %a, 16\n  ret i8 %x\n}",
+        ["instcombine"],
+    ),
+    _t(
+        "combine-udiv-pow2",
+        "define i8 @f(i8 %a) {\nentry:\n  %x = udiv i8 %a, 4\n  ret i8 %x\n}",
+        ["instcombine"],
+    ),
+    _t(
+        "combine-urem-pow2",
+        "define i8 @f(i8 %a) {\nentry:\n  %x = urem i8 %a, 8\n  ret i8 %x\n}",
+        ["instcombine"],
+    ),
+    _t(
+        "combine-select-bool",
+        "define i1 @f(i1 %c) {\nentry:\n  %r = select i1 %c, i1 true, i1 false\n  ret i1 %r\n}",
+        ["instcombine"],
+    ),
+    _t(
+        "combine-zext-trunc",
+        """
+        define i8 @f(i8 %a) {
+        entry:
+          %t = trunc i8 %a to i4
+          %z = zext i4 %t to i8
+          ret i8 %z
+        }
+        """,
+        ["instcombine"],
+    ),
+    # ---- the §8.2 bug classes ----------------------------------------------
+    _t(
+        "bug-select-to-and",
+        """
+        define i1 @f(i1 %x, i1 %y) {
+        entry:
+          %r = select i1 %x, i1 %y, i1 false
+          ret i1 %r
+        }
+        """,
+        ["instcombine"],
+        bug_option="bug:select-to-and-or",
+        category="select-ub",
+    ),
+    _t(
+        "bug-select-to-or",
+        """
+        define i1 @f(i1 %x, i1 %y) {
+        entry:
+          %r = select i1 %x, i1 true, i1 %y
+          ret i1 %r
+        }
+        """,
+        ["instcombine"],
+        bug_option="bug:select-to-and-or",
+        category="select-ub",
+    ),
+    _t(
+        "bug-nsw-reassoc",
+        """
+        define i8 @f(i8 %a, i8 %b, i8 %c, i8 %d) {
+        entry:
+          %s1 = add nsw i8 %a, %b
+          %s2 = add nsw i8 %s1, %c
+          %s3 = add nsw i8 %s2, %d
+          ret i8 %s3
+        }
+        """,
+        ["reassociate"],
+        bug_option="bug:nsw-reassoc",
+        category="arithmetic",
+    ),
+    _t(
+        "bug-gvn-flags",
+        """
+        define i8 @f(i8 %a) {
+        entry:
+          %x = add nsw i8 %a, 1
+          %y = add i8 %a, 1
+          ret i8 %y
+        }
+        """,
+        ["gvn"],
+        bug_option="bug:gvn-flags",
+        category="arithmetic",
+    ),
+    _t(
+        "bug-fadd-zero",
+        """
+        define half @f(half %a, half %b) {
+        entry:
+          %c = fmul nsz half %a, %b
+          %r = fadd half %c, 0.0
+          ret half %r
+        }
+        """,
+        ["instcombine"],
+        bug_option="bug:fadd-zero",
+        category="fast-math",
+    ),
+    _t(
+        "bug-speculate-branch",
+        """
+        define i8 @f(i1 %c) {
+        entry:
+          %r = select i1 %c, i8 1, i8 2
+          ret i8 %r
+        }
+        """,
+        ["simplifycfg"],
+        bug_option="bug:speculate-branch",
+        category="branch-on-undef",
+    ),
+    _t(
+        "bug-undef-shift",
+        """
+        define i8 @f(i8 %x) {
+        entry:
+          %r = shl i8 undef, %x
+          %s = or i8 %r, 1
+          ret i8 %s
+        }
+        """,
+        ["instcombine"],
+        bug_option="bug:undef-shift",
+        category="undef-input",
+    ),
+    _t(
+        "bug-licm-div",
+        """
+        define i8 @f(i8 %n, i8 %k) {
+        entry:
+          br label %header
+        header:
+          %i = phi i8 [ 0, %entry ], [ %i2, %body ]
+          %c = icmp ult i8 %i, %n
+          br i1 %c, label %body, label %exit
+        body:
+          %q = udiv i8 9, %k
+          %i2 = add i8 %i, 1
+          br label %header
+        exit:
+          ret i8 %i
+        }
+        """,
+        ["licm"],
+        bug_option="bug:licm-speculate-div",
+        category="loop-memory",
+    ),
+    # ---- historical miscompilations stated as explicit outputs -------------
+    _t(
+        "bug-shuffle-lane-drop",
+        """
+        define <2 x i8> @f(<2 x i8> %v) {
+        entry:
+          %s = shufflevector <2 x i8> %v, <2 x i8> poison, <2 x i8> <i8 1, i8 0>
+          ret <2 x i8> %s
+        }
+        """,
+        ["instcombine"],
+        category="vector",
+        buggy_target="""
+        define <2 x i8> @f(<2 x i8> %v) {
+        entry:
+          ret <2 x i8> %v
+        }
+        """,
+    ),
+    _t(
+        "bug-vector-insert-wrong-lane",
+        """
+        define <2 x i8> @f(<2 x i8> %v, i8 %x) {
+        entry:
+          %r = insertelement <2 x i8> %v, i8 %x, i8 0
+          ret <2 x i8> %r
+        }
+        """,
+        ["instcombine"],
+        category="vector",
+        buggy_target="""
+        define <2 x i8> @f(<2 x i8> %v, i8 %x) {
+        entry:
+          %r = insertelement <2 x i8> %v, i8 %x, i8 1
+          ret <2 x i8> %r
+        }
+        """,
+    ),
+    _t(
+        "bug-dse-observable-store",
+        """
+        define void @f(ptr %p, i8 %v) {
+        entry:
+          store i8 %v, ptr %p
+          store i8 1, ptr %p
+          store i8 %v, ptr %p
+          ret void
+        }
+        """,
+        ["gvn"],
+        category="memory",
+        buggy_target="""
+        define void @f(ptr %p, i8 %v) {
+        entry:
+          store i8 1, ptr %p
+          ret void
+        }
+        """,
+    ),
+    _t(
+        "bug-load-forward-across-clobber",
+        """
+        declare void @ext(ptr)
+
+        define i8 @f(ptr %p) {
+        entry:
+          store i8 3, ptr %p
+          call void @ext(ptr %p)
+          %v = load i8, ptr %p
+          ret i8 %v
+        }
+        """,
+        ["gvn"],
+        category="memory",
+        buggy_target="""
+        declare void @ext(ptr)
+
+        define i8 @f(ptr %p) {
+        entry:
+          store i8 3, ptr %p
+          call void @ext(ptr %p)
+          ret i8 3
+        }
+        """,
+    ),
+    _t(
+        "bug-bitcast-rematerialization",
+        """
+        define i8 @f(half %x) {
+        entry:
+          %i = bitcast half %x to i8
+          %r = xor i8 %i, %i
+          ret i8 %r
+        }
+        """,
+        ["gvn"],
+        category="fp-bitcast",
+        buggy_target="""
+        define i8 @f(half %x) {
+        entry:
+          %i1 = bitcast half %x to i8
+          %i2 = bitcast half %x to i8
+          %r = xor i8 %i1, %i2
+          ret i8 %r
+        }
+        """,
+    ),
+    # ---- memory / mem2reg / gvn (clean) -------------------------------------
+    _t(
+        "mem2reg-diamond",
+        """
+        define i8 @f(i1 %c, i8 %v) {
+        entry:
+          %slot = alloca i8
+          store i8 %v, ptr %slot
+          br i1 %c, label %then, label %else
+        then:
+          store i8 42, ptr %slot
+          br label %join
+        else:
+          br label %join
+        join:
+          %r = load i8, ptr %slot
+          ret i8 %r
+        }
+        """,
+        ["mem2reg", "simplifycfg"],
+    ),
+    _t(
+        "gvn-redundant-load",
+        """
+        define i8 @f(ptr %p) {
+        entry:
+          %v1 = load i8, ptr %p
+          %v2 = load i8, ptr %p
+          %s = add i8 %v1, %v2
+          ret i8 %s
+        }
+        """,
+        ["gvn"],
+    ),
+    _t(
+        "gvn-store-forward",
+        """
+        define i8 @f(ptr %p, i8 %v) {
+        entry:
+          store i8 %v, ptr %p
+          %l = load i8, ptr %p
+          ret i8 %l
+        }
+        """,
+        ["gvn"],
+    ),
+    # ---- cfg (clean) ---------------------------------------------------------
+    _t(
+        "cfg-diamond-to-select",
+        """
+        define i8 @f(i1 %c) {
+        entry:
+          br i1 %c, label %a, label %b
+        a:
+          br label %join
+        b:
+          br label %join
+        join:
+          %r = phi i8 [ 1, %a ], [ 2, %b ]
+          ret i8 %r
+        }
+        """,
+        ["simplifycfg"],
+    ),
+    _t(
+        "cfg-constant-branch",
+        """
+        define i8 @f(i8 %x) {
+        entry:
+          br i1 true, label %a, label %b
+        a:
+          ret i8 %x
+        b:
+          ret i8 0
+        }
+        """,
+        ["simplifycfg"],
+    ),
+    # ---- vectors (clean) ------------------------------------------------------
+    _t(
+        "vector-add",
+        """
+        define <2 x i8> @f(<2 x i8> %v) {
+        entry:
+          %r = add <2 x i8> %v, <i8 1, i8 1>
+          ret <2 x i8> %r
+        }
+        """,
+        ["instsimplify"],
+    ),
+    # ---- freeze / undef (clean) ------------------------------------------------
+    _t(
+        "freeze-even",
+        """
+        define i8 @f(i8 %a) {
+        entry:
+          %f = freeze i8 %a
+          %r = add i8 %f, %f
+          ret i8 %r
+        }
+        """,
+        ["instcombine"],
+    ),
+    # ---- more peepholes and CFG patterns (clean) ------------------------------
+    _t(
+        "simplify-icmp-tautologies",
+        """
+        define i1 @f(i8 %a) {
+        entry:
+          %c1 = icmp ule i8 %a, %a
+          %c2 = icmp ult i8 %a, %a
+          %r = xor i1 %c1, %c2
+          ret i1 %r
+        }
+        """,
+        ["instsimplify"],
+    ),
+    _t(
+        "switch-dispatch",
+        """
+        define i8 @f(i8 %x) {
+        entry:
+          switch i8 %x, label %d [ i8 0, label %a i8 1, label %b ]
+        a:
+          ret i8 10
+        b:
+          ret i8 20
+        d:
+          ret i8 30
+        }
+        """,
+        ["simplifycfg", "dce"],
+    ),
+    _t(
+        "gep-chain",
+        """
+        define i8 @f(ptr %p, i8 %i) {
+        entry:
+          %q = getelementptr i8, ptr %p, i8 1
+          %r = getelementptr i8, ptr %q, i8 1
+          %v = load i8, ptr %r
+          ret i8 %v
+        }
+        """,
+        ["gvn", "instsimplify"],
+    ),
+    _t(
+        "phi-constant-merge",
+        """
+        define i8 @f(i1 %c) {
+        entry:
+          br i1 %c, label %a, label %b
+        a:
+          br label %join
+        b:
+          br label %join
+        join:
+          %x = phi i8 [ 7, %a ], [ 7, %b ]
+          ret i8 %x
+        }
+        """,
+        ["simplifycfg", "instsimplify", "dce"],
+    ),
+    _t(
+        "freeze-dedup",
+        """
+        define i8 @f(i8 %a) {
+        entry:
+          %f1 = freeze i8 %a
+          %f2 = freeze i8 %a
+          %r = add i8 %f1, %f2
+          ret i8 %r
+        }
+        """,
+        ["instcombine", "dce"],
+    ),
+    _t(
+        "sat-intrinsic-pipeline",
+        """
+        declare i8 @llvm.uadd.sat.i8(i8, i8)
+
+        define i8 @f(i8 %a) {
+        entry:
+          %r = call i8 @llvm.uadd.sat.i8(i8 %a, i8 0)
+          ret i8 %r
+        }
+        """,
+        ["instsimplify", "dce"],
+    ),
+    _t(
+        "store-forwarding-chain",
+        """
+        define i8 @f(i8 %v) {
+        entry:
+          %s1 = alloca i8
+          %s2 = alloca i8
+          store i8 %v, ptr %s1
+          %t = load i8, ptr %s1
+          store i8 %t, ptr %s2
+          %u = load i8, ptr %s2
+          ret i8 %u
+        }
+        """,
+        ["mem2reg", "gvn", "dce"],
+    ),
+    # ---- loops (clean) -----------------------------------------------------------
+    _t(
+        "licm-invariant-mul",
+        """
+        define i8 @f(i8 %n, i8 %k) {
+        entry:
+          br label %header
+        header:
+          %i = phi i8 [ 0, %entry ], [ %i2, %body ]
+          %c = icmp ult i8 %i, %n
+          br i1 %c, label %body, label %exit
+        body:
+          %inv = mul i8 %k, 3
+          %i2 = add i8 %i, 1
+          br label %header
+        exit:
+          ret i8 %i
+        }
+        """,
+        ["licm"],
+    ),
+]
+
+
+def _generated_tests(count: int, seed: int = 2021) -> List[UnitTest]:
+    """Random clean tests run through the full pipeline."""
+    out: List[UnitTest] = []
+    config = GenConfig(allow_branches=True, allow_loops=True, allow_memory=True)
+    for i in range(count):
+        module = generate_module(seed + i, 1, config)
+        out.append(
+            _t(
+                f"gen-{i}",
+                print_module(module),
+                ["instsimplify", "instcombine", "gvn", "simplifycfg", "dce"],
+            )
+        )
+    return out
+
+
+def build_corpus(generated: int = 24, seed: int = 2021) -> List[UnitTest]:
+    return list(_HANDWRITTEN) + _generated_tests(generated, seed)
+
+
+UNIT_TESTS: List[UnitTest] = build_corpus()

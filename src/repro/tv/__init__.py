@@ -1,0 +1,18 @@
+"""Translation-validation tools (§8.1).
+
+* :mod:`repro.tv.plugin` — validate a pass pipeline, pass by pass, with
+  the skip-unchanged optimization and optional batching (§8.4);
+* :mod:`repro.tv.alive_tv` — the ``alive-tv`` standalone tool: check
+  refinement between the functions of two IR files/modules;
+* :mod:`repro.tv.report` — result aggregation used by the evaluation.
+"""
+
+from repro.tv.alive_tv import validate_modules, validate_texts
+from repro.tv.plugin import TvPlugin, validate_pipeline
+
+__all__ = [
+    "validate_modules",
+    "validate_texts",
+    "TvPlugin",
+    "validate_pipeline",
+]

@@ -1,0 +1,89 @@
+"""``alive-tv``: check refinement between the functions of two IR files.
+
+The standalone tool from §8.1: given a source file and a target file, it
+pairs functions by name and reports, for each pair, whether the target
+refines the source.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from repro.ir.module import Module
+from repro.ir.parser import parse_module
+from repro.refinement.check import (
+    RefinementResult,
+    Verdict,
+    VerifyOptions,
+    verify_refinement,
+)
+from repro.tv.report import ValidationRecord, ValidationReport
+
+
+def validate_modules(
+    src_module: Module,
+    tgt_module: Module,
+    options: Optional[VerifyOptions] = None,
+) -> ValidationReport:
+    """Check every function present in both modules."""
+    options = options or VerifyOptions()
+    report = ValidationReport()
+    for name, src in src_module.functions.items():
+        if src.is_declaration:
+            continue
+        tgt = tgt_module.get_function(name)
+        if tgt is None or tgt.is_declaration:
+            continue
+        result = verify_refinement(src, tgt, src_module, tgt_module, options)
+        report.add(ValidationRecord(name, "alive-tv", result))
+    return report
+
+
+def validate_texts(
+    src_text: str, tgt_text: str, options: Optional[VerifyOptions] = None
+) -> ValidationReport:
+    return validate_modules(
+        parse_module(src_text), parse_module(tgt_text), options
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="alive-tv",
+        description="Bounded translation validation between two IR files.",
+    )
+    parser.add_argument("src", help="source (original) IR file")
+    parser.add_argument("tgt", help="target (optimized) IR file")
+    parser.add_argument(
+        "--unroll", type=int, default=4, help="loop unroll factor (default 4)"
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=30.0, help="per-pair timeout (s)"
+    )
+    parser.add_argument(
+        "--no-memory", action="store_true", help="skip the memory refinement check"
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.src) as handle:
+        src_text = handle.read()
+    with open(args.tgt) as handle:
+        tgt_text = handle.read()
+    options = VerifyOptions(
+        unroll_factor=args.unroll,
+        timeout_s=args.timeout,
+        check_memory=not args.no_memory,
+    )
+    report = validate_texts(src_text, tgt_text, options)
+    for record in report.records:
+        print(f"---- @{record.function} ----")
+        print(record.result.describe())
+        print()
+    print(report.summary())
+    return 0 if not report.failures() else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,108 @@
+"""The opt/clang plugin analogue: validate every pass of a pipeline.
+
+Implements the workflow of §8.2: snapshot the IR, run one (unmodified)
+pass, translate both versions and check refinement.  Includes the two
+plugin-level optimizations the paper describes:
+
+* skip validation entirely when a pass reports no change (§8.1), and
+* *batching* (§8.4): validate the composition of several passes at once
+  (faster; slight risk of masking a bug that a later pass un-does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.ir.module import Module
+from repro.opt.passmanager import PassManager, PassRun
+from repro.refinement.check import (
+    RefinementResult,
+    Verdict,
+    VerifyOptions,
+    verify_refinement,
+)
+from repro.tv.report import Tally, ValidationRecord, ValidationReport
+
+
+@dataclass
+class TvPlugin:
+    """Validates a pipeline over a module, pass by pass."""
+
+    options: VerifyOptions = field(default_factory=VerifyOptions)
+    batch: int = 1  # validate every N changed passes as one step
+    skip_unchanged: bool = True
+
+    def validate(
+        self, module: Module, pipeline: List[str], pass_options: Optional[dict] = None
+    ) -> ValidationReport:
+        report = ValidationReport()
+        manager = PassManager(list(pipeline), pass_options or {})
+        runs = manager.run(module)
+        # Group runs per function, preserving order.
+        by_function: Dict[str, List[PassRun]] = {}
+        for run in runs:
+            by_function.setdefault(run.function, []).append(run)
+        for fn_name, fn_runs in by_function.items():
+            self._validate_function(fn_name, fn_runs, report)
+        return report
+
+    def _validate_function(
+        self, fn_name: str, runs: List[PassRun], report: ValidationReport
+    ) -> None:
+        pending_before: Optional[Module] = None
+        pending_names: List[str] = []
+        changed_count = 0
+        for run in runs:
+            if self.skip_unchanged and not run.changed and pending_before is None:
+                report.tally.skipped_unchanged += 1
+                continue
+            if pending_before is None:
+                pending_before = run.before
+            pending_names.append(run.pass_name)
+            if run.changed:
+                changed_count += 1
+            if changed_count >= self.batch:
+                self._check(
+                    fn_name, pending_names, pending_before, run.after, report
+                )
+                pending_before = None
+                pending_names = []
+                changed_count = 0
+        if pending_before is not None and changed_count:
+            self._check(
+                fn_name, pending_names, pending_before, runs[-1].after, report
+            )
+
+    def _check(
+        self,
+        fn_name: str,
+        pass_names: List[str],
+        before: Module,
+        after: Module,
+        report: ValidationReport,
+    ) -> None:
+        src = before.get_function(fn_name)
+        tgt = after.get_function(fn_name)
+        if src is None or tgt is None:
+            return
+        result = verify_refinement(src, tgt, before, after, self.options)
+        report.add(
+            ValidationRecord(fn_name, "+".join(pass_names), result)
+        )
+
+
+def validate_pipeline(
+    module: Module,
+    pipeline: List[str],
+    options: Optional[VerifyOptions] = None,
+    pass_options: Optional[dict] = None,
+    batch: int = 1,
+) -> ValidationReport:
+    """Run ``pipeline`` on a copy of ``module`` and validate every step.
+
+    This is the `opt -tv` / `alivecc` entry point: the input module is
+    not modified.
+    """
+    plugin = TvPlugin(options or VerifyOptions(), batch=batch)
+    return plugin.validate(module.clone(), pipeline, pass_options)

@@ -1,0 +1,94 @@
+"""Aggregation of validation outcomes into the paper's outcome classes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.refinement.check import RefinementResult, Verdict
+
+
+@dataclass
+class ValidationRecord:
+    """One validated (source, target) pair."""
+
+    function: str
+    pass_name: str
+    result: RefinementResult
+
+
+@dataclass
+class Tally:
+    """The outcome columns of Figure 7."""
+
+    correct: int = 0
+    incorrect: int = 0
+    timeout: int = 0
+    oom: int = 0
+    unsupported: int = 0
+    approx: int = 0
+    skipped_unchanged: int = 0
+    total_time_s: float = 0.0
+
+    def add(self, result: RefinementResult) -> None:
+        self.total_time_s += result.elapsed_s
+        if result.verdict is Verdict.CORRECT:
+            self.correct += 1
+        elif result.verdict is Verdict.INCORRECT:
+            self.incorrect += 1
+        elif result.verdict is Verdict.TIMEOUT:
+            self.timeout += 1
+        elif result.verdict is Verdict.OOM:
+            self.oom += 1
+        elif result.verdict is Verdict.APPROX:
+            self.approx += 1
+        else:
+            self.unsupported += 1
+
+    @property
+    def analyzed(self) -> int:
+        return (
+            self.correct
+            + self.incorrect
+            + self.timeout
+            + self.oom
+            + self.unsupported
+            + self.approx
+        )
+
+    def row(self) -> Dict[str, object]:
+        return {
+            "pairs": self.analyzed + self.skipped_unchanged,
+            "diff": self.analyzed,
+            "correct": self.correct,
+            "incorrect": self.incorrect,
+            "timeout": self.timeout,
+            "oom": self.oom,
+            "unsupported": self.unsupported + self.approx,
+            "time_s": round(self.total_time_s, 2),
+        }
+
+
+@dataclass
+class ValidationReport:
+    records: List[ValidationRecord] = field(default_factory=list)
+    tally: Tally = field(default_factory=Tally)
+
+    def add(self, record: ValidationRecord) -> None:
+        self.records.append(record)
+        self.tally.add(record.result)
+
+    def failures(self) -> List[ValidationRecord]:
+        return [
+            r for r in self.records if r.result.verdict is Verdict.INCORRECT
+        ]
+
+    def summary(self) -> str:
+        t = self.tally
+        return (
+            f"{t.analyzed} analyzed ({t.skipped_unchanged} unchanged skipped): "
+            f"{t.correct} correct, {t.incorrect} incorrect, "
+            f"{t.timeout} timeout, {t.oom} OOM, "
+            f"{t.unsupported + t.approx} unsupported/approx "
+            f"[{t.total_time_s:.1f}s]"
+        )

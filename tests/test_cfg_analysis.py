@@ -1,0 +1,231 @@
+"""Tests for CFG utilities, dominators, and the Tarjan–Havlak loop forest."""
+
+from repro.ir.cfg import (
+    predecessors,
+    reachable_blocks,
+    remove_unreachable_blocks,
+    reverse_postorder,
+    successors,
+)
+from repro.ir.dominators import DominatorTree
+from repro.ir.loops import LoopForest
+from repro.ir.parser import parse_function
+
+DIAMOND = """
+define i8 @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  br label %join
+b:
+  br label %join
+join:
+  ret i8 0
+}
+"""
+
+SINGLE_LOOP = """
+define i8 @f(i8 %n) {
+entry:
+  br label %header
+header:
+  %i = phi i8 [ 0, %entry ], [ %next, %latch ]
+  %c = icmp ult i8 %i, %n
+  br i1 %c, label %latch, label %exit
+latch:
+  %next = add i8 %i, 1
+  br label %header
+exit:
+  ret i8 %i
+}
+"""
+
+NESTED_LOOPS = """
+define i8 @f(i8 %n) {
+entry:
+  br label %outer
+outer:
+  %i = phi i8 [ 0, %entry ], [ %i2, %outer.latch ]
+  br label %inner
+inner:
+  %j = phi i8 [ 0, %outer ], [ %j2, %inner ]
+  %j2 = add i8 %j, 1
+  %ic = icmp ult i8 %j2, 3
+  br i1 %ic, label %inner, label %outer.latch
+outer.latch:
+  %i2 = add i8 %i, 1
+  %oc = icmp ult i8 %i2, %n
+  br i1 %oc, label %outer, label %exit
+exit:
+  ret i8 %i2
+}
+"""
+
+IRREDUCIBLE = """
+define i8 @f(i1 %c) {
+entry:
+  br i1 %c, label %x, label %y
+x:
+  br label %y
+y:
+  br label %x
+}
+"""
+
+
+def test_successors_predecessors_diamond():
+    fn = parse_function(DIAMOND)
+    succ = successors(fn)
+    assert succ["entry"] == ["a", "b"]
+    assert succ["join"] == []
+    preds = predecessors(fn)
+    assert sorted(preds["join"]) == ["a", "b"]
+    assert preds["entry"] == []
+
+
+def test_reverse_postorder_starts_at_entry():
+    fn = parse_function(DIAMOND)
+    order = reverse_postorder(fn)
+    assert order[0] == "entry"
+    assert order[-1] == "join"
+    assert set(order) == {"entry", "a", "b", "join"}
+
+
+def test_reverse_postorder_respects_topological_order():
+    fn = parse_function(SINGLE_LOOP)
+    order = reverse_postorder(fn)
+    assert order.index("entry") < order.index("header")
+    assert order.index("header") < order.index("latch")
+
+
+def test_unreachable_block_removal():
+    fn = parse_function(
+        """
+        define i8 @f() {
+        entry:
+          ret i8 0
+        dead:
+          br label %dead2
+        dead2:
+          ret i8 1
+        }
+        """
+    )
+    assert reachable_blocks(fn) == {"entry"}
+    assert remove_unreachable_blocks(fn)
+    assert list(fn.blocks) == ["entry"]
+    assert not remove_unreachable_blocks(fn)
+
+
+def test_unreachable_removal_patches_phis():
+    fn = parse_function(
+        """
+        define i8 @f() {
+        entry:
+          br label %join
+        dead:
+          br label %join
+        join:
+          %x = phi i8 [ 1, %entry ], [ 2, %dead ]
+          ret i8 %x
+        }
+        """
+    )
+    remove_unreachable_blocks(fn)
+    phi = fn.blocks["join"].instructions[0]
+    assert [b for _, b in phi.incoming] == ["entry"]
+
+
+def test_dominators_diamond():
+    fn = parse_function(DIAMOND)
+    dom = DominatorTree(fn)
+    assert dom.idom["a"] == "entry"
+    assert dom.idom["b"] == "entry"
+    assert dom.idom["join"] == "entry"
+    assert dom.dominates("entry", "join")
+    assert not dom.dominates("a", "join")
+    assert dom.dominates("join", "join")
+
+
+def test_dominators_loop():
+    fn = parse_function(SINGLE_LOOP)
+    dom = DominatorTree(fn)
+    assert dom.idom["header"] == "entry"
+    assert dom.idom["latch"] == "header"
+    assert dom.idom["exit"] == "header"
+    assert dom.dominates("header", "exit")
+
+
+def test_dominator_children():
+    fn = parse_function(DIAMOND)
+    dom = DominatorTree(fn)
+    kids = dom.children()
+    assert sorted(kids["entry"]) == ["a", "b", "join"]
+
+
+def test_loop_forest_no_loops():
+    fn = parse_function(DIAMOND)
+    forest = LoopForest(fn)
+    assert forest.loops == []
+
+
+def test_loop_forest_single_loop():
+    fn = parse_function(SINGLE_LOOP)
+    forest = LoopForest(fn)
+    assert len(forest.loops) == 1
+    loop = forest.loops[0]
+    assert loop.header == "header"
+    assert loop.body == {"header", "latch"}
+    assert not loop.irreducible
+
+
+def test_loop_forest_nested():
+    fn = parse_function(NESTED_LOOPS)
+    forest = LoopForest(fn)
+    assert len(forest.loops) == 2
+    inner = forest.loop_of_header["inner"]
+    outer = forest.loop_of_header["outer"]
+    assert inner.parent is outer
+    assert outer.children == [inner]
+    assert inner.body == {"inner"}
+    assert "inner" in outer.body
+    assert "outer.latch" in outer.body
+    order = forest.innermost_first()
+    assert order.index(inner) < order.index(outer)
+    assert outer.depth() == 1
+    assert inner.depth() == 2
+
+
+def test_loop_forest_self_loop():
+    fn = parse_function(
+        """
+        define i8 @f(i8 %n) {
+        entry:
+          br label %loop
+        loop:
+          %i = phi i8 [ 0, %entry ], [ %i2, %loop ]
+          %i2 = add i8 %i, 1
+          %c = icmp ult i8 %i2, %n
+          br i1 %c, label %loop, label %out
+        out:
+          ret i8 %i2
+        }
+        """
+    )
+    forest = LoopForest(fn)
+    assert len(forest.loops) == 1
+    assert forest.loops[0].body == {"loop"}
+
+
+def test_irreducible_detection():
+    fn = parse_function(IRREDUCIBLE)
+    forest = LoopForest(fn)
+    assert forest.has_irreducible()
+
+
+def test_loop_containing():
+    fn = parse_function(NESTED_LOOPS)
+    forest = LoopForest(fn)
+    assert forest.loop_containing("inner").header == "inner"
+    assert forest.loop_containing("outer.latch").header == "outer"
+    assert forest.loop_containing("entry") is None

@@ -1,0 +1,83 @@
+"""Property test: the dominator tree against the brute-force definition.
+
+A block d dominates b iff every path from the entry to b passes through
+d.  On random CFGs we compare the Cooper–Harvey–Kennedy result against a
+path-enumeration oracle (remove d, check reachability).
+"""
+
+import random
+
+import pytest
+
+from repro.ir.cfg import reverse_postorder, successors
+from repro.ir.dominators import DominatorTree
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import Br, Ret
+from repro.ir.types import IntType
+from repro.ir.values import ConstantInt, Register
+
+
+def _random_cfg(rng: random.Random, num_blocks: int) -> Function:
+    labels = [f"b{i}" for i in range(num_blocks)]
+    fn = Function("f", IntType(8), [])
+    for i, label in enumerate(labels):
+        block = BasicBlock(label)
+        roll = rng.random()
+        later = labels[i + 1 :]
+        if not later or roll < 0.2:
+            block.instructions.append(Ret(ConstantInt(IntType(8), 0)))
+        elif roll < 0.6:
+            block.instructions.append(Br(None, rng.choice(labels)))
+        else:
+            cond = Register(IntType(1), "c")
+            block.instructions.append(
+                Br(cond, rng.choice(labels), rng.choice(labels))
+            )
+        fn.blocks[label] = block
+    fn.args = []
+    return fn
+
+
+def _reachable_without(fn: Function, removed: str) -> set:
+    succ = successors(fn)
+    entry = next(iter(fn.blocks))
+    if entry == removed:
+        return set()
+    seen = {entry}
+    stack = [entry]
+    while stack:
+        node = stack.pop()
+        for nxt in succ.get(node, []):
+            if nxt != removed and nxt in fn.blocks and nxt not in seen:
+                seen.add(nxt)
+                stack.append(nxt)
+    return seen
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_dominates_matches_path_definition(seed):
+    rng = random.Random(seed)
+    fn = _random_cfg(rng, rng.randint(3, 9))
+    reachable = set(reverse_postorder(fn))
+    dom = DominatorTree(fn)
+    entry = next(iter(fn.blocks))
+    for d in reachable:
+        cut = _reachable_without(fn, d)
+        for b in reachable:
+            expected = b == d or b not in cut
+            assert dom.dominates(d, b) == expected, (seed, d, b)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_idom_is_a_strict_dominator(seed):
+    rng = random.Random(seed + 100)
+    fn = _random_cfg(rng, rng.randint(3, 8))
+    dom = DominatorTree(fn)
+    entry = dom.entry
+    for label in dom.order:
+        if label == entry:
+            continue
+        idom = dom.idom[label]
+        assert idom is not None
+        assert dom.dominates(idom, label)
+        assert idom != label

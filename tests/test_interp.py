@@ -1,0 +1,338 @@
+"""Tests for the concrete reference interpreter."""
+
+import pytest
+
+from repro.ir.interp import (
+    POISON,
+    Interpreter,
+    SinkReached,
+    UndefinedBehavior,
+    run_function,
+)
+from repro.ir.parser import parse_module
+
+
+def _run(src, args, name="f"):
+    return run_function(parse_module(src), name, args)
+
+
+def test_straight_line_arithmetic():
+    src = """
+    define i8 @f(i8 %a, i8 %b) {
+    entry:
+      %x = add i8 %a, %b
+      %y = mul i8 %x, 2
+      ret i8 %y
+    }
+    """
+    assert _run(src, [3, 4]) == 14
+    assert _run(src, [200, 100]) == ((300 % 256) * 2) % 256
+
+
+def test_branching_and_phi():
+    src = """
+    define i8 @f(i8 %a) {
+    entry:
+      %c = icmp sgt i8 %a, 0
+      br i1 %c, label %pos, label %neg
+    pos:
+      br label %join
+    neg:
+      br label %join
+    join:
+      %r = phi i8 [ 1, %pos ], [ 255, %neg ]
+      ret i8 %r
+    }
+    """
+    assert _run(src, [5]) == 1
+    assert _run(src, [0]) == 255
+    assert _run(src, [200]) == 255  # 200 is negative as i8
+
+
+def test_loop_sum():
+    src = """
+    define i8 @f(i8 %n) {
+    entry:
+      br label %header
+    header:
+      %i = phi i8 [ 0, %entry ], [ %i2, %body ]
+      %acc = phi i8 [ 0, %entry ], [ %acc2, %body ]
+      %c = icmp ult i8 %i, %n
+      br i1 %c, label %body, label %exit
+    body:
+      %acc2 = add i8 %acc, %i
+      %i2 = add i8 %i, 1
+      br label %header
+    exit:
+      ret i8 %acc
+    }
+    """
+    assert _run(src, [5]) == 0 + 1 + 2 + 3 + 4
+    assert _run(src, [0]) == 0
+
+
+def test_division_by_zero_is_ub():
+    src = """
+    define i8 @f(i8 %a, i8 %b) {
+    entry:
+      %q = udiv i8 %a, %b
+      ret i8 %q
+    }
+    """
+    with pytest.raises(UndefinedBehavior):
+        _run(src, [4, 0])
+    assert _run(src, [9, 2]) == 4
+
+
+def test_nsw_overflow_is_poison_then_branch_ub():
+    src = """
+    define i8 @f(i8 %a) {
+    entry:
+      %x = add nsw i8 %a, 1
+      %c = icmp eq i8 %x, 0
+      br i1 %c, label %t, label %e
+    t:
+      ret i8 1
+    e:
+      ret i8 0
+    }
+    """
+    assert _run(src, [5]) == 0
+    with pytest.raises(UndefinedBehavior):
+        _run(src, [127])  # 127 + 1 overflows i8 signed -> poison -> br is UB
+
+
+def test_shift_too_far_is_poison():
+    src = """
+    define i8 @f(i8 %a) {
+    entry:
+      %x = shl i8 %a, 9
+      ret i8 %x
+    }
+    """
+    assert _run(src, [1]) is POISON
+
+
+def test_select_on_poison_is_poison():
+    src = """
+    define i8 @f() {
+    entry:
+      %x = select i1 poison, i8 1, i8 2
+      ret i8 %x
+    }
+    """
+    assert _run(src, []) is POISON
+
+
+def test_freeze_stops_poison():
+    src = """
+    define i8 @f() {
+    entry:
+      %p = add nsw i8 127, 1
+      %x = freeze i8 %p
+      ret i8 %x
+    }
+    """
+    result = _run(src, [])
+    assert result is not POISON
+
+
+def test_memory_roundtrip():
+    src = """
+    define i8 @f(i8 %v) {
+    entry:
+      %p = alloca i8
+      store i8 %v, ptr %p
+      %l = load i8, ptr %p
+      ret i8 %l
+    }
+    """
+    assert _run(src, [42]) == 42
+
+
+def test_load_uninitialized_is_poison():
+    src = """
+    define i8 @f() {
+    entry:
+      %p = alloca i8
+      %l = load i8, ptr %p
+      ret i8 %l
+    }
+    """
+    assert _run(src, []) is POISON
+
+
+def test_gep_and_array_store():
+    src = """
+    define i8 @f(i8 %i) {
+    entry:
+      %p = alloca [4 x i8]
+      %q0 = getelementptr i8, ptr %p, i8 0
+      store i8 10, ptr %q0
+      %q1 = getelementptr i8, ptr %p, i8 1
+      store i8 20, ptr %q1
+      %qi = getelementptr i8, ptr %p, i8 %i
+      %l = load i8, ptr %qi
+      ret i8 %l
+    }
+    """
+    assert _run(src, [0]) == 10
+    assert _run(src, [1]) == 20
+
+
+def test_out_of_bounds_load_is_ub():
+    src = """
+    define i8 @f() {
+    entry:
+      %p = alloca i8
+      %q = getelementptr i8, ptr %p, i8 5
+      %l = load i8, ptr %q
+      ret i8 %l
+    }
+    """
+    with pytest.raises(UndefinedBehavior):
+        _run(src, [])
+
+
+def test_store_to_constant_global_is_ub():
+    src = """
+    @g = constant i8 1
+
+    define i8 @f() {
+    entry:
+      store i8 2, ptr @g
+      ret i8 0
+    }
+    """
+    with pytest.raises(UndefinedBehavior):
+        _run(src, [])
+
+
+def test_global_load():
+    src = """
+    @g = global i8 77
+
+    define i8 @f() {
+    entry:
+      %v = load i8, ptr @g
+      ret i8 %v
+    }
+    """
+    assert _run(src, []) == 77
+
+
+def test_vectors():
+    src = """
+    define i8 @f(<2 x i8> %v) {
+    entry:
+      %w = add <2 x i8> %v, <i8 1, i8 2>
+      %a = extractelement <2 x i8> %w, i8 0
+      %b = extractelement <2 x i8> %w, i8 1
+      %s = add i8 %a, %b
+      ret i8 %s
+    }
+    """
+    assert _run(src, [(10, 20)]) == 33
+
+
+def test_shufflevector():
+    src = """
+    define <2 x i8> @f(<2 x i8> %v, <2 x i8> %w) {
+    entry:
+      %s = shufflevector <2 x i8> %v, <2 x i8> %w, <2 x i8> <i8 3, i8 0>
+      ret <2 x i8> %s
+    }
+    """
+    assert _run(src, [(1, 2), (3, 4)]) == (4, 1)
+
+
+def test_calls():
+    src = """
+    define i8 @double(i8 %x) {
+    entry:
+      %r = add i8 %x, %x
+      ret i8 %r
+    }
+
+    define i8 @f(i8 %x) {
+    entry:
+      %r = call i8 @double(i8 %x)
+      %s = add i8 %r, 1
+      ret i8 %s
+    }
+    """
+    assert _run(src, [5]) == 11
+
+
+def test_switch():
+    src = """
+    define i8 @f(i8 %x) {
+    entry:
+      switch i8 %x, label %d [ i8 0, label %a i8 1, label %b ]
+    a:
+      ret i8 10
+    b:
+      ret i8 20
+    d:
+      ret i8 30
+    }
+    """
+    assert _run(src, [0]) == 10
+    assert _run(src, [1]) == 20
+    assert _run(src, [9]) == 30
+
+
+def test_unreachable_is_ub():
+    src = """
+    define i8 @f() {
+    entry:
+      unreachable
+    }
+    """
+    with pytest.raises(UndefinedBehavior):
+        _run(src, [])
+
+
+def test_float_arithmetic():
+    src = """
+    define half @f(half %x, half %y) {
+    entry:
+      %m = fadd half %x, %y
+      ret half %m
+    }
+    """
+    from repro.ir.fpformat import bits_to_float, float_to_bits
+    from repro.ir.types import HALF
+
+    a = float_to_bits(1.5, HALF)
+    b = float_to_bits(2.0, HALF)
+    result = _run(src, [a, b])
+    assert bits_to_float(result, HALF) == 3.5
+
+
+def test_fcmp_unordered():
+    src = """
+    define i1 @f(half %x) {
+    entry:
+      %c = fcmp uno half %x, %x
+      ret i1 %c
+    }
+    """
+    from repro.ir.fpformat import float_to_bits
+    from repro.ir.types import HALF
+    import math
+
+    assert _run(src, [float_to_bits(math.nan, HALF)]) == 1
+    assert _run(src, [float_to_bits(1.0, HALF)]) == 0
+
+
+def test_casts():
+    src = """
+    define i8 @f(i4 %x) {
+    entry:
+      %s = sext i4 %x to i8
+      ret i8 %s
+    }
+    """
+    assert _run(src, [0xF]) == 0xFF  # -1 sign extends
+    assert _run(src, [0x7]) == 0x07

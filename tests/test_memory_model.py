@@ -1,0 +1,232 @@
+"""Unit tests for the SMT memory model (§4)."""
+
+import pytest
+
+from repro.ir.parser import parse_module
+from repro.ir.types import IntType
+from repro.ir.values import GlobalVariable
+from repro.refinement.check import Verdict, VerifyOptions, verify_refinement
+from repro.semantics.memory import (
+    BlockInfo,
+    MemoryConfig,
+    MemoryLayout,
+    SymByte,
+    SymMemory,
+    build_layout,
+)
+from repro.smt.solver import CheckResult, SmtSolver
+from repro.smt.terms import (
+    FALSE,
+    TRUE,
+    bool_not,
+    bv_const,
+    bv_eq,
+    bv_var,
+    evaluate,
+)
+
+OPTS = VerifyOptions(timeout_s=30.0)
+
+
+def _layout(**kwargs):
+    return build_layout({}, ["p"], 2, MemoryConfig(**kwargs))
+
+
+def test_layout_block_numbering():
+    g = {"g": GlobalVariable("g", IntType(8))}
+    layout = build_layout(g, ["p", "q"], 3)
+    # null + global + two arg blocks + three local slots
+    assert layout.num_blocks == 1 + 3 + 3
+    names = [b.name for b in layout.shared_blocks]
+    assert names == ["@g", "%p", "%q"]
+    assert layout.first_local_bid() == 4
+
+
+def test_layout_bid_width_grows():
+    small = build_layout({}, [], 1)
+    big = build_layout({}, ["a", "b", "c"], 8)
+    assert big.bid_bits >= small.bid_bits
+    assert big.ptr_bits == big.bid_bits + big.config.off_bits
+
+
+def test_layout_rejects_too_many_blocks():
+    with pytest.raises(ValueError):
+        build_layout({}, [], 100, MemoryConfig(max_blocks=10))
+
+
+def test_pointer_encode_decode_roundtrip():
+    layout = _layout()
+    mem = SymMemory.initial(layout, {}, "src")
+    ptr = mem.make_pointer(1, 3)
+    bid, off = mem.decode_pointer(ptr)
+    assert evaluate(bid, {}) == 1
+    assert evaluate(off, {}) == 3
+
+
+def test_store_then_load_same_byte():
+    layout = _layout()
+    mem = SymMemory.initial(layout, {}, "src")
+    bid = bv_const(1, layout.bid_bits)
+    off = bv_const(0, layout.config.off_bits)
+    mem.store_bytes(TRUE, bid, off, [SymByte(bv_const(0xAB, 8))])
+    loaded = mem.load_bytes(bid, off, 1)[0]
+    assert evaluate(loaded.value, {}) == 0xAB
+    assert evaluate(loaded.poison, {}) is False
+
+
+def test_load_from_wrong_offset_misses_store():
+    layout = _layout()
+    mem = SymMemory.initial(layout, {}, "src")
+    bid = bv_const(1, layout.bid_bits)
+    mem.store_bytes(
+        TRUE, bid, bv_const(0, layout.config.off_bits), [SymByte(bv_const(7, 8))]
+    )
+    other = mem.load_bytes(bid, bv_const(1, layout.config.off_bits), 1)[0]
+    # Unwritten argument-block bytes read their shared input variable.
+    assert evaluate(other.value, {"argmem_p_b1": 0x55}) == 0x55
+
+
+def test_multibyte_store_little_endian():
+    layout = _layout()
+    mem = SymMemory.initial(layout, {}, "src")
+    bid = bv_const(1, layout.bid_bits)
+    off = bv_const(0, layout.config.off_bits)
+    data = [SymByte(bv_const(0x34, 8)), SymByte(bv_const(0x12, 8))]
+    mem.store_bytes(TRUE, bid, off, data)
+    lo, hi = mem.load_bytes(bid, off, 2)
+    assert evaluate(lo.value, {}) == 0x34
+    assert evaluate(hi.value, {}) == 0x12
+
+
+def test_guarded_store_is_conditional():
+    layout = _layout()
+    mem = SymMemory.initial(layout, {}, "src")
+    from repro.smt.terms import bool_var
+
+    cond = bool_var("path")
+    bid = bv_const(1, layout.bid_bits)
+    off = bv_const(0, layout.config.off_bits)
+    mem.store_bytes(cond, bid, off, [SymByte(bv_const(1, 8))])
+    byte = mem.load_bytes(bid, off, 1)[0]
+    assert evaluate(byte.value, {"path": True}) == 1
+    assert evaluate(byte.value, {"path": False, "argmem_p_b0": 9}) == 9
+
+
+def test_valid_range_checks_bounds():
+    layout = _layout(arg_block_bytes=4)
+    mem = SymMemory.initial(layout, {}, "src")
+    bid = bv_var("bid", layout.bid_bits)
+    off = bv_var("off", layout.config.off_bits)
+    in_range = mem._valid_range(bid, off, 2)
+    assert evaluate(in_range, {"bid": 1, "off": 0}) is True
+    assert evaluate(in_range, {"bid": 1, "off": 2}) is True
+    assert evaluate(in_range, {"bid": 1, "off": 3}) is False  # 2 bytes at 3
+    assert evaluate(in_range, {"bid": 0, "off": 0}) is False  # null block
+    assert evaluate(in_range, {"bid": 7, "off": 0}) is False  # no such block
+
+
+def test_merge_selects_by_condition():
+    layout = _layout()
+    a = SymMemory.initial(layout, {}, "src")
+    b = a.clone()
+    bid = bv_const(1, layout.bid_bits)
+    off = bv_const(0, layout.config.off_bits)
+    a.store_bytes(TRUE, bid, off, [SymByte(bv_const(1, 8))])
+    b.store_bytes(TRUE, bid, off, [SymByte(bv_const(2, 8))])
+    from repro.smt.terms import bool_var
+
+    merged = SymMemory.merge(bool_var("c"), a, b)
+    byte = merged.load_bytes(bid, off, 1)[0]
+    assert evaluate(byte.value, {"c": True}) == 1
+    assert evaluate(byte.value, {"c": False}) == 2
+
+
+def test_global_initializer_bytes():
+    g = {"tbl": GlobalVariable(
+        "tbl", IntType(8), is_constant=True,
+        initializer=None,
+    )}
+    layout = build_layout(g, [], 0)
+    mem = SymMemory.initial(layout, g, "src")
+    byte = mem.blocks[1][0]
+    # External global: contents are shared input variables.
+    assert evaluate(byte.value, {"glob_tbl_b0": 0x42}) == 0x42
+
+
+# ---------------------------------------------------------------------------
+# End-to-end memory refinement properties
+# ---------------------------------------------------------------------------
+
+
+def _check(src, tgt):
+    sm, tm = parse_module(src), parse_module(tgt)
+    return verify_refinement(
+        sm.definitions()[0], tm.definitions()[0], sm, tm, OPTS
+    )
+
+
+def test_byte_type_punning_is_poison():
+    """§4: loading a pointer from int-typed bytes gives poison."""
+    src = (
+        "define ptr @f(ptr %p) {\nentry:\n"
+        "  store i8 1, ptr %p\n  %q = load ptr, ptr %p\n  ret ptr %q\n}"
+    )
+    tgt = "define ptr @f(ptr %p) {\nentry:\n  store i8 1, ptr %p\n  ret ptr poison\n}"
+    result = _check(src, tgt)
+    assert result.verdict is Verdict.CORRECT, (result.failed_check, result.counterexample)
+
+
+def test_pointer_roundtrip_through_memory():
+    src = (
+        "define ptr @f(ptr %p) {\nentry:\n  %s = alloca ptr\n"
+        "  store ptr %p, ptr %s\n  %q = load ptr, ptr %s\n  ret ptr %q\n}"
+    )
+    tgt = "define ptr @f(ptr %p) {\nentry:\n  ret ptr %p\n}"
+    result = _check(src, tgt)
+    assert result.verdict is Verdict.CORRECT, (result.failed_check, result.counterexample)
+
+
+def test_overlapping_stores_last_wins():
+    src = (
+        "define void @f(ptr %p) {\nentry:\n"
+        "  store i8 1, ptr %p\n"
+        "  %q = getelementptr i8, ptr %p, i8 0\n"
+        "  store i8 2, ptr %q\n  ret void\n}"
+    )
+    tgt = "define void @f(ptr %p) {\nentry:\n  store i8 2, ptr %p\n  ret void\n}"
+    assert _check(src, tgt).verdict is Verdict.CORRECT
+
+
+def test_stores_to_distinct_offsets_both_visible():
+    src = (
+        "define void @f(ptr %p) {\nentry:\n"
+        "  store i8 1, ptr %p\n"
+        "  %q = getelementptr i8, ptr %p, i8 1\n"
+        "  store i8 2, ptr %q\n  ret void\n}"
+    )
+    tgt = (
+        "define void @f(ptr %p) {\nentry:\n"
+        "  %q = getelementptr i8, ptr %p, i8 1\n"
+        "  store i8 2, ptr %q\n"
+        "  store i8 1, ptr %p\n  ret void\n}"
+    )
+    assert _check(src, tgt).verdict is Verdict.CORRECT
+    # Dropping one of them is caught.
+    tgt_bad = "define void @f(ptr %p) {\nentry:\n  store i8 1, ptr %p\n  ret void\n}"
+    assert _check(src, tgt_bad).verdict is Verdict.INCORRECT
+
+
+def test_null_pointer_store_is_ub():
+    src = "define void @f() {\nentry:\n  store i8 1, ptr null\n  ret void\n}"
+    tgt = "define void @f() {\nentry:\n  unreachable\n}"
+    # Store to null is UB, so the source is always-UB: anything refines it.
+    assert _check(src, tgt).verdict is Verdict.CORRECT
+
+
+def test_read_only_global_store_is_ub():
+    mod = (
+        "@c = constant i8 5\n\n"
+        "define void @f() {\nentry:\n  store i8 1, ptr @c\n  ret void\n}"
+    )
+    tgt = "@c = constant i8 5\n\ndefine void @f() {\nentry:\n  unreachable\n}"
+    assert _check(mod, tgt).verdict is Verdict.CORRECT

@@ -1,0 +1,533 @@
+"""Tests for the optimizer passes.
+
+Two oracles: the concrete interpreter (outputs must agree on defined
+inputs) and the refinement checker itself (each correct pass must
+validate; each buggy variant must be caught) — the same double-checking
+the paper applies to LLVM.
+"""
+
+import pytest
+
+from repro.ir.interp import run_function
+from repro.ir.parser import parse_module
+from repro.opt.passmanager import PASS_REGISTRY, run_pipeline
+from repro.refinement.check import Verdict, VerifyOptions
+from repro.tv.plugin import validate_pipeline
+
+OPTS = VerifyOptions(timeout_s=60.0)
+
+
+def run_passes(text, pipeline, options=None):
+    module = parse_module(text)
+    run_pipeline(module, pipeline, options)
+    return module
+
+
+def test_registry_contains_all_passes():
+    import repro.opt.passes  # noqa: F401
+
+    for name in (
+        "instsimplify", "instcombine", "dce", "gvn", "simplifycfg",
+        "mem2reg", "licm", "reassociate",
+    ):
+        assert name in PASS_REGISTRY
+
+
+# ---------------------------------------------------------------------------
+# instsimplify
+# ---------------------------------------------------------------------------
+
+
+def test_instsimplify_add_zero():
+    mod = run_passes(
+        "define i8 @f(i8 %a) {\nentry:\n  %x = add i8 %a, 0\n  ret i8 %x\n}",
+        ["instsimplify"],
+    )
+    fn = mod.get_function("f")
+    assert len(fn.blocks["entry"].instructions) == 1  # just the ret
+
+
+def test_instsimplify_constant_folding():
+    mod = run_passes(
+        "define i8 @f() {\nentry:\n  %x = add i8 3, 4\n  %y = mul i8 %x, 2\n  ret i8 %y\n}",
+        ["instsimplify"],
+    )
+    assert run_function(mod, "f", []) == 14
+    fn = mod.get_function("f")
+    assert len(fn.blocks["entry"].instructions) == 1
+
+
+def test_instsimplify_max_pattern():
+    """The paper's §8.2 unit test: smax(x, y) < x folds to false."""
+    mod = run_passes(
+        """
+        define i1 @max1(i8 %x, i8 %y) {
+        entry:
+          %c = icmp sgt i8 %x, %y
+          %m = select i1 %c, i8 %x, i8 %y
+          %r = icmp slt i8 %m, %x
+          ret i1 %r
+        }
+        """,
+        ["instsimplify", "dce"],
+    )
+    fn = mod.get_function("max1")
+    insts = fn.blocks["entry"].instructions
+    assert len(insts) == 1
+    assert str(insts[0]) == "ret i1 false"
+
+
+def test_instsimplify_validates():
+    report = validate_pipeline(
+        parse_module(
+            "define i8 @f(i8 %a) {\nentry:\n  %x = add i8 %a, 0\n"
+            "  %y = xor i8 %x, %x\n  %z = or i8 %y, %a\n  ret i8 %z\n}"
+        ),
+        ["instsimplify"],
+        OPTS,
+    )
+    assert report.tally.incorrect == 0
+    assert report.tally.correct >= 1
+
+
+# ---------------------------------------------------------------------------
+# instcombine
+# ---------------------------------------------------------------------------
+
+
+def test_instcombine_add_self_to_shl():
+    mod = run_passes(
+        "define i8 @f(i8 %a) {\nentry:\n  %x = add i8 %a, %a\n  ret i8 %x\n}",
+        ["instcombine"],
+    )
+    fn = mod.get_function("f")
+    assert fn.blocks["entry"].instructions[0].opcode == "shl"
+    for v in (0, 1, 7, 200):
+        assert run_function(mod, "f", [v]) == (2 * v) % 256
+
+
+def test_instcombine_mul_to_shl_validates():
+    report = validate_pipeline(
+        parse_module(
+            "define i8 @f(i8 %a) {\nentry:\n  %x = mul i8 %a, 4\n  ret i8 %x\n}"
+        ),
+        ["instcombine"],
+        OPTS,
+    )
+    assert report.tally.incorrect == 0
+    assert report.tally.correct == 1
+
+
+def test_instcombine_select_canonicalization_correct_by_default():
+    report = validate_pipeline(
+        parse_module(
+            "define i1 @f(i1 %x, i1 %y) {\nentry:\n"
+            "  %r = select i1 %x, i1 %y, i1 false\n  ret i1 %r\n}"
+        ),
+        ["instcombine"],
+        OPTS,
+    )
+    assert report.tally.incorrect == 0
+
+
+def test_instcombine_buggy_select_to_and_caught():
+    """Enabling the §8.4 bug makes the validator fire."""
+    report = validate_pipeline(
+        parse_module(
+            "define i1 @f(i1 %x, i1 %y) {\nentry:\n"
+            "  %r = select i1 %x, i1 %y, i1 false\n  ret i1 %r\n}"
+        ),
+        ["instcombine"],
+        OPTS,
+        pass_options={"bug:select-to-and-or": True},
+    )
+    assert report.tally.incorrect == 1
+    assert report.failures()[0].result.failed_check == "return-poison"
+
+
+def test_instcombine_buggy_fadd_zero_caught():
+    report = validate_pipeline(
+        parse_module(
+            "define half @f(half %a, half %b) {\nentry:\n"
+            "  %c = fmul nsz half %a, %b\n  %r = fadd half %c, 0.0\n  ret half %r\n}"
+        ),
+        ["instcombine"],
+        OPTS,
+        pass_options={"bug:fadd-zero": True},
+    )
+    assert report.tally.incorrect == 1
+
+
+def test_instcombine_fadd_negzero_is_fine():
+    report = validate_pipeline(
+        parse_module(
+            "define half @f(half %a) {\nentry:\n"
+            "  %r = fadd half %a, -0.0\n  ret half %r\n}"
+        ),
+        ["instcombine"],
+        OPTS,
+    )
+    assert report.tally.incorrect == 0
+    assert report.tally.correct == 1
+
+
+# ---------------------------------------------------------------------------
+# dce
+# ---------------------------------------------------------------------------
+
+
+def test_dce_removes_dead_arithmetic():
+    mod = run_passes(
+        "define i8 @f(i8 %a) {\nentry:\n  %dead = mul i8 %a, 3\n  ret i8 %a\n}",
+        ["dce"],
+    )
+    fn = mod.get_function("f")
+    assert len(fn.blocks["entry"].instructions) == 1
+
+
+def test_dce_keeps_stores():
+    mod = run_passes(
+        "define void @f(ptr %p) {\nentry:\n  store i8 1, ptr %p\n  ret void\n}",
+        ["dce"],
+    )
+    assert len(mod.get_function("f").blocks["entry"].instructions) == 2
+
+
+def test_dce_removes_unreachable_blocks():
+    mod = run_passes(
+        "define i8 @f() {\nentry:\n  ret i8 0\ndead:\n  ret i8 1\n}",
+        ["dce"],
+    )
+    assert list(mod.get_function("f").blocks) == ["entry"]
+
+
+def test_dce_validates():
+    report = validate_pipeline(
+        parse_module(
+            "define i8 @f(i8 %a) {\nentry:\n  %dead = mul i8 %a, 3\n  ret i8 %a\n}"
+        ),
+        ["dce"],
+        OPTS,
+    )
+    assert report.tally.incorrect == 0
+
+
+# ---------------------------------------------------------------------------
+# simplifycfg
+# ---------------------------------------------------------------------------
+
+DIAMOND = """
+define i8 @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  br label %join
+b:
+  br label %join
+join:
+  %r = phi i8 [ 1, %a ], [ 2, %b ]
+  ret i8 %r
+}
+"""
+
+
+def test_simplifycfg_if_conversion():
+    mod = run_passes(DIAMOND, ["simplifycfg"])
+    fn = mod.get_function("f")
+    assert run_function(mod, "f", [1]) == 1
+    assert run_function(mod, "f", [0]) == 2
+    # The diamond collapsed.
+    assert len(fn.blocks) < 4
+
+
+def test_simplifycfg_constant_branch():
+    mod = run_passes(
+        "define i8 @f() {\nentry:\n  br i1 true, label %a, label %b\n"
+        "a:\n  ret i8 1\nb:\n  ret i8 2\n}",
+        ["simplifycfg"],
+    )
+    assert run_function(mod, "f", []) == 1
+    assert "b" not in mod.get_function("f").blocks
+
+
+def test_simplifycfg_validates():
+    report = validate_pipeline(parse_module(DIAMOND), ["simplifycfg"], OPTS)
+    assert report.tally.incorrect == 0
+    assert report.tally.correct == 1
+
+
+def test_simplifycfg_buggy_branch_speculation_caught():
+    src = (
+        "define i8 @f(i1 %c) {\nentry:\n"
+        "  %r = select i1 %c, i8 1, i8 2\n  ret i8 %r\n}"
+    )
+    report = validate_pipeline(
+        parse_module(src),
+        ["simplifycfg"],
+        OPTS,
+        pass_options={"bug:speculate-branch": True},
+    )
+    assert report.tally.incorrect == 1
+    assert report.failures()[0].result.failed_check == "ub"
+
+
+# ---------------------------------------------------------------------------
+# gvn
+# ---------------------------------------------------------------------------
+
+
+def test_gvn_merges_duplicate_computation():
+    mod = run_passes(
+        "define i8 @f(i8 %a, i8 %b) {\nentry:\n"
+        "  %x = add i8 %a, %b\n  %y = add i8 %a, %b\n"
+        "  %r = xor i8 %x, %y\n  ret i8 %r\n}",
+        ["gvn", "instsimplify", "dce"],
+    )
+    fn = mod.get_function("f")
+    assert len(fn.blocks["entry"].instructions) == 1  # xor x x -> 0, all dead
+    assert run_function(mod, "f", [3, 4]) == 0
+
+
+def test_gvn_commutative_matching():
+    mod = run_passes(
+        "define i8 @f(i8 %a, i8 %b) {\nentry:\n"
+        "  %x = add i8 %a, %b\n  %y = add i8 %b, %a\n"
+        "  %r = sub i8 %x, %y\n  ret i8 %r\n}",
+        ["gvn", "instsimplify", "dce"],
+    )
+    assert run_function(mod, "f", [9, 100]) == 0
+
+
+def test_gvn_load_forwarding():
+    mod = run_passes(
+        "define i8 @f(ptr %p) {\nentry:\n  store i8 5, ptr %p\n"
+        "  %v = load i8, ptr %p\n  ret i8 %v\n}",
+        ["gvn"],
+    )
+    fn = mod.get_function("f")
+    # The load is gone; ret uses the stored constant.
+    assert str(fn.blocks["entry"].instructions[-1]) == "ret i8 5"
+
+
+def test_gvn_validates():
+    report = validate_pipeline(
+        parse_module(
+            "define i8 @f(i8 %a) {\nentry:\n  %x = mul i8 %a, 3\n"
+            "  %y = mul i8 %a, 3\n  %r = add i8 %x, %y\n  ret i8 %r\n}"
+        ),
+        ["gvn"],
+        OPTS,
+    )
+    assert report.tally.incorrect == 0
+    assert report.tally.correct == 1
+
+
+def test_gvn_buggy_flag_merge_caught():
+    src = (
+        "define i8 @f(i8 %a) {\nentry:\n"
+        "  %x = add nsw i8 %a, 1\n  %y = add i8 %a, 1\n"
+        "  ret i8 %y\n}"
+    )
+    report = validate_pipeline(
+        parse_module(src), ["gvn"], OPTS, pass_options={"bug:gvn-flags": True}
+    )
+    # The flag-free %y is replaced by the nsw %x: the return value becomes
+    # poison for %a = 127 where the source was well-defined.
+    assert report.tally.incorrect == 1
+    assert report.failures()[0].result.failed_check == "return-poison"
+
+
+# ---------------------------------------------------------------------------
+# mem2reg
+# ---------------------------------------------------------------------------
+
+MEM_DIAMOND = """
+define i8 @f(i1 %c, i8 %v) {
+entry:
+  %slot = alloca i8
+  store i8 %v, ptr %slot
+  br i1 %c, label %then, label %else
+then:
+  store i8 42, ptr %slot
+  br label %join
+else:
+  br label %join
+join:
+  %r = load i8, ptr %slot
+  ret i8 %r
+}
+"""
+
+
+def test_mem2reg_promotes_diamond():
+    mod = run_passes(MEM_DIAMOND, ["mem2reg"])
+    fn = mod.get_function("f")
+    from repro.ir.instructions import Alloca, Load, Store
+
+    for inst in fn.instructions():
+        assert not isinstance(inst, (Alloca, Load, Store))
+    assert run_function(mod, "f", [1, 7]) == 42
+    assert run_function(mod, "f", [0, 7]) == 7
+
+
+def test_mem2reg_validates():
+    report = validate_pipeline(parse_module(MEM_DIAMOND), ["mem2reg"], OPTS)
+    assert report.tally.incorrect == 0
+    assert report.tally.correct == 1
+
+
+def test_mem2reg_uninitialized_load_is_undef():
+    mod = run_passes(
+        "define i8 @f() {\nentry:\n  %p = alloca i8\n"
+        "  %v = load i8, ptr %p\n  ret i8 %v\n}",
+        ["mem2reg"],
+    )
+    fn = mod.get_function("f")
+    assert "undef" in str(fn.blocks["entry"].instructions[-1])
+
+
+def test_mem2reg_skips_escaping_alloca():
+    mod = run_passes(
+        "declare void @esc(ptr)\n\n"
+        "define i8 @f() {\nentry:\n  %p = alloca i8\n"
+        "  call void @esc(ptr %p)\n  %v = load i8, ptr %p\n  ret i8 %v\n}",
+        ["mem2reg"],
+    )
+    from repro.ir.instructions import Alloca
+
+    fn = mod.get_function("f")
+    assert any(isinstance(i, Alloca) for i in fn.instructions())
+
+
+# ---------------------------------------------------------------------------
+# licm
+# ---------------------------------------------------------------------------
+
+LOOP_WITH_INVARIANT = """
+define i8 @f(i8 %n, i8 %k) {
+entry:
+  br label %header
+header:
+  %i = phi i8 [ 0, %entry ], [ %i2, %body ]
+  %c = icmp ult i8 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %inv = mul i8 %k, 3
+  %i2 = add i8 %i, 1
+  br label %header
+exit:
+  ret i8 %i
+}
+"""
+
+
+def test_licm_hoists_invariant():
+    mod = run_passes(LOOP_WITH_INVARIANT, ["licm"])
+    fn = mod.get_function("f")
+    body_ops = [str(i) for i in fn.blocks["body"].instructions]
+    assert not any("mul" in s for s in body_ops)
+    entry_ops = [str(i) for i in fn.blocks["entry"].instructions]
+    assert any("mul" in s for s in entry_ops)
+
+
+def test_licm_validates():
+    report = validate_pipeline(
+        parse_module(LOOP_WITH_INVARIANT), ["licm"], OPTS
+    )
+    assert report.tally.incorrect == 0
+
+
+def test_licm_does_not_speculate_div_by_default():
+    src = LOOP_WITH_INVARIANT.replace("mul i8 %k, 3", "udiv i8 3, %k")
+    mod = run_passes(src, ["licm"])
+    fn = mod.get_function("f")
+    body_ops = [str(i) for i in fn.blocks["body"].instructions]
+    assert any("udiv" in s for s in body_ops)  # stayed put
+
+
+def test_licm_buggy_div_speculation_caught():
+    src = LOOP_WITH_INVARIANT.replace("mul i8 %k, 3", "udiv i8 3, %k")
+    report = validate_pipeline(
+        parse_module(src),
+        ["licm"],
+        OPTS,
+        pass_options={"bug:licm-speculate-div": True},
+    )
+    assert report.tally.incorrect == 1
+    assert report.failures()[0].result.failed_check == "ub"
+
+
+# ---------------------------------------------------------------------------
+# reassociate
+# ---------------------------------------------------------------------------
+
+CHAIN = """
+define i8 @f(i8 %a, i8 %b, i8 %c, i8 %d) {
+entry:
+  %s1 = add nsw i8 %a, %b
+  %s2 = add nsw i8 %s1, %c
+  %s3 = add nsw i8 %s2, %d
+  ret i8 %s3
+}
+"""
+
+
+def test_reassociate_balances_chain():
+    mod = run_passes(CHAIN, ["reassociate"])
+    for args in [(1, 2, 3, 4), (250, 3, 9, 77)]:
+        assert run_function(mod, "f", list(args)) == sum(args) % 256
+
+
+def test_reassociate_validates_without_nsw():
+    report = validate_pipeline(parse_module(CHAIN), ["reassociate"], OPTS)
+    assert report.tally.incorrect == 0
+    assert report.tally.correct == 1
+
+
+def test_reassociate_buggy_nsw_caught():
+    """Selected Bug #1: keeping nsw through reassociation."""
+    report = validate_pipeline(
+        parse_module(CHAIN),
+        ["reassociate"],
+        OPTS,
+        pass_options={"bug:nsw-reassoc": True},
+    )
+    assert report.tally.incorrect == 1
+    assert report.failures()[0].result.failed_check == "return-poison"
+
+
+# ---------------------------------------------------------------------------
+# pipelines and plugin behaviour
+# ---------------------------------------------------------------------------
+
+
+def test_full_pipeline_validates():
+    report = validate_pipeline(
+        parse_module(MEM_DIAMOND),
+        ["mem2reg", "instcombine", "instsimplify", "gvn", "simplifycfg", "dce"],
+        OPTS,
+    )
+    assert report.tally.incorrect == 0
+
+
+def test_skip_unchanged_passes():
+    report = validate_pipeline(
+        parse_module("define i8 @f(i8 %a) {\nentry:\n  ret i8 %a\n}"),
+        ["instsimplify", "dce", "gvn"],
+        OPTS,
+    )
+    assert report.tally.skipped_unchanged == 3
+    assert report.tally.analyzed == 0
+
+
+def test_batching_reduces_checks():
+    src = parse_module(
+        "define i8 @f(i8 %a) {\nentry:\n  %x = add i8 %a, 0\n"
+        "  %y = mul i8 %x, 2\n  ret i8 %y\n}"
+    )
+    unbatched = validate_pipeline(src, ["instsimplify", "instcombine"], OPTS)
+    batched = validate_pipeline(
+        src, ["instsimplify", "instcombine"], OPTS, batch=2
+    )
+    assert batched.tally.analyzed <= unbatched.tally.analyzed
+    assert batched.tally.incorrect == 0

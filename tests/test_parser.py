@@ -1,0 +1,385 @@
+"""Parser and printer tests, including round-trip properties."""
+
+import pytest
+
+from repro.ir import (
+    ArrayType,
+    ConstantInt,
+    IntType,
+    Module,
+    VectorType,
+)
+from repro.ir.instructions import (
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    FBinOp,
+    FCmp,
+    Gep,
+    ICmp,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    ShuffleVector,
+    Store,
+    Switch,
+    Unreachable,
+)
+from repro.ir.parser import ParseError, parse_function, parse_module
+from repro.ir.printer import print_module
+from repro.ir.types import FLOAT_TYPES
+
+
+def test_parse_simple_function():
+    fn = parse_function(
+        """
+        define i8 @f(i8 %a, i8 %b) {
+        entry:
+          %t = add nsw i8 %a, %b
+          ret i8 %t
+        }
+        """
+    )
+    assert fn.name == "f"
+    assert [a.name for a in fn.args] == ["a", "b"]
+    assert list(fn.blocks) == ["entry"]
+    add = fn.blocks["entry"].instructions[0]
+    assert isinstance(add, BinOp)
+    assert add.opcode == "add"
+    assert add.flags == frozenset({"nsw"})
+
+
+def test_parse_figure1_example():
+    """The paper's Figure 1 function, scaled to i8."""
+    fn = parse_function(
+        """
+        define i8 @fn(i8 %a, i8 %b) {
+        entry:
+          %t = add i8 %a, %a
+          %c = icmp eq i8 %t, 0
+          br i1 %c, label %then, label %else
+        then:
+          %q = shl i8 %a, 2
+          ret i8 %q
+        else:
+          %r = and i8 %b, 1
+          ret i8 %r
+        }
+        """
+    )
+    assert set(fn.blocks) == {"entry", "then", "else"}
+    br = fn.blocks["entry"].terminator
+    assert isinstance(br, Br)
+    assert br.successors() == ["then", "else"]
+
+
+def test_parse_branch_unconditional():
+    fn = parse_function(
+        """
+        define i8 @f() {
+        entry:
+          br label %next
+        next:
+          ret i8 0
+        }
+        """
+    )
+    assert fn.blocks["entry"].successors() == ["next"]
+
+
+def test_parse_phi():
+    fn = parse_function(
+        """
+        define i8 @f(i1 %c) {
+        entry:
+          br i1 %c, label %a, label %b
+        a:
+          br label %join
+        b:
+          br label %join
+        join:
+          %x = phi i8 [ 1, %a ], [ 2, %b ]
+          ret i8 %x
+        }
+        """
+    )
+    phi = fn.blocks["join"].instructions[0]
+    assert isinstance(phi, Phi)
+    assert [b for _, b in phi.incoming] == ["a", "b"]
+
+
+def test_parse_undef_poison_constants():
+    fn = parse_function(
+        """
+        define i8 @f() {
+        entry:
+          %x = add i8 undef, poison
+          ret i8 %x
+        }
+        """
+    )
+    add = fn.blocks["entry"].instructions[0]
+    assert str(add.lhs) == "undef"
+    assert str(add.rhs) == "poison"
+
+
+def test_parse_memory_ops():
+    fn = parse_function(
+        """
+        define i8 @f(ptr %p) {
+        entry:
+          %q = alloca i8, align 1
+          store i8 3, ptr %q
+          %v = load i8, ptr %q
+          %g = getelementptr inbounds i8, ptr %p, i8 %v
+          %w = load i8, ptr %g
+          ret i8 %w
+        }
+        """
+    )
+    insts = fn.blocks["entry"].instructions
+    assert isinstance(insts[0], Alloca)
+    assert isinstance(insts[1], Store)
+    assert isinstance(insts[2], Load)
+    gep = insts[3]
+    assert isinstance(gep, Gep)
+    assert gep.inbounds
+
+
+def test_parse_vectors_and_shuffle():
+    fn = parse_function(
+        """
+        define <2 x i8> @f(<2 x i8> %v, <2 x i8> %w) {
+        entry:
+          %s = shufflevector <2 x i8> %v, <2 x i8> %w, <2 x i8> <i8 3, i8 0>
+          ret <2 x i8> %s
+        }
+        """
+    )
+    shuffle = fn.blocks["entry"].instructions[0]
+    assert isinstance(shuffle, ShuffleVector)
+    assert shuffle.mask == [3, 0]
+
+
+def test_parse_shuffle_with_undef_mask():
+    fn = parse_function(
+        """
+        define <2 x i8> @f(<2 x i8> %v) {
+        entry:
+          %s = shufflevector <2 x i8> %v, <2 x i8> poison, <2 x i8> <i8 undef, i8 0>
+          ret <2 x i8> %s
+        }
+        """
+    )
+    shuffle = fn.blocks["entry"].instructions[0]
+    assert shuffle.mask == [None, 0]
+
+
+def test_parse_floats():
+    fn = parse_function(
+        """
+        define half @f(half %x, half %y) {
+        entry:
+          %m = fmul nsz half %x, %y
+          %a = fadd half %m, 0.0
+          %c = fcmp oeq half %a, 1.5
+          %r = select i1 %c, half %m, half %a
+          ret half %r
+        }
+        """
+    )
+    fmul = fn.blocks["entry"].instructions[0]
+    assert isinstance(fmul, FBinOp)
+    assert fmul.fmf == frozenset({"nsz"})
+    fcmp = fn.blocks["entry"].instructions[2]
+    assert isinstance(fcmp, FCmp)
+    assert fcmp.pred == "oeq"
+
+
+def test_parse_casts():
+    fn = parse_function(
+        """
+        define i8 @f(i4 %x) {
+        entry:
+          %z = zext i4 %x to i8
+          %s = sext i4 %x to i8
+          %t = trunc i8 %z to i4
+          %b = bitcast i8 %s to half
+          %i = bitcast half %b to i8
+          ret i8 %i
+        }
+        """
+    )
+    casts = fn.blocks["entry"].instructions[:5]
+    assert [c.opcode for c in casts] == ["zext", "sext", "trunc", "bitcast", "bitcast"]
+
+
+def test_parse_switch():
+    fn = parse_function(
+        """
+        define i8 @f(i8 %x) {
+        entry:
+          switch i8 %x, label %d [ i8 0, label %a i8 1, label %b ]
+        a:
+          ret i8 10
+        b:
+          ret i8 20
+        d:
+          ret i8 30
+        }
+        """
+    )
+    sw = fn.blocks["entry"].terminator
+    assert isinstance(sw, Switch)
+    assert sw.successors() == ["d", "a", "b"]
+
+
+def test_parse_call_and_declare():
+    mod = parse_module(
+        """
+        declare i8 @ext(i8) willreturn
+
+        define i8 @f(i8 %x) {
+        entry:
+          %r = call i8 @ext(i8 %x)
+          call void @ext2()
+          ret i8 %r
+        }
+        """
+    )
+    assert mod.get_function("ext").is_declaration
+    call = mod.get_function("f").blocks["entry"].instructions[0]
+    assert isinstance(call, Call)
+    assert call.callee == "ext"
+
+
+def test_parse_globals():
+    mod = parse_module(
+        """
+        @g = global i8 42
+        @tbl = constant [2 x i8] [i8 1, i8 2]
+
+        define i8 @f() {
+        entry:
+          %v = load i8, ptr @g
+          ret i8 %v
+        }
+        """
+    )
+    assert mod.globals["g"].initializer == ConstantInt(IntType(8), 42)
+    assert mod.globals["tbl"].is_constant
+
+
+def test_parse_param_attrs():
+    fn = parse_function(
+        """
+        define i8 @f(i8 noundef %x, ptr nonnull %p) {
+        entry:
+          ret i8 %x
+        }
+        """
+    )
+    assert fn.args[0].attrs == frozenset({"noundef"})
+    assert fn.args[1].attrs == frozenset({"nonnull"})
+
+
+def test_parse_fn_attrs():
+    fn = parse_function(
+        """
+        define i8 @f(i8 %x) mustprogress {
+        entry:
+          ret i8 %x
+        }
+        """
+    )
+    assert "mustprogress" in fn.attrs
+
+
+def test_parse_unreachable():
+    fn = parse_function(
+        """
+        define i8 @f() {
+        entry:
+          unreachable
+        }
+        """
+    )
+    assert isinstance(fn.blocks["entry"].terminator, Unreachable)
+
+
+def test_parse_error_reports_line():
+    with pytest.raises(ParseError) as info:
+        parse_module("define i8 @f() {\nentry:\n  %x = bogus i8 1\n  ret i8 %x\n}")
+    assert "line 3" in str(info.value)
+
+
+def test_parse_error_on_type_mismatch():
+    with pytest.raises(ParseError):
+        parse_module(
+            "define i8 @f() {\nentry:\n  %x = add i8 true, 1\n  ret i8 %x\n}"
+        )
+
+
+ROUND_TRIP_SOURCES = [
+    """
+    define i8 @f(i8 %a, i8 %b) {
+    entry:
+      %t = add nuw nsw i8 %a, %b
+      %u = sdiv i8 %t, %b
+      %c = icmp sle i8 %u, 3
+      %s = select i1 %c, i8 %t, i8 %u
+      %f = freeze i8 %s
+      ret i8 %f
+    }
+    """,
+    """
+    define <2 x i8> @g(<2 x i8> %v) {
+    entry:
+      %w = add <2 x i8> %v, <i8 1, i8 2>
+      %s = shufflevector <2 x i8> %w, <2 x i8> undef, <2 x i8> <i8 1, i8 0>
+      ret <2 x i8> %s
+    }
+    """,
+    """
+    @glob = global i8 7
+
+    define i8 @h(ptr %p, i1 %c) {
+    entry:
+      br i1 %c, label %yes, label %no
+    yes:
+      %v = load i8, ptr %p
+      br label %join
+    no:
+      br label %join
+    join:
+      %r = phi i8 [ %v, %yes ], [ 0, %no ]
+      ret i8 %r
+    }
+    """,
+    """
+    define half @fp(half %x) {
+    entry:
+      %n = fneg half %x
+      %m = fmul nnan nsz half %n, %x
+      ret half %m
+    }
+    """,
+]
+
+
+@pytest.mark.parametrize("source", ROUND_TRIP_SOURCES)
+def test_print_parse_round_trip(source):
+    mod1 = parse_module(source)
+    text1 = print_module(mod1)
+    mod2 = parse_module(text1)
+    text2 = print_module(mod2)
+    assert text1 == text2
+
+
+def test_float_types_have_expected_widths():
+    assert FLOAT_TYPES["half"].bit_width == 8
+    assert FLOAT_TYPES["float"].bit_width == 10
+    assert FLOAT_TYPES["double"].bit_width == 14

@@ -1,0 +1,607 @@
+"""End-to-end refinement tests (§5): the heart of the reproduction.
+
+Each test is a miniature translation validation task: a source function,
+a target function, and the expected verdict.  The cases mirror the
+paper's discussion: undef/poison propagation, flag dropping, select/and,
+freeze, branch-on-undef, bounded loops, and memory.
+"""
+
+import pytest
+
+from repro.ir.parser import parse_module
+from repro.refinement.check import RefinementResult, Verdict, VerifyOptions, verify_refinement
+
+OPTS = VerifyOptions(timeout_s=60.0, unroll_factor=4)
+
+
+def check(src_text, tgt_text, options=OPTS) -> RefinementResult:
+    sm = parse_module(src_text)
+    tm = parse_module(tgt_text)
+    src = sm.definitions()[0]
+    tgt = tm.definitions()[0]
+    return verify_refinement(src, tgt, sm, tm, options)
+
+
+def assert_correct(src, tgt, options=OPTS):
+    result = check(src, tgt, options)
+    assert result.verdict is Verdict.CORRECT, (
+        result.verdict,
+        result.failed_check,
+        result.counterexample,
+    )
+
+
+def assert_incorrect(src, tgt, expect_check=None, options=OPTS):
+    result = check(src, tgt, options)
+    assert result.verdict is Verdict.INCORRECT, (result.verdict, result.failed_check)
+    if expect_check is not None:
+        assert result.failed_check == expect_check
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Basic equivalence / refinement
+# ---------------------------------------------------------------------------
+
+
+def test_identity():
+    f = "define i8 @f(i8 %a) {\nentry:\n  %x = add i8 %a, 1\n  ret i8 %x\n}"
+    assert_correct(f, f)
+
+
+def test_commutativity():
+    src = "define i8 @f(i8 %a, i8 %b) {\nentry:\n  %x = add i8 %a, %b\n  ret i8 %x\n}"
+    tgt = "define i8 @f(i8 %a, i8 %b) {\nentry:\n  %x = add i8 %b, %a\n  ret i8 %x\n}"
+    assert_correct(src, tgt)
+
+
+def test_strength_reduction_correct():
+    src = "define i8 @f(i8 %a) {\nentry:\n  %x = mul i8 %a, 8\n  ret i8 %x\n}"
+    tgt = "define i8 @f(i8 %a) {\nentry:\n  %x = shl i8 %a, 3\n  ret i8 %x\n}"
+    assert_correct(src, tgt)
+
+
+def test_wrong_constant_fold():
+    src = "define i8 @f(i8 %a) {\nentry:\n  %x = add i8 %a, 2\n  ret i8 %x\n}"
+    tgt = "define i8 @f(i8 %a) {\nentry:\n  %x = add i8 %a, 3\n  ret i8 %x\n}"
+    result = assert_incorrect(src, tgt, "return-value")
+    assert result.counterexample  # has argument values
+
+
+def test_udiv_to_lshr():
+    src = "define i8 @f(i8 %a) {\nentry:\n  %x = udiv i8 %a, 2\n  ret i8 %x\n}"
+    tgt = "define i8 @f(i8 %a) {\nentry:\n  %x = lshr i8 %a, 1\n  ret i8 %x\n}"
+    # lshr never triggers UB, udiv-by-2 never does either: correct.
+    assert_correct(src, tgt)
+
+
+def test_lshr_to_udiv_loses_ub():
+    # lshr by 1 is always defined; udiv by 2 is too — still correct.
+    src = "define i8 @f(i8 %a) {\nentry:\n  %x = lshr i8 %a, 1\n  ret i8 %x\n}"
+    tgt = "define i8 @f(i8 %a) {\nentry:\n  %x = udiv i8 %a, 2\n  ret i8 %x\n}"
+    assert_correct(src, tgt)
+
+
+# ---------------------------------------------------------------------------
+# Undef (§2, §3.3)
+# ---------------------------------------------------------------------------
+
+
+def test_add_self_refined_by_mul2():
+    """x+x may be odd when x is undef, so mul-by-2 refines it (paper §2)."""
+    src = "define i8 @f(i8 %a) {\nentry:\n  %t = add i8 %a, %a\n  ret i8 %t\n}"
+    tgt = "define i8 @f(i8 %a) {\nentry:\n  %t = mul i8 %a, 2\n  ret i8 %t\n}"
+    assert_correct(src, tgt)
+
+
+def test_mul2_not_refined_by_add_self():
+    src = "define i8 @f(i8 %a) {\nentry:\n  %t = mul i8 %a, 2\n  ret i8 %t\n}"
+    tgt = "define i8 @f(i8 %a) {\nentry:\n  %t = add i8 %a, %a\n  ret i8 %t\n}"
+    result = assert_incorrect(src, tgt, "return-value")
+    assert result.counterexample.get("isundef_a") is True
+
+
+def test_undef_source_refined_by_anything():
+    src = "define i8 @f() {\nentry:\n  ret i8 undef\n}"
+    tgt = "define i8 @f() {\nentry:\n  ret i8 42\n}"
+    assert_correct(src, tgt)
+
+
+def test_constant_not_refined_by_undef():
+    src = "define i8 @f() {\nentry:\n  ret i8 42\n}"
+    tgt = "define i8 @f() {\nentry:\n  ret i8 undef\n}"
+    assert_incorrect(src, tgt)
+
+
+def test_undef_and_one_is_partial():
+    # src: undef & 1 can be {0, 1}; tgt: 0 is one of those values.
+    src = "define i8 @f() {\nentry:\n  %x = and i8 undef, 1\n  ret i8 %x\n}"
+    tgt = "define i8 @f() {\nentry:\n  ret i8 0\n}"
+    assert_correct(src, tgt)
+    # But 2 is not producible.
+    tgt_bad = "define i8 @f() {\nentry:\n  ret i8 2\n}"
+    assert_incorrect(src, tgt_bad)
+
+
+# ---------------------------------------------------------------------------
+# Poison and flags
+# ---------------------------------------------------------------------------
+
+
+def test_dropping_nsw_is_correct():
+    src = "define i8 @f(i8 %a) {\nentry:\n  %x = add nsw i8 %a, 1\n  ret i8 %x\n}"
+    tgt = "define i8 @f(i8 %a) {\nentry:\n  %x = add i8 %a, 1\n  ret i8 %x\n}"
+    assert_correct(src, tgt)
+
+
+def test_adding_nsw_is_incorrect():
+    src = "define i8 @f(i8 %a) {\nentry:\n  %x = add i8 %a, 1\n  ret i8 %x\n}"
+    tgt = "define i8 @f(i8 %a) {\nentry:\n  %x = add nsw i8 %a, 1\n  ret i8 %x\n}"
+    assert_incorrect(src, tgt, "return-poison")
+
+
+def test_poison_source_refined_by_value():
+    src = "define i8 @f() {\nentry:\n  ret i8 poison\n}"
+    tgt = "define i8 @f() {\nentry:\n  ret i8 7\n}"
+    assert_correct(src, tgt)
+
+
+def test_select_to_and_is_the_paper_bug():
+    """§8.4: select %x, %y, false -> and %x, %y is wrong under poison."""
+    src = (
+        "define i1 @f(i1 %x, i1 %y) {\nentry:\n"
+        "  %r = select i1 %x, i1 %y, i1 false\n  ret i1 %r\n}"
+    )
+    tgt = "define i1 @f(i1 %x, i1 %y) {\nentry:\n  %r = and i1 %x, %y\n  ret i1 %r\n}"
+    result = assert_incorrect(src, tgt, "return-poison")
+    # The counterexample must make %y poison (and %x false).
+    assert result.counterexample.get("ispoison_y") is True
+
+
+def test_and_to_select_is_correct():
+    src = "define i1 @f(i1 %x, i1 %y) {\nentry:\n  %r = and i1 %x, %y\n  ret i1 %r\n}"
+    tgt = (
+        "define i1 @f(i1 %x, i1 %y) {\nentry:\n"
+        "  %r = select i1 %x, i1 %y, i1 false\n  ret i1 %r\n}"
+    )
+    assert_correct(src, tgt)
+
+
+def test_shift_amount_too_large_is_poison():
+    src = "define i8 @f(i8 %a) {\nentry:\n  %x = shl i8 %a, 8\n  ret i8 %x\n}"
+    tgt = "define i8 @f(i8 %a) {\nentry:\n  ret i8 poison\n}"
+    assert_correct(src, tgt)
+    assert_correct(tgt, src)
+
+
+# ---------------------------------------------------------------------------
+# Freeze (§2)
+# ---------------------------------------------------------------------------
+
+
+def test_freeze_undef_refined_by_constant():
+    src = "define i8 @f() {\nentry:\n  %x = freeze i8 undef\n  ret i8 %x\n}"
+    tgt = "define i8 @f() {\nentry:\n  ret i8 0\n}"
+    assert_correct(src, tgt)
+
+
+def test_constant_not_refined_by_freeze_undef():
+    src = "define i8 @f() {\nentry:\n  ret i8 0\n}"
+    tgt = "define i8 @f() {\nentry:\n  %x = freeze i8 undef\n  ret i8 %x\n}"
+    assert_incorrect(src, tgt)
+
+
+def test_freeze_makes_add_even():
+    """%f = freeze undef; %f + %f is always even (§2's freeze example)."""
+    src = (
+        "define i8 @f(i8 %a) {\nentry:\n  %f = freeze i8 %a\n"
+        "  %b = add i8 %f, %f\n  ret i8 %b\n}"
+    )
+    tgt = (
+        "define i8 @f(i8 %a) {\nentry:\n  %f = freeze i8 %a\n"
+        "  %b = mul i8 %f, 2\n  ret i8 %b\n}"
+    )
+    assert_correct(src, tgt)
+    assert_correct(tgt, src)  # both directions: freeze fixes the value
+
+
+def test_removing_freeze_is_incorrect():
+    src = "define i8 @f(i8 %a) {\nentry:\n  %f = freeze i8 %a\n  %b = add i8 %f, %f\n  ret i8 %b\n}"
+    tgt = "define i8 @f(i8 %a) {\nentry:\n  %b = add i8 %a, %a\n  ret i8 %b\n}"
+    assert_incorrect(src, tgt)
+
+
+# ---------------------------------------------------------------------------
+# Control flow and UB
+# ---------------------------------------------------------------------------
+
+
+def test_branch_on_undef_is_ub():
+    # Source branches on a (potentially undef) argument; target ignores it.
+    src = (
+        "define i8 @f(i1 %c) {\nentry:\n  br i1 %c, label %a, label %b\n"
+        "a:\n  ret i8 1\nb:\n  ret i8 2\n}"
+    )
+    tgt = "define i8 @f(i1 %c) {\nentry:\n  ret i8 1\n}"
+    # tgt returns 1 even when %c = false (well-defined): not a refinement.
+    assert_incorrect(src, tgt)
+
+
+def test_introducing_branch_on_undef_is_incorrect():
+    """§8.3: introducing a conditional branch on a possibly-undef value."""
+    src = "define i8 @f(i1 %c) {\nentry:\n  ret i8 5\n}"
+    tgt = (
+        "define i8 @f(i1 %c) {\nentry:\n  br i1 %c, label %a, label %b\n"
+        "a:\n  ret i8 5\nb:\n  ret i8 5\n}"
+    )
+    assert_incorrect(src, tgt, "ub")
+
+
+def test_simplifycfg_keeps_refinement():
+    src = (
+        "define i8 @f(i1 %c) {\nentry:\n  br i1 %c, label %a, label %b\n"
+        "a:\n  br label %join\nb:\n  br label %join\n"
+        "join:\n  %r = phi i8 [ 1, %a ], [ 2, %b ]\n  ret i8 %r\n}"
+    )
+    tgt = (
+        "define i8 @f(i1 %c) {\nentry:\n"
+        "  %r = select i1 %c, i8 1, i8 2\n  ret i8 %r\n}"
+    )
+    assert_correct(src, tgt)
+
+
+def test_unreachable_code_gives_license():
+    src = "define i8 @f(i8 %a) {\nentry:\n  unreachable\n}"
+    tgt = "define i8 @f(i8 %a) {\nentry:\n  ret i8 3\n}"
+    assert_correct(src, tgt)
+
+
+def test_cannot_introduce_ub():
+    src = "define i8 @f(i8 %a) {\nentry:\n  ret i8 3\n}"
+    tgt = "define i8 @f(i8 %a) {\nentry:\n  unreachable\n}"
+    assert_incorrect(src, tgt, "ub")
+
+
+def test_division_ub_preserved():
+    f = "define i8 @f(i8 %a, i8 %b) {\nentry:\n  %x = udiv i8 %a, %b\n  ret i8 %x\n}"
+    assert_correct(f, f)
+
+
+def test_cannot_remove_division_ub_check():
+    src = (
+        "define i8 @f(i8 %a, i8 %b) {\nentry:\n"
+        "  %z = icmp eq i8 %b, 0\n  br i1 %z, label %safe, label %div\n"
+        "safe:\n  ret i8 0\ndiv:\n  %x = udiv i8 %a, %b\n  ret i8 %x\n}"
+    )
+    tgt = "define i8 @f(i8 %a, i8 %b) {\nentry:\n  %x = udiv i8 %a, %b\n  ret i8 %x\n}"
+    assert_incorrect(src, tgt, "ub")
+
+
+def test_hoisting_division_by_nonzero_is_correct():
+    src = (
+        "define i8 @f(i8 %a, i8 %b) {\nentry:\n"
+        "  %nz = or i8 %b, 1\n  %x = udiv i8 %a, %nz\n  ret i8 %x\n}"
+    )
+    assert_correct(src, src)
+
+
+# ---------------------------------------------------------------------------
+# Switch
+# ---------------------------------------------------------------------------
+
+
+def test_switch_to_branches():
+    src = (
+        "define i8 @f(i8 %x) {\nentry:\n"
+        "  switch i8 %x, label %d [ i8 0, label %a i8 1, label %b ]\n"
+        "a:\n  ret i8 10\nb:\n  ret i8 20\nd:\n  ret i8 30\n}"
+    )
+    tgt = (
+        "define i8 @f(i8 %x) {\nentry:\n"
+        "  %c0 = icmp eq i8 %x, 0\n  br i1 %c0, label %a, label %n\n"
+        "n:\n  %c1 = icmp eq i8 %x, 1\n  br i1 %c1, label %b, label %d\n"
+        "a:\n  ret i8 10\nb:\n  ret i8 20\nd:\n  ret i8 30\n}"
+    )
+    assert_correct(src, tgt)
+
+
+def test_switch_wrong_case_value():
+    src = (
+        "define i8 @f(i8 %x) {\nentry:\n"
+        "  switch i8 %x, label %d [ i8 0, label %a ]\n"
+        "a:\n  ret i8 10\nd:\n  ret i8 30\n}"
+    )
+    tgt = (
+        "define i8 @f(i8 %x) {\nentry:\n"
+        "  switch i8 %x, label %d [ i8 1, label %a ]\n"
+        "a:\n  ret i8 10\nd:\n  ret i8 30\n}"
+    )
+    assert_incorrect(src, tgt)
+
+
+# ---------------------------------------------------------------------------
+# Loops (bounded validation, §7)
+# ---------------------------------------------------------------------------
+
+COUNT_LOOP = """
+define i8 @f(i8 %n) {
+entry:
+  br label %header
+header:
+  %i = phi i8 [ 0, %entry ], [ %i2, %body ]
+  %c = icmp ult i8 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %i2 = add i8 %i, 1
+  br label %header
+exit:
+  ret i8 %i
+}
+"""
+
+
+def test_loop_identity():
+    assert_correct(COUNT_LOOP, COUNT_LOOP)
+
+
+def test_loop_replaced_by_closed_form():
+    # The loop returns n (counts 0..n); constant-time version returns n.
+    tgt = "define i8 @f(i8 %n) {\nentry:\n  ret i8 %n\n}"
+    # Within the unroll bound, correct; beyond it, the sink precondition
+    # excludes the paths, so the verdict is CORRECT (bounded validation).
+    assert_correct(COUNT_LOOP, tgt)
+
+
+def test_loop_wrong_closed_form_caught_within_bound():
+    tgt = "define i8 @f(i8 %n) {\nentry:\n  %r = add i8 %n, 1\n  ret i8 %r\n}"
+    result = assert_incorrect(COUNT_LOOP, tgt)
+    # The counterexample must be within the unroll bound.
+    n = result.counterexample.get("arg_n")
+    assert n is not None and n < OPTS.unroll_factor
+
+
+def test_bug_beyond_unroll_bound_is_missed():
+    """§8.5: bounded TV misses bugs requiring many iterations."""
+    tgt = (
+        "define i8 @f(i8 %n) {\nentry:\n"
+        "  %big = icmp ugt i8 %n, 100\n  br i1 %big, label %bad, label %ok\n"
+        "bad:\n  ret i8 77\nok:\n  ret i8 %n\n}"
+    )
+    # This is wrong for n > 100, but 100 iterations exceed the bound:
+    # the loop's sink precondition excludes all n >= unroll factor.
+    assert_correct(COUNT_LOOP, tgt)
+
+
+# ---------------------------------------------------------------------------
+# Memory (§4)
+# ---------------------------------------------------------------------------
+
+
+def test_store_load_forwarding():
+    src = (
+        "define i8 @f(i8 %v) {\nentry:\n  %p = alloca i8\n"
+        "  store i8 %v, ptr %p\n  %l = load i8, ptr %p\n  ret i8 %l\n}"
+    )
+    tgt = "define i8 @f(i8 %v) {\nentry:\n  ret i8 %v\n}"
+    assert_correct(src, tgt)
+
+
+def test_store_wrong_value_to_arg_pointer():
+    src = "define void @f(ptr %p) {\nentry:\n  store i8 1, ptr %p\n  ret void\n}"
+    tgt = "define void @f(ptr %p) {\nentry:\n  store i8 2, ptr %p\n  ret void\n}"
+    assert_incorrect(src, tgt, "memory")
+
+
+def test_dead_store_elimination():
+    src = (
+        "define void @f(ptr %p) {\nentry:\n  store i8 1, ptr %p\n"
+        "  store i8 2, ptr %p\n  ret void\n}"
+    )
+    tgt = "define void @f(ptr %p) {\nentry:\n  store i8 2, ptr %p\n  ret void\n}"
+    assert_correct(src, tgt)
+
+
+def test_cannot_remove_observable_store():
+    src = "define void @f(ptr %p) {\nentry:\n  store i8 9, ptr %p\n  ret void\n}"
+    tgt = "define void @f(ptr %p) {\nentry:\n  ret void\n}"
+    assert_incorrect(src, tgt, "memory")
+
+
+def test_load_from_global():
+    mod = (
+        "@g = global i8 7\n\n"
+        "define i8 @f() {\nentry:\n  %v = load i8, ptr @g\n  ret i8 %v\n}"
+    )
+    tgt = "@g = global i8 7\n\ndefine i8 @f() {\nentry:\n  ret i8 7\n}"
+    assert_correct(mod, tgt)
+
+
+def test_constant_global_folding():
+    mod = (
+        "@c = constant i8 3\n\n"
+        "define i8 @f(i8 %a) {\nentry:\n  %v = load i8, ptr @c\n"
+        "  %r = add i8 %v, %a\n  ret i8 %r\n}"
+    )
+    tgt = (
+        "@c = constant i8 3\n\n"
+        "define i8 @f(i8 %a) {\nentry:\n  %r = add i8 3, %a\n  ret i8 %r\n}"
+    )
+    assert_correct(mod, tgt)
+
+
+def test_gep_inbounds_out_of_range_is_poison():
+    src = (
+        "define ptr @f(ptr %p) {\nentry:\n"
+        "  %q = getelementptr inbounds i8, ptr %p, i8 100\n  ret ptr %q\n}"
+    )
+    tgt = "define ptr @f(ptr %p) {\nentry:\n  ret ptr poison\n}"
+    # Argument blocks are small (default 4 bytes), so +100 is out of bounds
+    # whenever %p points at its block; but %p may also be null, where the
+    # gep is also out-of-bounds -> poison either way.
+    assert_correct(src, tgt)
+
+
+def test_alloca_is_private():
+    # Writes to a local alloca that is never read do not matter.
+    src = (
+        "define i8 @f() {\nentry:\n  %p = alloca i8\n"
+        "  store i8 1, ptr %p\n  ret i8 0\n}"
+    )
+    tgt = "define i8 @f() {\nentry:\n  ret i8 0\n}"
+    assert_correct(src, tgt)
+
+
+# ---------------------------------------------------------------------------
+# Function calls (§6)
+# ---------------------------------------------------------------------------
+
+
+def test_unknown_call_identity():
+    mod = (
+        "declare i8 @ext(i8)\n\n"
+        "define i8 @f(i8 %a) {\nentry:\n  %r = call i8 @ext(i8 %a)\n  ret i8 %r\n}"
+    )
+    assert_correct(mod, mod)
+
+
+def test_cannot_introduce_call():
+    src = "declare i8 @ext(i8)\n\ndefine i8 @f(i8 %a) {\nentry:\n  ret i8 %a\n}"
+    tgt = (
+        "declare i8 @ext(i8)\n\n"
+        "define i8 @f(i8 %a) {\nentry:\n  %r = call i8 @ext(i8 %a)\n  ret i8 %r\n}"
+    )
+    assert_incorrect(src, tgt)
+
+
+def test_removing_readnone_call_result_unused():
+    src = (
+        "declare i8 @ext(i8) readnone willreturn\n\n"
+        "define i8 @f(i8 %a) {\nentry:\n  %r = call i8 @ext(i8 %a)\n  ret i8 %a\n}"
+    )
+    tgt = "declare i8 @ext(i8) readnone willreturn\n\ndefine i8 @f(i8 %a) {\nentry:\n  ret i8 %a\n}"
+    assert_correct(src, tgt)
+
+
+def test_dedup_readnone_calls():
+    """The §6 motivating optimization: remove a duplicated readnone call."""
+    src = (
+        "declare i8 @ext(i8) readnone\n\n"
+        "define i8 @f(i8 %a) {\nentry:\n"
+        "  %r1 = call i8 @ext(i8 %a)\n  %r2 = call i8 @ext(i8 %a)\n"
+        "  %s = add i8 %r1, %r2\n  ret i8 %s\n}"
+    )
+    tgt = (
+        "declare i8 @ext(i8) readnone\n\n"
+        "define i8 @f(i8 %a) {\nentry:\n"
+        "  %r1 = call i8 @ext(i8 %a)\n"
+        "  %s = add i8 %r1, %r1\n  ret i8 %s\n}"
+    )
+    assert_correct(src, tgt)
+
+
+def test_noreturn_call():
+    mod = (
+        "declare void @die() noreturn\n\n"
+        "define i8 @f(i1 %c) {\nentry:\n  br i1 %c, label %a, label %b\n"
+        "a:\n  call void @die() noreturn\n  unreachable\nb:\n  ret i8 1\n}"
+    )
+    assert_correct(mod, mod)
+
+
+def test_printf_to_puts_pairing():
+    src = (
+        "declare i8 @printf(ptr)\n\n"
+        "define void @f(ptr %s) {\nentry:\n"
+        "  %r = call i8 @printf(ptr %s)\n  ret void\n}"
+    )
+    tgt = (
+        "declare i8 @puts(ptr)\n\n"
+        "define void @f(ptr %s) {\nentry:\n"
+        "  %r = call i8 @puts(ptr %s)\n  ret void\n}"
+    )
+    assert_correct(src, tgt)
+
+
+# ---------------------------------------------------------------------------
+# Vectors (§8.2 category)
+# ---------------------------------------------------------------------------
+
+
+def test_vector_add_identity():
+    f = (
+        "define <2 x i8> @f(<2 x i8> %v) {\nentry:\n"
+        "  %r = add <2 x i8> %v, <i8 1, i8 1>\n  ret <2 x i8> %r\n}"
+    )
+    assert_correct(f, f)
+
+
+def test_shuffle_swap():
+    src = (
+        "define <2 x i8> @f(<2 x i8> %v) {\nentry:\n"
+        "  %r = shufflevector <2 x i8> %v, <2 x i8> poison, <2 x i8> <i8 1, i8 0>\n"
+        "  ret <2 x i8> %r\n}"
+    )
+    assert_correct(src, src)
+
+
+def test_shuffle_wrong_lane():
+    src = (
+        "define <2 x i8> @f(<2 x i8> %v) {\nentry:\n"
+        "  %r = shufflevector <2 x i8> %v, <2 x i8> poison, <2 x i8> <i8 1, i8 0>\n"
+        "  ret <2 x i8> %r\n}"
+    )
+    tgt = (
+        "define <2 x i8> @f(<2 x i8> %v) {\nentry:\n"
+        "  ret <2 x i8> %v\n}"
+    )
+    assert_incorrect(src, tgt)
+
+
+def test_extract_insert_roundtrip():
+    src = (
+        "define i8 @f(<2 x i8> %v) {\nentry:\n"
+        "  %x = extractelement <2 x i8> %v, i8 0\n  ret i8 %x\n}"
+    )
+    assert_correct(src, src)
+
+
+# ---------------------------------------------------------------------------
+# Verdict classes
+# ---------------------------------------------------------------------------
+
+
+def test_unsupported_signature_mismatch():
+    src = "define i8 @f(i8 %a) {\nentry:\n  ret i8 %a\n}"
+    tgt = "define i8 @f(i4 %a) {\nentry:\n  ret i8 0\n}"
+    result = check(src, tgt)
+    assert result.verdict is Verdict.UNSUPPORTED
+
+
+def test_unsupported_ptrtoint():
+    src = (
+        "define i8 @f(ptr %p) {\nentry:\n"
+        "  %x = ptrtoint ptr %p to i8\n  ret i8 %x\n}"
+    )
+    result = check(src, src)
+    assert result.verdict is Verdict.UNSUPPORTED
+    assert "ptr-int-cast" in result.unsupported_feature
+
+
+def test_timeout_reported():
+    # Tiny resource budget forces a timeout verdict on a nontrivial query.
+    f = (
+        "define i8 @f(i8 %a, i8 %b) {\nentry:\n"
+        "  %x = mul i8 %a, %b\n  %y = mul i8 %b, %a\n"
+        "  %z = sub i8 %x, %y\n  ret i8 %z\n}"
+    )
+    result = check(f, f, VerifyOptions(timeout_s=0.0))
+    assert result.verdict in (Verdict.TIMEOUT, Verdict.CORRECT)
+
+
+def test_describe_output():
+    src = "define i8 @f(i8 %a) {\nentry:\n  %x = add i8 %a, 2\n  ret i8 %x\n}"
+    tgt = "define i8 @f(i8 %a) {\nentry:\n  %x = add i8 %a, 3\n  ret i8 %x\n}"
+    result = check(src, tgt)
+    text = result.describe()
+    assert "doesn't verify" in text
+    assert "arg_a" in text

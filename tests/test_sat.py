@@ -1,0 +1,198 @@
+"""Unit tests for the CDCL SAT solver."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat import SatResult, SatSolver
+from repro.sat.solver import Budget, _luby
+
+
+def test_empty_formula_is_sat():
+    s = SatSolver()
+    assert s.solve() is SatResult.SAT
+
+
+def test_unit_clause():
+    s = SatSolver()
+    a = s.new_var()
+    s.add_clause([a])
+    assert s.solve() is SatResult.SAT
+    assert s.model_value(a) is True
+    assert s.model_value(-a) is False
+
+
+def test_contradiction():
+    s = SatSolver()
+    a = s.new_var()
+    s.add_clause([a])
+    s.add_clause([-a])
+    assert s.solve() is SatResult.UNSAT
+
+
+def test_simple_implication_chain():
+    s = SatSolver()
+    vs = [s.new_var() for _ in range(10)]
+    s.add_clause([vs[0]])
+    for i in range(9):
+        s.add_clause([-vs[i], vs[i + 1]])
+    assert s.solve() is SatResult.SAT
+    assert all(s.model_value(v) for v in vs)
+
+
+def test_tautology_is_dropped():
+    s = SatSolver()
+    a = s.new_var()
+    s.add_clause([a, -a])
+    assert s.solve() is SatResult.SAT
+
+
+def test_duplicate_literals_merged():
+    s = SatSolver()
+    a = s.new_var()
+    b = s.new_var()
+    s.add_clause([a, a, b])
+    s.add_clause([-a])
+    assert s.solve() is SatResult.SAT
+    assert s.model_value(b)
+
+
+def test_pigeonhole_3_into_2_unsat():
+    # 3 pigeons, 2 holes: classic small UNSAT instance exercising learning.
+    s = SatSolver()
+    holes = 2
+    pigeons = 3
+    var = {}
+    for p in range(pigeons):
+        for h in range(holes):
+            var[p, h] = s.new_var()
+    for p in range(pigeons):
+        s.add_clause([var[p, h] for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                s.add_clause([-var[p1, h], -var[p2, h]])
+    assert s.solve() is SatResult.UNSAT
+
+
+def test_pigeonhole_5_into_4_unsat():
+    s = SatSolver()
+    holes, pigeons = 4, 5
+    var = {(p, h): s.new_var() for p in range(pigeons) for h in range(holes)}
+    for p in range(pigeons):
+        s.add_clause([var[p, h] for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                s.add_clause([-var[p1, h], -var[p2, h]])
+    assert s.solve() is SatResult.UNSAT
+
+
+def test_assumptions_sat_and_unsat():
+    s = SatSolver()
+    a, b = s.new_var(), s.new_var()
+    s.add_clause([a, b])
+    assert s.solve(assumptions=[-a]) is SatResult.SAT
+    assert s.model_value(b)
+    s.add_clause([-b])
+    assert s.solve(assumptions=[-a]) is SatResult.UNSAT
+    # The solver is still usable and SAT without assumptions.
+    assert s.solve() is SatResult.SAT
+    assert s.model_value(a)
+
+
+def test_assumptions_do_not_persist():
+    s = SatSolver()
+    a = s.new_var()
+    assert s.solve(assumptions=[-a]) is SatResult.SAT
+    assert s.solve(assumptions=[a]) is SatResult.SAT
+
+
+def test_conflict_budget_returns_unknown():
+    # A hard pigeonhole instance with a 1-conflict budget must give up.
+    s = SatSolver()
+    holes, pigeons = 5, 6
+    var = {(p, h): s.new_var() for p in range(pigeons) for h in range(holes)}
+    for p in range(pigeons):
+        s.add_clause([var[p, h] for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                s.add_clause([-var[p1, h], -var[p2, h]])
+    result = s.solve(budget=Budget(max_conflicts=1))
+    assert result is SatResult.UNKNOWN
+    assert s.stats.unknown_reason == "conflicts"
+
+
+def test_luby_sequence_prefix():
+    assert [_luby(i) for i in range(10)] == [1, 1, 2, 1, 1, 2, 4, 1, 1, 2]
+
+
+def _random_cnf(rng, num_vars, num_clauses, width=3):
+    clauses = []
+    for _ in range(num_clauses):
+        lits = set()
+        while len(lits) < width:
+            v = rng.randint(1, num_vars)
+            lits.add(v if rng.random() < 0.5 else -v)
+        clauses.append(sorted(lits, key=abs))
+    return clauses
+
+
+def _brute_force_sat(num_vars, clauses):
+    for bits in range(1 << num_vars):
+        ok = True
+        for clause in clauses:
+            if not any(
+                ((bits >> (abs(l) - 1)) & 1) == (1 if l > 0 else 0) for l in clause
+            ):
+                ok = False
+                break
+        if ok:
+            return True
+    return False
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_random_cnf_against_brute_force(seed):
+    rng = random.Random(seed)
+    num_vars = rng.randint(4, 9)
+    num_clauses = rng.randint(num_vars, 5 * num_vars)
+    clauses = _random_cnf(rng, num_vars, num_clauses)
+    s = SatSolver()
+    s.ensure_vars(num_vars)
+    for c in clauses:
+        s.add_clause(c)
+    expected = _brute_force_sat(num_vars, clauses)
+    result = s.solve()
+    assert result is (SatResult.SAT if expected else SatResult.UNSAT)
+    if result is SatResult.SAT:
+        for clause in clauses:
+            assert any(s.model_value(l) for l in clause)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_random_cnf_model_satisfies_clauses(seed):
+    rng = random.Random(seed)
+    num_vars = rng.randint(3, 14)
+    clauses = _random_cnf(rng, num_vars, rng.randint(2, 4 * num_vars))
+    s = SatSolver()
+    s.ensure_vars(num_vars)
+    for c in clauses:
+        s.add_clause(c)
+    if s.solve() is SatResult.SAT:
+        for clause in clauses:
+            assert any(s.model_value(l) for l in clause)
+
+
+def test_incremental_use_after_unsat_assumptions():
+    s = SatSolver()
+    a, b, c = s.new_var(), s.new_var(), s.new_var()
+    s.add_clause([a, b])
+    s.add_clause([-a, c])
+    assert s.solve(assumptions=[a, -c]) is SatResult.UNSAT
+    assert s.solve(assumptions=[a]) is SatResult.SAT
+    assert s.model_value(c)

@@ -1,0 +1,185 @@
+"""Unit and property tests for the SMT term DSL (folding, substitution)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smt import terms as T
+
+
+def test_interning_makes_equal_terms_identical():
+    a1 = T.bv_var("a", 8)
+    a2 = T.bv_var("a", 8)
+    assert a1 is a2
+    assert T.bv_add(a1, T.bv_const(1, 8)) is T.bv_add(a2, T.bv_const(1, 8))
+
+
+def test_constant_folding_add():
+    assert T.bv_add(T.bv_const(250, 8), T.bv_const(10, 8)).value == 4
+
+
+def test_add_zero_identity():
+    a = T.bv_var("a", 8)
+    assert T.bv_add(a, T.bv_const(0, 8)) is a
+    assert T.bv_add(T.bv_const(0, 8), a) is a
+
+
+def test_sub_self_is_zero():
+    a = T.bv_var("a", 8)
+    assert T.bv_sub(a, a).value == 0
+
+
+def test_mul_by_zero_and_one():
+    a = T.bv_var("a", 8)
+    assert T.bv_mul(a, T.bv_const(0, 8)).value == 0
+    assert T.bv_mul(T.bv_const(1, 8), a) is a
+
+
+def test_and_or_identities():
+    a = T.bv_var("a", 4)
+    ones = T.bv_const(15, 4)
+    zero = T.bv_const(0, 4)
+    assert T.bv_and(a, ones) is a
+    assert T.bv_and(a, zero).value == 0
+    assert T.bv_or(a, zero) is a
+    assert T.bv_or(a, ones).value == 15
+    assert T.bv_xor(a, a).value == 0
+
+
+def test_udiv_by_zero_is_all_ones():
+    assert T.bv_udiv(T.bv_const(7, 4), T.bv_const(0, 4)).value == 15
+
+
+def test_sdiv_fold_signs():
+    # -8 / 2 == -4 in i4
+    assert T.bv_sdiv(T.bv_const(8, 4), T.bv_const(2, 4)).value == 12
+    # -7 % 2 == -1 in i4 (sign of dividend)
+    assert T.bv_srem(T.bv_const(9, 4), T.bv_const(2, 4)).value == 15
+
+
+def test_shift_folding():
+    a = T.bv_var("a", 8)
+    assert T.bv_shl(a, T.bv_const(0, 8)) is a
+    assert T.bv_shl(a, T.bv_const(8, 8)).value == 0
+    assert T.bv_lshr(T.bv_const(0x80, 8), T.bv_const(7, 8)).value == 1
+    assert T.bv_ashr(T.bv_const(0x80, 8), T.bv_const(7, 8)).value == 0xFF
+
+
+def test_bool_connective_simplification():
+    x = T.bool_var("x")
+    assert T.bool_and(x, T.TRUE) is x
+    assert T.bool_and(x, T.FALSE) is T.FALSE
+    assert T.bool_or(x, T.FALSE) is x
+    assert T.bool_or(x, T.TRUE) is T.TRUE
+    assert T.bool_and(x, T.bool_not(x)) is T.FALSE
+    assert T.bool_or(x, T.bool_not(x)) is T.TRUE
+    assert T.bool_not(T.bool_not(x)) is x
+
+
+def test_bool_ite_special_cases():
+    c = T.bool_var("c")
+    x = T.bool_var("x")
+    assert T.bool_ite(T.TRUE, x, T.FALSE) is x
+    assert T.bool_ite(c, T.TRUE, T.FALSE) is c
+    assert T.bool_ite(c, T.FALSE, T.TRUE) is T.bool_not(c)
+    assert T.bool_ite(c, x, x) is x
+
+
+def test_extract_of_concat():
+    hi = T.bv_var("h", 4)
+    lo = T.bv_var("l", 4)
+    cat = T.bv_concat(hi, lo)
+    assert T.bv_extract(cat, 3, 0) is lo
+    assert T.bv_extract(cat, 7, 4) is hi
+
+
+def test_extract_of_extract_composes():
+    a = T.bv_var("a", 16)
+    inner = T.bv_extract(a, 11, 4)
+    outer = T.bv_extract(inner, 5, 2)
+    assert outer.op == "extract"
+    assert outer.payload == (9, 6)
+    assert outer.args[0] is a
+
+
+def test_zext_sext_consts():
+    assert T.bv_zext(T.bv_const(0xF, 4), 8).value == 0x0F
+    assert T.bv_sext(T.bv_const(0xF, 4), 8).value == 0xFF
+    assert T.bv_sext(T.bv_const(0x7, 4), 8).value == 0x07
+
+
+def test_comparison_folding():
+    assert T.bv_ult(T.bv_const(1, 4), T.bv_const(2, 4)) is T.TRUE
+    assert T.bv_slt(T.bv_const(15, 4), T.bv_const(0, 4)) is T.TRUE  # -1 < 0
+    a = T.bv_var("a", 4)
+    assert T.bv_ult(a, a) is T.FALSE
+    assert T.bv_eq(a, a) is T.TRUE
+
+
+def test_term_vars():
+    a = T.bv_var("a", 4)
+    b = T.bv_var("b", 4)
+    t = T.bv_add(a, T.bv_mul(b, T.bv_const(3, 4)))
+    assert T.term_vars(t) == frozenset({"a", "b"})
+
+
+def test_substitute():
+    a = T.bv_var("a", 4)
+    b = T.bv_var("b", 4)
+    t = T.bv_add(a, b)
+    out = T.substitute(t, {"a": T.bv_const(3, 4)})
+    assert T.term_vars(out) == frozenset({"b"})
+    out2 = T.substitute(out, {"b": T.bv_const(4, 4)})
+    assert out2.value == 7
+
+
+def test_substitute_bool():
+    x = T.bool_var("x")
+    y = T.bool_var("y")
+    t = T.bool_and(x, y)
+    assert T.substitute(t, {"x": T.TRUE}) is y
+    assert T.substitute(t, {"x": T.FALSE}) is T.FALSE
+
+
+_WIDTH = 6
+bv_vals = st.integers(min_value=0, max_value=(1 << _WIDTH) - 1)
+
+
+@settings(max_examples=120, deadline=None)
+@given(bv_vals, bv_vals)
+def test_evaluate_matches_folding_on_consts(x, y):
+    """evaluate() and the constant folders must agree on every binary op."""
+    ops = [
+        T.bv_add,
+        T.bv_sub,
+        T.bv_mul,
+        T.bv_udiv,
+        T.bv_urem,
+        T.bv_sdiv,
+        T.bv_srem,
+        T.bv_and,
+        T.bv_or,
+        T.bv_xor,
+        T.bv_shl,
+        T.bv_lshr,
+        T.bv_ashr,
+    ]
+    a = T.bv_var("eva", _WIDTH)
+    b = T.bv_var("evb", _WIDTH)
+    env = {"eva": x, "evb": y}
+    for op in ops:
+        symbolic = T.evaluate(op(a, b), env)
+        folded = op(T.bv_const(x, _WIDTH), T.bv_const(y, _WIDTH)).value
+        assert symbolic == folded, op.__name__
+
+
+@settings(max_examples=60, deadline=None)
+@given(bv_vals, bv_vals)
+def test_evaluate_comparisons(x, y):
+    a = T.bv_var("eva", _WIDTH)
+    b = T.bv_var("evb", _WIDTH)
+    env = {"eva": x, "evb": y}
+    assert T.evaluate(T.bv_ult(a, b), env) == (x < y)
+    sx = x - (1 << _WIDTH) if x >= 1 << (_WIDTH - 1) else x
+    sy = y - (1 << _WIDTH) if y >= 1 << (_WIDTH - 1) else y
+    assert T.evaluate(T.bv_slt(a, b), env) == (sx < sy)
+    assert T.evaluate(T.bv_eq(a, b), env) == (x == y)

@@ -1,0 +1,203 @@
+"""Differential tests: symbolic softfloat circuits vs. concrete IEEE-754.
+
+The circuits are evaluated concretely (term evaluation, no SAT) against
+the reference conversions in ``repro.ir.fpformat``.  Add/sub/mul use
+Python doubles as the oracle (exact before the final rounding for these
+tiny formats); division uses exact rational arithmetic.
+"""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.fpformat import bits_to_float, float_to_bits, is_nan_bits
+from repro.ir.types import DOUBLE, HALF
+from repro.semantics import softfloat as sf
+from repro.smt.terms import bv_var, evaluate
+
+FMT = HALF
+W = FMT.bit_width
+bits_strategy = st.integers(min_value=0, max_value=(1 << W) - 1)
+
+_A = bv_var("sfa", W)
+_B = bv_var("sfb", W)
+
+_CIRCUITS = {
+    "fadd": sf.fp_add(FMT, _A, _B),
+    "fsub": sf.fp_sub(FMT, _A, _B),
+    "fmul": sf.fp_mul(FMT, _A, _B),
+    "fdiv": sf.fp_div(FMT, _A, _B),
+    "flt": sf.fp_lt(FMT, _A, _B),
+    "feq": sf.fp_eq(FMT, _A, _B),
+    "funo": sf.fp_unordered(FMT, _A, _B),
+}
+
+
+def _eval(op, a, b):
+    return evaluate(_CIRCUITS[op], {"sfa": a, "sfb": b})
+
+
+def _ref_binary(op, a_bits, b_bits):
+    fa = bits_to_float(a_bits, FMT)
+    fb = bits_to_float(b_bits, FMT)
+    if op == "fadd":
+        return float_to_bits(fa + fb, FMT)
+    if op == "fsub":
+        return float_to_bits(fa - fb, FMT)
+    if op == "fmul":
+        return float_to_bits(fa * fb, FMT)
+    raise AssertionError(op)
+
+
+def _ref_div(a_bits, b_bits):
+    fa = bits_to_float(a_bits, FMT)
+    fb = bits_to_float(b_bits, FMT)
+    if math.isnan(fa) or math.isnan(fb):
+        return float_to_bits(math.nan, FMT)
+    if math.isinf(fa) and math.isinf(fb):
+        return float_to_bits(math.nan, FMT)
+    if fa == 0.0 and fb == 0.0:
+        return float_to_bits(math.nan, FMT)
+    sign = math.copysign(1.0, fa) * math.copysign(1.0, fb) < 0
+    if math.isinf(fa) or fb == 0.0:
+        return float_to_bits(-math.inf if sign else math.inf, FMT)
+    if math.isinf(fb) or fa == 0.0:
+        return float_to_bits(-0.0 if sign else 0.0, FMT)
+    q = Fraction(fa) / Fraction(fb)
+    return _round_fraction(q, FMT)
+
+
+def _round_fraction(q, fmt):
+    """Round an exact rational to the format with RNE (test-local oracle)."""
+    sign = q < 0
+    q = abs(q)
+    if q == 0:
+        return float_to_bits(-0.0 if sign else 0.0, fmt)
+    # Find e with 2^e <= q < 2^(e+1).
+    e = q.numerator.bit_length() - q.denominator.bit_length()
+    if Fraction(2) ** e > q:
+        e -= 1
+    if Fraction(2) ** (e + 1) <= q:
+        e += 1
+    min_e = 1 - fmt.bias
+    scale_e = max(e, min_e)
+    # significand steps of 2^(scale_e - frac_bits)
+    step = Fraction(2) ** (scale_e - fmt.frac_bits)
+    n = q / step
+    lo = n.numerator // n.denominator
+    frac_part = n - lo
+    if frac_part > Fraction(1, 2) or (frac_part == Fraction(1, 2) and lo % 2 == 1):
+        lo += 1
+    value = lo * step
+    f = float(value)
+    return float_to_bits(-f if sign else f, fmt)
+
+
+@settings(max_examples=400, deadline=None)
+@given(bits_strategy, bits_strategy, st.sampled_from(["fadd", "fsub", "fmul"]))
+def test_arith_matches_reference(a, b, op):
+    got = _eval(op, a, b)
+    want = _ref_binary(op, a, b)
+    if is_nan_bits(got, FMT) and is_nan_bits(want, FMT):
+        return  # any NaN payload is acceptable
+    assert got == want, (
+        op,
+        bits_to_float(a, FMT),
+        bits_to_float(b, FMT),
+        bits_to_float(got, FMT),
+        bits_to_float(want, FMT),
+    )
+
+
+@settings(max_examples=300, deadline=None)
+@given(bits_strategy, bits_strategy)
+def test_div_matches_reference(a, b):
+    got = _eval("fdiv", a, b)
+    want = _ref_div(a, b)
+    if is_nan_bits(got, FMT) and is_nan_bits(want, FMT):
+        return
+    assert got == want, (
+        bits_to_float(a, FMT),
+        bits_to_float(b, FMT),
+        bits_to_float(got, FMT),
+        bits_to_float(want, FMT),
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(bits_strategy, bits_strategy)
+def test_comparisons_match_reference(a, b):
+    fa = bits_to_float(a, FMT)
+    fb = bits_to_float(b, FMT)
+    unordered = math.isnan(fa) or math.isnan(fb)
+    assert _eval("funo", a, b) == unordered
+    assert _eval("flt", a, b) == (not unordered and fa < fb)
+    assert _eval("feq", a, b) == (not unordered and fa == fb)
+
+
+def test_signed_zero_addition():
+    """The exact behaviour behind the paper's Selected Bug #2."""
+    pz = float_to_bits(0.0, FMT)
+    nz = float_to_bits(-0.0, FMT)
+    # -0.0 + +0.0 == +0.0 (RNE), and -0.0 + -0.0 == -0.0.
+    assert _eval("fadd", nz, pz) == pz
+    assert _eval("fadd", pz, nz) == pz
+    assert _eval("fadd", nz, nz) == nz
+    assert _eval("fadd", pz, pz) == pz
+
+
+def test_nan_propagation():
+    nan = float_to_bits(math.nan, FMT)
+    one = float_to_bits(1.0, FMT)
+    assert is_nan_bits(_eval("fadd", nan, one), FMT)
+    assert is_nan_bits(_eval("fmul", nan, one), FMT)
+    assert is_nan_bits(_eval("fdiv", one, nan), FMT)
+
+
+def test_inf_arithmetic():
+    inf = float_to_bits(math.inf, FMT)
+    ninf = float_to_bits(-math.inf, FMT)
+    one = float_to_bits(1.0, FMT)
+    assert _eval("fadd", inf, one) == inf
+    assert is_nan_bits(_eval("fadd", inf, ninf), FMT)
+    assert _eval("fmul", inf, one) == inf
+    assert is_nan_bits(_eval("fmul", inf, float_to_bits(0.0, FMT)), FMT)
+
+
+def test_fneg_flips_sign_only():
+    one = float_to_bits(1.0, FMT)
+    a = bv_var("negin", W)
+    circuit = sf.fp_neg(FMT, a)
+    assert evaluate(circuit, {"negin": one}) == float_to_bits(-1.0, FMT)
+    nan = float_to_bits(math.nan, FMT)
+    negnan = evaluate(circuit, {"negin": nan})
+    assert negnan == nan ^ (1 << (W - 1))
+
+
+def test_subnormal_arithmetic():
+    # Smallest subnormal + itself = next subnormal (exact).
+    tiny = 1
+    got = _eval("fadd", tiny, tiny)
+    assert got == 2
+
+
+def test_rounding_ties_to_even():
+    # 1.0 + one ulp/2 exactly at a tie must round to even (stay at 1.0).
+    one = float_to_bits(1.0, FMT)
+    half_ulp = float_to_bits(2.0 ** (-FMT.frac_bits - 1), FMT)
+    got = _eval("fadd", one, half_ulp)
+    assert got == one
+
+
+def test_other_formats_smoke():
+    fmt = DOUBLE
+    a = bv_var("dfa", fmt.bit_width)
+    b = bv_var("dfb", fmt.bit_width)
+    circuit = sf.fp_add(fmt, a, b)
+    x = float_to_bits(1.25, fmt)
+    y = float_to_bits(2.5, fmt)
+    got = evaluate(circuit, {"dfa": x, "dfb": y})
+    assert bits_to_float(got, fmt) == 3.75

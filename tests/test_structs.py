@@ -1,0 +1,168 @@
+"""Tests for literal struct aggregates and the with.overflow intrinsics."""
+
+import pytest
+
+from repro.ir.interp import POISON, run_function
+from repro.ir.parser import parse_function, parse_module
+from repro.ir.printer import print_module
+from repro.ir.types import IntType, StructType
+from repro.refinement.check import Verdict, VerifyOptions, verify_refinement
+
+OPTS = VerifyOptions(timeout_s=30.0)
+
+
+def _check(src, tgt):
+    sm, tm = parse_module(src), parse_module(tgt)
+    return verify_refinement(
+        sm.definitions()[0], tm.definitions()[0], sm, tm, OPTS
+    )
+
+
+def test_parse_struct_type():
+    fn = parse_function(
+        """
+        define { i8, i1 } @f(i8 %a) {
+        entry:
+          %agg = insertvalue { i8, i1 } undef, i8 %a, 0
+          %agg2 = insertvalue { i8, i1 } %agg, i1 true, 1
+          ret { i8, i1 } %agg2
+        }
+        """
+    )
+    assert fn.return_type == StructType((IntType(8), IntType(1)))
+
+
+def test_struct_round_trip():
+    text = """
+    define { i8, i1 } @f(i8 %a) {
+    entry:
+      %agg = insertvalue { i8, i1 } undef, i8 %a, 0
+      %x = extractvalue { i8, i1 } %agg, 0
+      %agg2 = insertvalue { i8, i1 } %agg, i1 false, 1
+      ret { i8, i1 } %agg2
+    }
+    """
+    mod = parse_module(text)
+    printed = print_module(mod)
+    assert print_module(parse_module(printed)) == printed
+
+
+def test_interp_insert_extract():
+    src = """
+    define i8 @f(i8 %a, i8 %b) {
+    entry:
+      %agg = insertvalue { i8, i8 } undef, i8 %a, 0
+      %agg2 = insertvalue { i8, i8 } %agg, i8 %b, 1
+      %x = extractvalue { i8, i8 } %agg2, 0
+      %y = extractvalue { i8, i8 } %agg2, 1
+      %s = add i8 %x, %y
+      ret i8 %s
+    }
+    """
+    assert run_function(parse_module(src), "f", [3, 4]) == 7
+
+
+def test_refinement_extract_insert_identity():
+    src = """
+    define i8 @f(i8 %a) {
+    entry:
+      %agg = insertvalue { i8, i1 } undef, i8 %a, 0
+      %x = extractvalue { i8, i1 } %agg, 0
+      ret i8 %x
+    }
+    """
+    tgt = "define i8 @f(i8 %a) {\nentry:\n  ret i8 %a\n}"
+    result = _check(src, tgt)
+    assert result.verdict is Verdict.CORRECT, (result.failed_check, result.counterexample)
+
+
+MANUAL_OVERFLOW_CHECK = """
+define i1 @f(i8 %a, i8 %b) {
+entry:
+  %sum = add i8 %a, %b
+  %xor1 = xor i8 %sum, %a
+  %xor2 = xor i8 %sum, %b
+  %both = and i8 %xor1, %xor2
+  %ovf = icmp slt i8 %both, 0
+  ret i1 %ovf
+}
+"""
+
+INTRINSIC_OVERFLOW_CHECK = """
+declare { i8, i1 } @llvm.sadd.with.overflow.i8(i8, i8)
+
+define i1 @f(i8 %a, i8 %b) {
+entry:
+  %pair = call { i8, i1 } @llvm.sadd.with.overflow.i8(i8 %a, i8 %b)
+  %ovf = extractvalue { i8, i1 } %pair, 1
+  ret i1 %ovf
+}
+"""
+
+
+def test_manual_overflow_check_to_intrinsic():
+    """Canonicalizing a hand-written signed-overflow check into
+    sadd.with.overflow is a refinement (single reads are more defined)."""
+    result = _check(MANUAL_OVERFLOW_CHECK, INTRINSIC_OVERFLOW_CHECK)
+    assert result.verdict is Verdict.CORRECT, (result.failed_check, result.counterexample)
+
+
+def test_intrinsic_to_manual_overflow_check_is_wrong_under_undef():
+    """The reverse expansion reads each argument several times, so an undef
+    argument yields behaviours the intrinsic cannot produce — the same
+    undef-input bug class as §8.2's largest bucket."""
+    result = _check(INTRINSIC_OVERFLOW_CHECK, MANUAL_OVERFLOW_CHECK)
+    assert result.verdict is Verdict.INCORRECT
+    cex = result.counterexample
+    assert cex.get("isundef_a") or cex.get("isundef_b")
+
+
+def test_uadd_with_overflow_value():
+    src = """
+    declare { i8, i1 } @llvm.uadd.with.overflow.i8(i8, i8)
+
+    define i8 @f(i8 %a, i8 %b) {
+    entry:
+      %pair = call { i8, i1 } @llvm.uadd.with.overflow.i8(i8 %a, i8 %b)
+      %v = extractvalue { i8, i1 } %pair, 0
+      ret i8 %v
+    }
+    """
+    tgt = "define i8 @f(i8 %a, i8 %b) {\nentry:\n  %v = add i8 %a, %b\n  ret i8 %v\n}"
+    result = _check(src, tgt)
+    assert result.verdict is Verdict.CORRECT, (result.failed_check, result.counterexample)
+
+
+def test_struct_return_refinement_elementwise():
+    src = """
+    define { i8, i8 } @f(i8 %a) {
+    entry:
+      %agg = insertvalue { i8, i8 } undef, i8 %a, 0
+      %agg2 = insertvalue { i8, i8 } %agg, i8 1, 1
+      ret { i8, i8 } %agg2
+    }
+    """
+    # Swapping the fields is not a refinement.
+    tgt = """
+    define { i8, i8 } @f(i8 %a) {
+    entry:
+      %agg = insertvalue { i8, i8 } undef, i8 1, 0
+      %agg2 = insertvalue { i8, i8 } %agg, i8 %a, 1
+      ret { i8, i8 } %agg2
+    }
+    """
+    result = _check(src, tgt)
+    assert result.verdict is Verdict.INCORRECT
+
+
+def test_struct_constant_literal():
+    src = """
+    define i8 @f() {
+    entry:
+      %x = extractvalue { i8, i8 } { i8 5, i8 9 }, 1
+      ret i8 %x
+    }
+    """
+    assert run_function(parse_module(src), "f", []) == 9
+    tgt = "define i8 @f() {\nentry:\n  ret i8 9\n}"
+    assert _check(src, tgt).verdict is Verdict.CORRECT

@@ -1,0 +1,197 @@
+"""Tests for the evaluation substrate: generator, corpus, apps, known bugs."""
+
+import pytest
+
+from repro.ir.interp import Interpreter, SinkReached, UndefinedBehavior, run_function
+from repro.ir.parser import parse_module
+from repro.ir.printer import print_module
+from repro.refinement.check import Verdict, VerifyOptions, verify_refinement
+from repro.suite.apps import APP_SPECS, O3_PIPELINE, build_app
+from repro.suite.genir import GenConfig, generate_module
+from repro.suite.knownbugs import KNOWN_BUGS
+from repro.suite.runner import run_suite
+from repro.suite.unittests import UNIT_TESTS, build_corpus
+
+OPTS = VerifyOptions(timeout_s=30.0)
+
+
+# ---------------------------------------------------------------------------
+# genir
+# ---------------------------------------------------------------------------
+
+
+def test_generator_is_deterministic():
+    a = print_module(generate_module(7, 3))
+    b = print_module(generate_module(7, 3))
+    assert a == b
+
+
+def test_generator_different_seeds_differ():
+    a = print_module(generate_module(1, 2))
+    b = print_module(generate_module(2, 2))
+    assert a != b
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_generated_modules_parse_and_print_roundtrip(seed):
+    config = GenConfig(allow_loops=True, allow_memory=True)
+    module = generate_module(seed, 2, config)
+    text = print_module(module)
+    module2 = parse_module(text)
+    assert print_module(module2) == text
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_generated_functions_are_executable(seed):
+    """Generated code must run (or hit well-defined UB) on concrete inputs."""
+    config = GenConfig(allow_loops=True, allow_memory=True, allow_undef_consts=False)
+    module = generate_module(seed + 50, 2, config)
+    for fn in module.definitions():
+        args = [1] * len(fn.args)
+        try:
+            run_function(module, fn.name, args)
+        except (UndefinedBehavior, SinkReached):
+            pass  # defined outcomes: UB is a legitimate program behaviour
+
+
+def test_generated_identity_validates():
+    """Every generated function must refine itself (encoder smoke test)."""
+    config = GenConfig(allow_loops=True, allow_memory=True)
+    module = generate_module(99, 3, config)
+    for fn in module.definitions():
+        result = verify_refinement(fn, fn, module, module, OPTS)
+        assert result.verdict in (Verdict.CORRECT, Verdict.TIMEOUT), (
+            fn.name,
+            result.verdict,
+            result.failed_check,
+        )
+
+
+# ---------------------------------------------------------------------------
+# unittests corpus
+# ---------------------------------------------------------------------------
+
+
+def test_corpus_has_handwritten_and_generated():
+    assert len(UNIT_TESTS) >= 40
+    names = [t.name for t in UNIT_TESTS]
+    assert "simplify-max-pattern" in names
+    assert any(n.startswith("gen-") for n in names)
+
+
+def test_corpus_ir_parses():
+    for test in UNIT_TESTS:
+        parse_module(test.ir)
+
+
+def test_corpus_covers_bug_categories():
+    cats = {t.category for t in UNIT_TESTS if t.category}
+    assert {"select-ub", "arithmetic", "fast-math", "branch-on-undef",
+            "undef-input", "loop-memory"} <= cats
+
+
+def test_run_suite_clean_has_zero_false_alarms():
+    """The paper's zero-false-alarm goal on the clean corpus."""
+    corpus = [t for t in build_corpus(generated=6) if t.bug_option is None]
+    outcome = run_suite(corpus, OPTS, inject_bugs=False)
+    assert outcome.clean_failures == [], outcome.clean_failures
+    assert outcome.tally.incorrect == 0
+
+
+def test_run_suite_injected_bugs_are_detected():
+    corpus = [t for t in build_corpus(generated=0) if t.bug_option is not None]
+    outcome = run_suite(corpus, OPTS, inject_bugs=True)
+    assert outcome.missed == [], outcome.missed
+    assert outcome.tally.incorrect == len(corpus)
+    # Categories observed match the §8.2 buckets.
+    assert set(outcome.violations_by_category) == {
+        t.category for t in corpus
+    }
+
+
+def test_run_suite_without_injection_bug_tests_validate():
+    corpus = [t for t in build_corpus(generated=0) if t.bug_option is not None]
+    outcome = run_suite(corpus, OPTS, inject_bugs=False)
+    assert outcome.tally.incorrect == 0
+
+
+# ---------------------------------------------------------------------------
+# apps
+# ---------------------------------------------------------------------------
+
+
+def test_app_specs_cover_paper_benchmarks():
+    assert [s.name for s in APP_SPECS] == ["bzip2", "gzip", "oggenc", "ph7", "sqlite3"]
+
+
+def test_apps_build():
+    for spec in APP_SPECS[:2]:
+        module = build_app(spec)
+        assert len(module.definitions()) == spec.functions
+
+
+def test_o3_pipeline_passes_registered():
+    from repro.opt.passmanager import PASS_REGISTRY
+    import repro.opt.passes  # noqa: F401
+
+    for name in O3_PIPELINE:
+        assert name in PASS_REGISTRY
+
+
+# ---------------------------------------------------------------------------
+# known bugs (§8.5)
+# ---------------------------------------------------------------------------
+
+
+def test_known_bugs_parse():
+    for bug in KNOWN_BUGS:
+        parse_module(bug.src)
+        parse_module(bug.tgt)
+
+
+def test_known_bugs_detectable_are_detected():
+    for bug in KNOWN_BUGS:
+        if not bug.detectable:
+            continue
+        sm, tm = parse_module(bug.src), parse_module(bug.tgt)
+        result = verify_refinement(
+            sm.definitions()[0], tm.definitions()[0], sm, tm, OPTS
+        )
+        assert result.verdict is Verdict.INCORRECT, (bug.name, result.verdict)
+
+
+def test_known_bugs_misses_are_missed():
+    """Bounded TV misses exactly the three §8.5 classes."""
+    for bug in KNOWN_BUGS:
+        if bug.detectable:
+            continue
+        sm, tm = parse_module(bug.src), parse_module(bug.tgt)
+        result = verify_refinement(
+            sm.definitions()[0], tm.definitions()[0], sm, tm, OPTS
+        )
+        assert result.verdict is not Verdict.INCORRECT, (bug.name, result.verdict)
+        assert bug.miss_reason in ("unroll-bound", "infinite-loop", "escaped-local")
+
+
+def test_known_bugs_tweaked_variants_are_detected():
+    """§8.5: after the manual tweaks, the missed bugs become detectable."""
+    for bug in KNOWN_BUGS:
+        if bug.tweaked_src is None:
+            continue
+        sm = parse_module(bug.tweaked_src)
+        tm = parse_module(bug.tweaked_tgt)
+        result = verify_refinement(
+            sm.definitions()[0], tm.definitions()[0], sm, tm, OPTS
+        )
+        assert result.verdict is Verdict.INCORRECT, (bug.name, result.verdict)
+
+
+def test_unroll_bound_miss_becomes_detection_with_bigger_bound():
+    """Raising the unroll factor recovers the unroll-bound miss."""
+    bug = next(b for b in KNOWN_BUGS if b.miss_reason == "unroll-bound")
+    sm, tm = parse_module(bug.src), parse_module(bug.tgt)
+    big = VerifyOptions(timeout_s=120.0, unroll_factor=70)
+    result = verify_refinement(
+        sm.definitions()[0], tm.definitions()[0], sm, tm, big
+    )
+    assert result.verdict in (Verdict.INCORRECT, Verdict.TIMEOUT)

@@ -1,0 +1,123 @@
+"""Property-based tests over randomly generated term DAGs.
+
+Invariants:
+
+* substituting constants for variables and folding == evaluate();
+* the bit-blasted circuit agrees with evaluate() on random assignments;
+* substitution is compositional.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smt import terms as T
+from repro.smt.solver import CheckResult, SmtSolver
+
+WIDTH = 6
+_BIN_OPS = [
+    T.bv_add, T.bv_sub, T.bv_mul, T.bv_and, T.bv_or, T.bv_xor,
+    T.bv_udiv, T.bv_urem, T.bv_shl, T.bv_lshr, T.bv_ashr,
+]
+_UN_OPS = [T.bv_not, T.bv_neg]
+
+
+def _random_term(rng: random.Random, depth: int, var_names):
+    if depth == 0 or rng.random() < 0.3:
+        if rng.random() < 0.5:
+            return T.bv_var(rng.choice(var_names), WIDTH)
+        return T.bv_const(rng.randint(0, (1 << WIDTH) - 1), WIDTH)
+    roll = rng.random()
+    if roll < 0.6:
+        op = rng.choice(_BIN_OPS)
+        return op(
+            _random_term(rng, depth - 1, var_names),
+            _random_term(rng, depth - 1, var_names),
+        )
+    if roll < 0.75:
+        return rng.choice(_UN_OPS)(_random_term(rng, depth - 1, var_names))
+    if roll < 0.9:
+        cond = T.bv_ult(
+            _random_term(rng, depth - 1, var_names),
+            _random_term(rng, depth - 1, var_names),
+        )
+        return T.bv_ite(
+            cond,
+            _random_term(rng, depth - 1, var_names),
+            _random_term(rng, depth - 1, var_names),
+        )
+    return T.bv_sext(
+        T.bv_extract(_random_term(rng, depth - 1, var_names), WIDTH - 2, 0),
+        WIDTH,
+    )
+
+
+VARS = ["pa", "pb", "pc"]
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=100_000), st.data())
+def test_substitute_constants_equals_evaluate(seed, data):
+    rng = random.Random(seed)
+    term = _random_term(rng, 4, VARS)
+    env = {
+        name: data.draw(st.integers(min_value=0, max_value=(1 << WIDTH) - 1))
+        for name in VARS
+    }
+    folded = T.substitute(
+        term, {name: T.bv_const(value, WIDTH) for name, value in env.items()}
+    )
+    assert folded.is_const
+    assert folded.value == T.evaluate(term, env)
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.integers(min_value=0, max_value=100_000), st.data())
+def test_circuit_agrees_with_evaluate(seed, data):
+    rng = random.Random(seed)
+    term = _random_term(rng, 3, VARS)
+    env = {
+        name: data.draw(st.integers(min_value=0, max_value=(1 << WIDTH) - 1))
+        for name in VARS
+    }
+    expected = T.evaluate(term, env)
+    solver = SmtSolver()
+    for name, value in env.items():
+        solver.assert_term(
+            T.bv_eq(T.bv_var(name, WIDTH), T.bv_const(value, WIDTH))
+        )
+    out = T.bv_var("out!prop", WIDTH)
+    solver.assert_term(T.bv_eq(out, term))
+    assert solver.check() is CheckResult.SAT
+    assert solver.model_env()["out!prop"] == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_substitution_composes(seed):
+    rng = random.Random(seed)
+    term = _random_term(rng, 3, VARS)
+    # Substitute pa -> pb + 1, then pb -> 3, vs. direct evaluation.
+    step1 = T.substitute(
+        term, {"pa": T.bv_add(T.bv_var("pb", WIDTH), T.bv_const(1, WIDTH))}
+    )
+    step2 = T.substitute(
+        step1, {"pb": T.bv_const(3, WIDTH), "pc": T.bv_const(5, WIDTH)}
+    )
+    direct = T.evaluate(term, {"pa": 4, "pb": 3, "pc": 5})
+    assert step2.is_const and step2.value == direct
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_term_vars_reports_free_variables(seed):
+    rng = random.Random(seed)
+    term = _random_term(rng, 4, VARS)
+    names = T.term_vars(term)
+    assert names <= set(VARS)
+    # Substituting every reported variable leaves a constant.
+    folded = T.substitute(
+        term, {name: T.bv_const(1, WIDTH) for name in names}
+    )
+    assert folded.is_const

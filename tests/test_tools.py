@@ -1,0 +1,134 @@
+"""Tests for the command-line tools and the report layer (§8.1)."""
+
+import pytest
+
+from repro.refinement.check import RefinementResult, Verdict, VerifyOptions
+from repro.tv.alive_tv import main as alive_tv_main
+from repro.tv.alive_tv import validate_texts
+from repro.tv.report import Tally, ValidationRecord, ValidationReport
+
+SRC = """
+define i8 @f(i8 %a) {
+entry:
+  %x = mul i8 %a, 2
+  ret i8 %x
+}
+
+define i8 @g(i8 %a) {
+entry:
+  %x = add i8 %a, 1
+  ret i8 %x
+}
+"""
+
+TGT_OK = """
+define i8 @f(i8 %a) {
+entry:
+  %x = shl i8 %a, 1
+  ret i8 %x
+}
+
+define i8 @g(i8 %a) {
+entry:
+  %x = add i8 1, %a
+  ret i8 %x
+}
+"""
+
+TGT_BAD = """
+define i8 @f(i8 %a) {
+entry:
+  %x = shl i8 %a, 1
+  ret i8 %x
+}
+
+define i8 @g(i8 %a) {
+entry:
+  %x = add i8 2, %a
+  ret i8 %x
+}
+"""
+
+
+def test_validate_texts_all_correct():
+    report = validate_texts(SRC, TGT_OK, VerifyOptions(timeout_s=30.0))
+    assert report.tally.correct == 2
+    assert report.tally.incorrect == 0
+    assert not report.failures()
+
+
+def test_validate_texts_finds_bad_function():
+    report = validate_texts(SRC, TGT_BAD, VerifyOptions(timeout_s=30.0))
+    assert report.tally.correct == 1
+    assert report.tally.incorrect == 1
+    assert report.failures()[0].function == "g"
+
+
+def test_validate_texts_pairs_by_name():
+    tgt_missing = "define i8 @f(i8 %a) {\nentry:\n  %x = shl i8 %a, 1\n  ret i8 %x\n}"
+    report = validate_texts(SRC, tgt_missing, VerifyOptions(timeout_s=30.0))
+    assert report.tally.analyzed == 1  # @g has no counterpart
+
+
+def test_alive_tv_cli(tmp_path, capsys):
+    src_file = tmp_path / "src.ll"
+    tgt_file = tmp_path / "tgt.ll"
+    src_file.write_text(SRC)
+    tgt_file.write_text(TGT_OK)
+    rc = alive_tv_main([str(src_file), str(tgt_file), "--timeout", "30"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "seems to be correct" in out
+    assert "2 analyzed" in out
+
+
+def test_alive_tv_cli_failure_exit_code(tmp_path, capsys):
+    src_file = tmp_path / "src.ll"
+    tgt_file = tmp_path / "tgt.ll"
+    src_file.write_text(SRC)
+    tgt_file.write_text(TGT_BAD)
+    rc = alive_tv_main([str(src_file), str(tgt_file), "--timeout", "30"])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "doesn't verify" in out
+    assert "Counterexample" in out
+
+
+def test_tally_classification():
+    tally = Tally()
+    tally.add(RefinementResult(Verdict.CORRECT))
+    tally.add(RefinementResult(Verdict.INCORRECT))
+    tally.add(RefinementResult(Verdict.TIMEOUT))
+    tally.add(RefinementResult(Verdict.OOM))
+    tally.add(RefinementResult(Verdict.UNSUPPORTED))
+    tally.add(RefinementResult(Verdict.APPROX))
+    assert tally.correct == 1
+    assert tally.incorrect == 1
+    assert tally.timeout == 1
+    assert tally.oom == 1
+    assert tally.unsupported == 1
+    assert tally.approx == 1
+    assert tally.analyzed == 6
+    row = tally.row()
+    assert row["unsupported"] == 2  # unsupported + approx, as in Figure 7
+
+
+def test_report_summary_format():
+    report = ValidationReport()
+    report.add(
+        ValidationRecord("f", "instcombine", RefinementResult(Verdict.CORRECT))
+    )
+    report.tally.skipped_unchanged = 3
+    text = report.summary()
+    assert "1 analyzed" in text
+    assert "3 unchanged skipped" in text
+
+
+def test_suite_cli_knownbugs(capsys):
+    from repro.suite.cli import main as suite_main
+
+    rc = suite_main(["knownbugs", "--timeout", "15"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "detected" in out
+    assert "missed" in out

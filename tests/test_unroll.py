@@ -1,0 +1,229 @@
+"""Tests for the bounded loop unroller (§7), using the interpreter as oracle."""
+
+import pytest
+
+from repro.ir.interp import Interpreter, SinkReached, run_function
+from repro.ir.loops import LoopForest
+from repro.ir.parser import parse_function, parse_module
+from repro.ir.unroll import SINK_LABEL, UnrollError, unroll_function
+
+SUM_LOOP = """
+define i8 @f(i8 %n) {
+entry:
+  br label %header
+header:
+  %i = phi i8 [ 0, %entry ], [ %i2, %body ]
+  %acc = phi i8 [ 0, %entry ], [ %acc2, %body ]
+  %c = icmp ult i8 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %acc2 = add i8 %acc, %i
+  %i2 = add i8 %i, 1
+  br label %header
+exit:
+  ret i8 %acc
+}
+"""
+
+
+def _unrolled_module(src, factor):
+    mod = parse_module(src)
+    fn = mod.definitions()[0]
+    unroll_function(fn, factor)
+    return mod
+
+
+def test_unroll_creates_sink():
+    mod = _unrolled_module(SUM_LOOP, 4)
+    fn = mod.definitions()[0]
+    assert SINK_LABEL in fn.blocks
+    assert SINK_LABEL in fn.sink_labels
+
+
+def test_unroll_copies_blocks():
+    mod = _unrolled_module(SUM_LOOP, 3)
+    fn = mod.definitions()[0]
+    assert "header.u1" in fn.blocks
+    assert "header.u2" in fn.blocks
+    assert "body.u1" in fn.blocks
+    assert "header.u3" not in fn.blocks
+
+
+@pytest.mark.parametrize("factor", [1, 2, 3, 5, 8])
+def test_unrolled_loop_agrees_with_original_within_bound(factor):
+    original = parse_module(SUM_LOOP)
+    unrolled = _unrolled_module(SUM_LOOP, factor)
+    # A loop with n iterations needs factor >= n+1 copies of the header
+    # to reach the exit check; test every n that fits within the bound.
+    for n in range(0, factor):
+        expected = run_function(original, "f", [n])
+        assert run_function(unrolled, "f", [n]) == expected
+
+
+def test_unrolled_loop_hits_sink_beyond_bound():
+    unrolled = _unrolled_module(SUM_LOOP, 3)
+    with pytest.raises(SinkReached):
+        run_function(unrolled, "f", [10])
+
+
+def test_unroll_factor_one_keeps_zero_iterations_only():
+    unrolled = _unrolled_module(SUM_LOOP, 1)
+    assert run_function(unrolled, "f", [0]) == 0
+    with pytest.raises(SinkReached):
+        run_function(unrolled, "f", [1])
+
+
+def test_unroll_no_loops_is_noop():
+    src = """
+    define i8 @f(i8 %a) {
+    entry:
+      %x = add i8 %a, 1
+      ret i8 %x
+    }
+    """
+    mod = parse_module(src)
+    fn = mod.definitions()[0]
+    stats = unroll_function(fn, 8)
+    assert stats.loops_unrolled == 0
+    assert SINK_LABEL not in fn.blocks
+
+
+def test_unroll_irreducible_raises():
+    src = """
+    define i8 @f(i1 %c) {
+    entry:
+      br i1 %c, label %x, label %y
+    x:
+      br label %y
+    y:
+      br label %x
+    }
+    """
+    mod = parse_module(src)
+    with pytest.raises(UnrollError):
+        unroll_function(mod.definitions()[0], 4)
+
+
+NESTED = """
+define i8 @f(i8 %n, i8 %m) {
+entry:
+  br label %outer
+outer:
+  %i = phi i8 [ 0, %entry ], [ %i2, %outer.latch ]
+  %acc = phi i8 [ 0, %entry ], [ %acc.out, %outer.latch ]
+  %oc = icmp ult i8 %i, %n
+  br i1 %oc, label %inner.pre, label %exit
+inner.pre:
+  br label %inner
+inner:
+  %j = phi i8 [ 0, %inner.pre ], [ %j2, %inner ]
+  %a = phi i8 [ %acc, %inner.pre ], [ %a2, %inner ]
+  %a2 = add i8 %a, 1
+  %j2 = add i8 %j, 1
+  %ic = icmp ult i8 %j2, %m
+  br i1 %ic, label %inner, label %outer.latch
+outer.latch:
+  %acc.out = phi i8 [ %a2, %inner ]
+  %i2 = add i8 %i, 1
+  br label %outer
+exit:
+  ret i8 %acc
+}
+"""
+
+
+def test_nested_loops_unroll_inside_out():
+    original = parse_module(NESTED)
+    mod = parse_module(NESTED)
+    fn = mod.definitions()[0]
+    stats = unroll_function(fn, 4)
+    assert stats.loops_unrolled == 2
+    # n*m increments, n,m small enough to stay within 4 copies each
+    for n, m in [(0, 1), (1, 1), (1, 2), (2, 1), (2, 2), (1, 3), (3, 1)]:
+        expected = run_function(original, "f", [n, m])
+        assert run_function(mod, "f", [n, m]) == expected, (n, m)
+
+
+def test_nested_loops_sink_beyond_bound():
+    mod = parse_module(NESTED)
+    fn = mod.definitions()[0]
+    unroll_function(fn, 3)
+    with pytest.raises(SinkReached):
+        run_function(mod, "f", [1, 9])
+
+
+LOOP_WITH_OUTSIDE_USE = """
+define i8 @f(i8 %n) {
+entry:
+  br label %header
+header:
+  %i = phi i8 [ 0, %entry ], [ %i2, %body ]
+  %c = icmp ult i8 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %dbl = add i8 %i, %i
+  %i2 = add i8 %i, 1
+  br label %header
+exit:
+  %r = add i8 %i, 100
+  ret i8 %r
+}
+"""
+
+
+def test_outside_use_of_loop_value():
+    original = parse_module(LOOP_WITH_OUTSIDE_USE)
+    mod = parse_module(LOOP_WITH_OUTSIDE_USE)
+    fn = mod.definitions()[0]
+    unroll_function(fn, 5)
+    for n in range(0, 5):
+        expected = run_function(original, "f", [n])
+        assert run_function(mod, "f", [n]) == expected, n
+
+
+MULTI_EXIT = """
+define i8 @f(i8 %n, i8 %k) {
+entry:
+  br label %header
+header:
+  %i = phi i8 [ 0, %entry ], [ %i2, %latch ]
+  %c = icmp ult i8 %i, %n
+  br i1 %c, label %check, label %exit1
+check:
+  %hit = icmp eq i8 %i, %k
+  br i1 %hit, label %exit2, label %latch
+latch:
+  %i2 = add i8 %i, 1
+  br label %header
+exit1:
+  ret i8 100
+exit2:
+  %r = add i8 %i, 1
+  ret i8 %r
+}
+"""
+
+
+def test_multi_exit_loop():
+    original = parse_module(MULTI_EXIT)
+    mod = parse_module(MULTI_EXIT)
+    fn = mod.definitions()[0]
+    unroll_function(fn, 6)
+    for n, k in [(0, 3), (2, 0), (3, 1), (4, 9), (5, 5)]:
+        expected = run_function(original, "f", [n, k])
+        assert run_function(mod, "f", [n, k]) == expected, (n, k)
+
+
+def test_memory_fallback_stats():
+    mod = parse_module(LOOP_WITH_OUTSIDE_USE)
+    fn = mod.definitions()[0]
+    stats = unroll_function(fn, 3)
+    # %i is used by the exit block directly (not via phi) -> slot or phi patch
+    assert stats.loops_unrolled == 1
+
+
+def test_unrolled_function_has_no_loops():
+    mod = _unrolled_module(SUM_LOOP, 3)
+    fn = mod.definitions()[0]
+    forest = LoopForest(fn)
+    assert forest.loops == []
