@@ -1,0 +1,45 @@
+"""Fault-tolerant verification harness (crash isolation, deadlines,
+degradation ladder, resumable runs).
+
+Only the leaf modules are imported eagerly here; :mod:`~repro.harness.degrade`
+and :mod:`~repro.harness.isolation` depend on :mod:`repro.refinement.check`,
+which itself imports the leaves — loading them at package-import time
+would complete the cycle, so they are exposed lazily via PEP 562.
+"""
+
+from repro.harness.deadline import Deadline, DeadlineExceeded
+from repro.harness.faults import FaultPlan, FaultSpec, activate, current_test, maybe_fault
+from repro.harness.journal import JOURNAL_VERSION, RunJournal
+
+__all__ = [
+    "Deadline",
+    "DeadlineExceeded",
+    "DegradationLadder",
+    "FaultPlan",
+    "FaultSpec",
+    "JOURNAL_VERSION",
+    "RunJournal",
+    "activate",
+    "current_test",
+    "maybe_fault",
+    "run_contained",
+    "run_verification_job",
+    "run_with_degradation",
+]
+
+_LAZY = {
+    "DegradationLadder": ("repro.harness.degrade", "DegradationLadder"),
+    "run_with_degradation": ("repro.harness.degrade", "run_with_degradation"),
+    "run_contained": ("repro.harness.isolation", "run_contained"),
+    "run_verification_job": ("repro.harness.isolation", "run_verification_job"),
+}
+
+
+def __getattr__(name):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(name) from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

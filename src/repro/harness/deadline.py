@@ -1,0 +1,65 @@
+"""Whole-job deadline enforcement.
+
+The paper's harness bounds every verification *job*, not just the solver
+queries inside it: a pathological unroll or encode must count against the
+same budget as the SMT queries (§8).  A :class:`Deadline` is created once
+per job from ``VerifyOptions.timeout_s`` and threaded through the
+unroller, the encoder, and the query sequence; long-running phases call
+:meth:`Deadline.check` at cooperative checkpoints and bail out with
+:class:`DeadlineExceeded`, which the refinement checker converts into a
+``TIMEOUT`` verdict.
+
+This module is a leaf: it must not import anything from :mod:`repro` so
+that the IR and semantics layers can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class DeadlineExceeded(Exception):
+    """A cooperative checkpoint found the job budget exhausted."""
+
+    def __init__(self, phase: str = "unknown") -> None:
+        super().__init__(f"deadline exceeded during {phase}")
+        self.phase = phase
+
+
+class Deadline:
+    """An absolute wall-clock budget for one verification job.
+
+    ``expires_at`` is a :func:`time.monotonic` timestamp; ``None`` means
+    unlimited.  Instances are cheap and immutable-by-convention.
+    """
+
+    __slots__ = ("expires_at",)
+
+    def __init__(self, expires_at: Optional[float] = None) -> None:
+        self.expires_at = expires_at
+
+    @classmethod
+    def start(cls, timeout_s: Optional[float]) -> "Deadline":
+        """Begin a budget of ``timeout_s`` seconds from now (None = unlimited)."""
+        if timeout_s is None:
+            return cls(None)
+        return cls(time.monotonic() + timeout_s)
+
+    @classmethod
+    def unlimited(cls) -> "Deadline":
+        return cls(None)
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left (clamped at 0.0); None when unlimited."""
+        if self.expires_at is None:
+            return None
+        return max(0.0, self.expires_at - time.monotonic())
+
+    def expired(self) -> bool:
+        return self.expires_at is not None and time.monotonic() >= self.expires_at
+
+    def check(self, phase: str) -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is spent."""
+        if self.expired():
+            raise DeadlineExceeded(phase)

@@ -1,0 +1,137 @@
+"""Deterministic fault injection for the verification harness.
+
+The fault-tolerance tests need to prove that one bad test cannot kill a
+corpus run, whatever the failure mode: a crash in the encoder, a hang
+before the solver, an allocation blow-up.  A :class:`FaultPlan` maps test
+names to :class:`FaultSpec` records; the verification pipeline calls
+:func:`maybe_fault` at its phase boundaries (``parse``, ``unroll``,
+``encode``, ``solve``) and the active plan decides whether to detonate.
+
+Faults are scoped with two context managers: :func:`activate` installs a
+plan for a whole suite run, :func:`current_test` names the test the
+harness is currently executing.  With no active plan every hook is a
+cheap no-op, so production runs pay one dict lookup per phase at most.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+from repro.harness.deadline import Deadline, DeadlineExceeded
+
+#: Hard cap on an injected hang when no deadline is active, so a
+#: misconfigured test cannot wedge the pytest run forever.
+_HANG_CAP_S = 5.0
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected failure.
+
+    ``kind``: ``"crash"`` raises :class:`RuntimeError`, ``"oom"`` raises
+    :class:`MemoryError`, ``"hang"`` spins until the job deadline expires
+    (cooperatively — it raises :class:`DeadlineExceeded` exactly like a
+    real slow phase hitting a checkpoint).
+
+    ``site``: the phase boundary to fire at (``parse`` / ``unroll`` /
+    ``encode`` / ``solve``).
+
+    ``at_call``: fire on the Nth visit to the site (1-based).  Retries
+    re-visit sites, so ``at_call=1`` makes a fault fire once and then let
+    a degraded retry through — exactly the recovery path the ladder tests
+    exercise.
+
+    ``when_unroll_ge``: only fire when the job's unroll factor is at
+    least this value; lets a test "time out at unroll 4 but verify at 2".
+    """
+
+    kind: str
+    site: str
+    at_call: int = 1
+    when_unroll_ge: Optional[int] = None
+
+
+class FaultPlan:
+    """Test-name -> fault mapping with per-site visit counting."""
+
+    def __init__(self, faults: Dict[str, FaultSpec]) -> None:
+        self.faults = dict(faults)
+        self._visits: Dict[tuple, int] = {}
+
+    def fire_if_armed(
+        self,
+        test: str,
+        site: str,
+        deadline: Optional[Deadline],
+        unroll_factor: Optional[int],
+    ) -> None:
+        spec = self.faults.get(test)
+        if spec is None or spec.site != site:
+            return
+        if spec.when_unroll_ge is not None and (
+            unroll_factor is None or unroll_factor < spec.when_unroll_ge
+        ):
+            return
+        key = (test, site)
+        self._visits[key] = self._visits.get(key, 0) + 1
+        if self._visits[key] != spec.at_call:
+            return
+        _detonate(spec, site, deadline)
+
+
+def _detonate(spec: FaultSpec, site: str, deadline: Optional[Deadline]) -> None:
+    if spec.kind == "crash":
+        raise RuntimeError(f"injected crash at {site}")
+    if spec.kind == "oom":
+        raise MemoryError(f"injected oom at {site}")
+    if spec.kind == "hang":
+        cap = time.monotonic() + _HANG_CAP_S
+        while True:
+            if deadline is not None:
+                deadline.check(f"hang@{site}")
+            if time.monotonic() >= cap:
+                raise DeadlineExceeded(f"hang@{site}")
+            time.sleep(0.002)
+    raise ValueError(f"unknown fault kind {spec.kind!r}")
+
+
+_active_plan: Optional[FaultPlan] = None
+_current_test: Optional[str] = None
+
+
+@contextmanager
+def activate(plan: Optional[FaultPlan]) -> Iterator[None]:
+    """Install ``plan`` for the duration of a suite run (None = no-op)."""
+    global _active_plan
+    previous = _active_plan
+    _active_plan = plan
+    try:
+        yield
+    finally:
+        _active_plan = previous
+
+
+@contextmanager
+def current_test(name: str) -> Iterator[None]:
+    """Name the test the harness is currently executing."""
+    global _current_test
+    previous = _current_test
+    _current_test = name
+    try:
+        yield
+    finally:
+        _current_test = previous
+
+
+def maybe_fault(
+    site: str,
+    deadline: Optional[Deadline] = None,
+    unroll_factor: Optional[int] = None,
+) -> None:
+    """Phase-boundary hook; detonates the active plan's fault, if armed."""
+    if _active_plan is None or _current_test is None:
+        return
+    _active_plan.fire_if_armed(_current_test, site, deadline, unroll_factor)

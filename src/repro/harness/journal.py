@@ -1,0 +1,99 @@
+"""Crash-safe resumable runs: an append-only JSONL outcome journal.
+
+Every completed test appends exactly one JSON line, flushed immediately,
+so a killed run leaves a prefix of valid lines plus at most one
+truncated line (which loading tolerates and drops).  A re-invocation
+with the same journal path replays the recorded outcomes and re-runs
+only the tests that never completed — the paper's whole-suite runs over
+LLVM's test corpus are hours long, and losing them to one SIGKILL is not
+acceptable.
+
+Line format (one object per line)::
+
+    {"v": 1, "test": "<name>", ...outcome fields...}
+
+The journal stores whatever serializable record the runner hands it;
+``test`` is the resume key and duplicate lines keep the *last* entry (a
+re-run of a test supersedes the earlier outcome).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, Optional
+
+JOURNAL_VERSION = 1
+
+
+class RunJournal:
+    """Append-only per-test outcome log backing resumable suite runs."""
+
+    def __init__(self, path: str) -> None:
+        self.path = os.fspath(path)
+        self._entries: Dict[str, dict] = {}
+        self._dropped_lines = 0
+        self._needs_newline = False
+        self._load()
+
+    def _load(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "r", encoding="utf-8") as fh:
+            raw = fh.read()
+        self._needs_newline = bool(raw) and not raw.endswith("\n")
+        for line in raw.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                # A truncated tail from a killed writer; drop it.
+                self._dropped_lines += 1
+                continue
+            if not isinstance(entry, dict) or "test" not in entry:
+                self._dropped_lines += 1
+                continue
+            self._entries[entry["test"]] = entry
+
+    # -- querying ---------------------------------------------------------------
+    def is_done(self, test: str) -> bool:
+        return test in self._entries
+
+    def get(self, test: str) -> Optional[dict]:
+        return self._entries.get(test)
+
+    def completed(self) -> Dict[str, dict]:
+        return dict(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def dropped_lines(self) -> int:
+        return self._dropped_lines
+
+    # -- writing ----------------------------------------------------------------
+    def record(self, entry: dict) -> None:
+        """Append one outcome; ``entry['test']`` is the resume key."""
+        if "test" not in entry:
+            raise ValueError("journal entries need a 'test' key")
+        entry = dict(entry)
+        entry.setdefault("v", JOURNAL_VERSION)
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as fh:
+            # A killed writer can leave an unterminated tail; close it off
+            # so the new line stays parseable.
+            if self._needs_newline:
+                fh.write("\n")
+                self._needs_newline = False
+            fh.write(json.dumps(entry, sort_keys=True) + "\n")
+            fh.flush()
+        self._entries[entry["test"]] = entry
+
+    def pending(self, tests: Iterable[str]) -> list:
+        """The subset of ``tests`` with no journaled outcome yet."""
+        return [t for t in tests if t not in self._entries]

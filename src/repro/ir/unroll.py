@@ -21,6 +21,7 @@ import copy as _copy
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
+from repro.harness.deadline import Deadline
 from repro.ir.function import BasicBlock, Function
 from repro.ir.instructions import (
     Alloca,
@@ -49,11 +50,18 @@ class UnrollStats:
     memory_fallbacks: int = 0
 
 
-def unroll_function(fn: Function, factor: int) -> UnrollStats:
+def unroll_function(
+    fn: Function, factor: int, deadline: Optional[Deadline] = None
+) -> UnrollStats:
     """Unroll every loop of ``fn`` in place by ``factor`` copies.
 
     ``factor`` is the total number of body copies kept (the paper's
     "unroll factor"); it must be >= 1.
+
+    ``deadline`` is the whole-job budget: unrolling is O(loops × factor)
+    and can dominate a job on deeply nested loops, so every loop and
+    every body copy is a cooperative checkpoint (raises
+    :class:`~repro.harness.deadline.DeadlineExceeded` when spent).
     """
     assert factor >= 1
     stats = UnrollStats()
@@ -75,7 +83,11 @@ def unroll_function(fn: Function, factor: int) -> UnrollStats:
         ancestors[loop.header] = chain
 
     for loop in forest.innermost_first():
-        new_blocks = _unroll_one_loop(fn, loop.header, bodies[loop.header], factor, stats)
+        if deadline is not None:
+            deadline.check("unroll")
+        new_blocks = _unroll_one_loop(
+            fn, loop.header, bodies[loop.header], factor, stats, deadline
+        )
         for anc in ancestors[loop.header]:
             bodies[anc] |= new_blocks
         stats.loops_unrolled += 1
@@ -108,6 +120,7 @@ def _unroll_one_loop(
     body: Set[str],
     factor: int,
     stats: UnrollStats,
+    deadline: Optional[Deadline] = None,
 ) -> Set[str]:
     """Unroll one loop; returns the labels of all newly created blocks."""
     sink = _ensure_sink(fn)
@@ -162,6 +175,8 @@ def _unroll_one_loop(
 
     # ---- create copies 1..factor-1 -----------------------------------------
     for i in range(1, factor):
+        if deadline is not None:
+            deadline.check("unroll")
         prev_labels = label_of_copy[i - 1]
         cur_labels = {label: unroll_name(label, i) for label in loop_blocks}
         label_of_copy.append(cur_labels)
@@ -248,7 +263,7 @@ def _unroll_one_loop(
     stats.blocks_added += len(new_labels)
 
     # ---- patch loop-exit values ---------------------------------------------
-    _patch_exit_uses(fn, body, def_set, label_of_copy, rename_of_copy, stats)
+    _patch_exit_uses(fn, body, def_set, label_of_copy, rename_of_copy, stats, deadline)
     return new_labels
 
 
@@ -292,6 +307,7 @@ def _patch_exit_uses(
     label_of_copy: List[Dict[str, str]],
     rename_of_copy: List[Dict[str, str]],
     stats: UnrollStats,
+    deadline: Optional[Deadline] = None,
 ) -> None:
     all_copies: Set[str] = set()
     for labels in label_of_copy:
@@ -321,6 +337,8 @@ def _patch_exit_uses(
     # 2. Any other outside use of a loop def goes through a stack slot.
     slots: Dict[str, str] = {}
     for label, block in list(fn.blocks.items()):
+        if deadline is not None:
+            deadline.check("unroll-exits")
         if label in all_copies:
             continue
         new_instructions: List[Instruction] = []

@@ -27,6 +27,8 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, List, Optional, Tuple
 
+from repro.harness.deadline import Deadline, DeadlineExceeded
+from repro.harness.faults import maybe_fault
 from repro.ir.function import Function
 from repro.ir.instructions import Alloca
 from repro.ir.module import Module
@@ -71,6 +73,7 @@ class Verdict(Enum):
     UNSUPPORTED = "unsupported"
     APPROX = "approx"  # a counterexample touched an over-approximated feature
     EMPTY_PRE = "empty-pre"  # a precondition is unsatisfiable (check #1)
+    CRASH = "crash"  # the validator itself failed; contained by the harness
 
 
 @dataclass(frozen=True)
@@ -101,6 +104,10 @@ class RefinementResult:
     approx_features: List[str] = field(default_factory=list)
     unsupported_feature: Optional[str] = None
     elapsed_s: float = 0.0
+    # Degradation-ladder steps taken before this verdict was reached.
+    degradations: List[str] = field(default_factory=list)
+    # Structured crash record when the harness contained a failure.
+    diagnostic: Optional[Dict[str, object]] = None
 
     @property
     def ok(self) -> bool:
@@ -122,6 +129,9 @@ class RefinementResult:
             return f"Couldn't verify: depends on over-approximated features ({feats})"
         if self.verdict is Verdict.UNSUPPORTED:
             return f"Skipped: unsupported feature ({self.unsupported_feature})"
+        if self.verdict is Verdict.CRASH:
+            what = (self.diagnostic or {}).get("type", "unknown")
+            return f"Validator crashed ({what}); contained by the harness"
         return f"Gave up: {self.verdict.value}"
 
 
@@ -132,13 +142,40 @@ def verify_refinement(
     module_tgt: Optional[Module] = None,
     options: Optional[VerifyOptions] = None,
 ) -> RefinementResult:
-    """Check that ``tgt`` refines ``src`` (the core Alive2 operation)."""
+    """Check that ``tgt`` refines ``src`` (the core Alive2 operation).
+
+    ``options.timeout_s`` bounds the *whole job*: a single
+    :class:`Deadline` covers deepcopy, unroll, encode, and every solver
+    query, with cooperative checkpoints inside the unroller and the
+    encoder.  A job whose pre-solver phases exceed the budget returns
+    ``Verdict.TIMEOUT`` instead of running unbounded.
+    """
     options = options or VerifyOptions()
     start = time.monotonic()
+    deadline = Deadline.start(options.timeout_s)
     module_tgt = module_tgt if module_tgt is not None else module_src
 
     def done(result: RefinementResult) -> RefinementResult:
         result.elapsed_s = time.monotonic() - start
+        return result
+
+    try:
+        return done(
+            _verify_with_deadline(src, tgt, module_src, module_tgt, options, deadline)
+        )
+    except DeadlineExceeded as exc:
+        return done(RefinementResult(Verdict.TIMEOUT, failed_check=exc.phase))
+
+
+def _verify_with_deadline(
+    src: Function,
+    tgt: Function,
+    module_src: Module,
+    module_tgt: Module,
+    options: VerifyOptions,
+    deadline: Deadline,
+) -> RefinementResult:
+    def done(result: RefinementResult) -> RefinementResult:
         return result
 
     if src.is_declaration or tgt.is_declaration:
@@ -156,10 +193,13 @@ def verify_refinement(
 
     # Unroll copies up front so both functions share one memory layout.
     try:
+        maybe_fault("unroll", deadline=deadline, unroll_factor=options.unroll_factor)
+        deadline.check("deepcopy")
         src_unrolled = _copy.deepcopy(src)
+        deadline.check("deepcopy")
         tgt_unrolled = _copy.deepcopy(tgt)
-        unroll_function(src_unrolled, options.unroll_factor)
-        unroll_function(tgt_unrolled, options.unroll_factor)
+        unroll_function(src_unrolled, options.unroll_factor, deadline=deadline)
+        unroll_function(tgt_unrolled, options.unroll_factor, deadline=deadline)
     except UnrollError:
         return done(
             RefinementResult(Verdict.UNSUPPORTED, unsupported_feature="irreducible-loop")
@@ -172,9 +212,15 @@ def verify_refinement(
     globals_ = dict(module_src.globals)
     globals_.update(module_tgt.globals)
     try:
+        maybe_fault("encode", deadline=deadline, unroll_factor=options.unroll_factor)
+        deadline.check("layout")
         layout = build_layout(globals_, pointer_args, num_allocas, options.memory)
-        enc_src = _Encoder(src_unrolled, module_src, "src", layout).encode()
-        enc_tgt = _Encoder(tgt_unrolled, module_tgt, "tgt", layout).encode()
+        enc_src = _Encoder(
+            src_unrolled, module_src, "src", layout, deadline=deadline
+        ).encode()
+        enc_tgt = _Encoder(
+            tgt_unrolled, module_tgt, "tgt", layout, deadline=deadline
+        ).encode()
     except EncodeError as exc:
         return done(
             RefinementResult(Verdict.UNSUPPORTED, unsupported_feature=exc.feature)
@@ -184,7 +230,9 @@ def verify_refinement(
             RefinementResult(Verdict.UNSUPPORTED, unsupported_feature=str(exc))
         )
 
-    checker = _RefinementChecker(enc_src, enc_tgt, options)
+    maybe_fault("solve", deadline=deadline, unroll_factor=options.unroll_factor)
+    deadline.check("solve")
+    checker = _RefinementChecker(enc_src, enc_tgt, options, deadline=deadline)
     return done(checker.run())
 
 
@@ -194,14 +242,15 @@ class _RefinementChecker:
         src: EncodedFunction,
         tgt: EncodedFunction,
         options: VerifyOptions,
+        deadline: Optional[Deadline] = None,
     ) -> None:
         self.src = src
         self.tgt = tgt
         self.options = options
-        self.deadline = (
-            time.monotonic() + options.timeout_s
-            if options.timeout_s is not None
-            else None
+        # The whole-job deadline; standalone construction (benchmarks)
+        # falls back to a fresh budget from the options.
+        self.deadline = deadline if deadline is not None else Deadline.start(
+            options.timeout_s
         )
         # Rename the source's nondeterminism for the inner (forall) copy.
         self._prime_map: Dict[str, Term] = {}
@@ -388,9 +437,7 @@ class _RefinementChecker:
         return substitute(term, self._prime_map)
 
     def _limits(self) -> ResourceLimits:
-        timeout = None
-        if self.deadline is not None:
-            timeout = max(0.0, self.deadline - time.monotonic())
+        timeout = self.deadline.remaining()
         return ResourceLimits(
             timeout_s=timeout,
             max_conflicts=self.options.max_conflicts,

@@ -19,6 +19,7 @@ import copy as _copy
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.harness.deadline import Deadline
 from repro.ir.cfg import remove_unreachable_blocks, reverse_postorder
 from repro.ir.function import BasicBlock, Function
 from repro.ir.instructions import (
@@ -207,12 +208,18 @@ def encode_function(
 
 class _Encoder:
     def __init__(
-        self, fn: Function, module: Module, prefix: str, layout: MemoryLayout
+        self,
+        fn: Function,
+        module: Module,
+        prefix: str,
+        layout: MemoryLayout,
+        deadline: Optional[Deadline] = None,
     ) -> None:
         self.fn = fn
         self.module = module
         self.prefix = prefix
         self.layout = layout
+        self.deadline = deadline
         self.regs: Dict[str, object] = {}
         self.reg_used: Set[str] = set()
         self.undef_vars: List[QuantVar] = []
@@ -398,6 +405,10 @@ class _Encoder:
         init_mem = SymMemory.initial(self.layout, self.module.globals, self.prefix)
 
         for label in order:
+            # Cooperative checkpoint: unrolled functions can have thousands
+            # of blocks, and encoding must stay inside the job deadline.
+            if self.deadline is not None:
+                self.deadline.check("encode")
             block = fn.blocks[label]
             block_dom = dom[label]
             # Merge memory from predecessors.

@@ -25,17 +25,54 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--clean", action="store_true",
         help="unittests: run without injected bugs (false-alarm measurement)",
     )
+    parser.add_argument(
+        "--limit", type=int, default=None,
+        help="unittests: only run the first N tests of the corpus",
+    )
+    parser.add_argument("--batch", type=int, default=1,
+                        help="validate every N changed passes as one step (§8.4)")
+    parser.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="unittests: append per-test outcomes to this JSONL file; "
+             "a re-invocation resumes from it, re-running only unfinished tests",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retry TIMEOUT/OOM jobs up to N times with degraded settings "
+             "(halved unroll factor / conflict budget, smaller memory model)",
+    )
     args = parser.parse_args(argv)
     options = VerifyOptions(timeout_s=args.timeout, unroll_factor=args.unroll)
+    ladder = None
+    if args.retries > 0:
+        from repro.harness.degrade import DegradationLadder
+
+        ladder = DegradationLadder(max_retries=args.retries)
 
     if args.what == "unittests":
         from repro.suite.runner import run_suite
         from repro.suite.unittests import UNIT_TESTS
 
-        outcome = run_suite(UNIT_TESTS, options, inject_bugs=not args.clean)
+        tests = UNIT_TESTS[: args.limit] if args.limit is not None else UNIT_TESTS
+        outcome = run_suite(
+            tests,
+            options,
+            inject_bugs=not args.clean,
+            batch=args.batch,
+            journal=args.journal,
+            ladder=ladder,
+        )
         print(f"analyzed: {outcome.tally.analyzed}")
         print(f"correct: {outcome.tally.correct}  incorrect: {outcome.tally.incorrect}")
-        print(f"timeout: {outcome.tally.timeout}  oom: {outcome.tally.oom}")
+        print(f"timeout: {outcome.tally.timeout}  oom: {outcome.tally.oom}  "
+              f"crash: {outcome.tally.crash}")
+        if outcome.resumed:
+            print(f"resumed from journal: {outcome.resumed} tests")
+        if outcome.crashed:
+            print(f"contained crashes: {outcome.crashed}")
+        degraded = [r.test for r in outcome.records if r.degradations]
+        if degraded:
+            print(f"degraded retries: {degraded}")
         print("violations by category:")
         for row in outcome.summary_rows():
             print(f"  {row['category']}: {row['violations']}")
@@ -50,28 +87,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.tv.plugin import validate_pipeline
 
         print(f"{'prog':>8} {'fns':>5} {'time(s)':>8} {'ok':>4} {'bad':>4} "
-              f"{'TO':>3} {'OOM':>4} {'unsup':>6}")
+              f"{'TO':>3} {'OOM':>4} {'crash':>6} {'unsup':>6}")
         for spec in APP_SPECS:
             module = build_app(spec)
-            report = validate_pipeline(module, O3_PIPELINE, options)
+            report = validate_pipeline(
+                module, O3_PIPELINE, options, batch=args.batch, ladder=ladder
+            )
             t = report.tally
             print(
                 f"{spec.name:>8} {spec.functions:>5} {t.total_time_s:>8.1f} "
                 f"{t.correct:>4} {t.incorrect:>4} {t.timeout:>3} {t.oom:>4} "
-                f"{t.unsupported + t.approx:>6}"
+                f"{t.crash:>6} {t.unsupported + t.approx:>6}"
             )
         return 0
 
     # knownbugs
+    from repro.harness.isolation import run_verification_job
     from repro.ir.parser import parse_module
-    from repro.refinement.check import Verdict, verify_refinement
+    from repro.refinement.check import Verdict
     from repro.suite.knownbugs import KNOWN_BUGS
 
     detected = missed = 0
     for bug in KNOWN_BUGS:
         sm, tm = parse_module(bug.src), parse_module(bug.tgt)
-        result = verify_refinement(
-            sm.definitions()[0], tm.definitions()[0], sm, tm, options
+        result = run_verification_job(
+            sm.definitions()[0], tm.definitions()[0], sm, tm, options, ladder=ladder
         )
         found = result.verdict is Verdict.INCORRECT
         status = "DETECTED" if found else f"missed ({bug.miss_reason or '?'})"

@@ -4,18 +4,71 @@ This is the analogue of the paper's lit-based monitoring setup (§8.2):
 for each unit test, run the (possibly buggy) pipeline and validate each
 changed pass; aggregate verdicts and bucket refinement failures by the
 injected defect's §8.2 category.
+
+The runner is fault-tolerant: every test executes inside a containment
+boundary, so a parser crash, an encoder ``RecursionError`` or a
+``MemoryError`` in one test is recorded as a per-test ``CRASH``/``OOM``
+outcome and the corpus run continues.  With a journal path, per-test
+outcomes are appended to a JSONL file as the run progresses and a
+re-invocation resumes from it, re-running only unfinished tests.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Union
 
+from repro.harness import faults
+from repro.harness.deadline import DeadlineExceeded
+from repro.harness.degrade import DegradationLadder
+from repro.harness.faults import FaultPlan
+from repro.harness.isolation import diagnostic_from, run_verification_job
+from repro.harness.journal import RunJournal
 from repro.ir.parser import parse_module
-from repro.refinement.check import Verdict, VerifyOptions
+from repro.refinement.check import Verdict, VerifyOptions, verify_refinement
 from repro.suite.unittests import UnitTest
 from repro.tv.plugin import validate_pipeline
 from repro.tv.report import Tally, ValidationReport
+
+
+@dataclass
+class TestRecord:
+    """One test's journaled outcome — everything resume needs to replay."""
+
+    __test__ = False  # not a pytest class, despite the name
+
+    test: str
+    verdicts: Dict[str, int] = field(default_factory=dict)
+    elapsed_s: float = 0.0
+    skipped_unchanged: int = 0
+    category: Optional[str] = None
+    detected: bool = False
+    missed: bool = False
+    clean_failure: bool = False
+    degradations: List[str] = field(default_factory=list)
+    diagnostic: Optional[Dict[str, object]] = None
+
+    def count(self, verdict: Verdict) -> None:
+        self.verdicts[verdict.value] = self.verdicts.get(verdict.value, 0) + 1
+
+    def to_json(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, data: dict) -> "TestRecord":
+        return cls(
+            test=data["test"],
+            verdicts=dict(data.get("verdicts", {})),
+            elapsed_s=float(data.get("elapsed_s", 0.0)),
+            skipped_unchanged=int(data.get("skipped_unchanged", 0)),
+            category=data.get("category"),
+            detected=bool(data.get("detected", False)),
+            missed=bool(data.get("missed", False)),
+            clean_failure=bool(data.get("clean_failure", False)),
+            degradations=list(data.get("degradations", [])),
+            diagnostic=data.get("diagnostic"),
+        )
 
 
 @dataclass
@@ -25,6 +78,9 @@ class SuiteOutcome:
     detected: List[str] = field(default_factory=list)  # test names with bugs caught
     missed: List[str] = field(default_factory=list)  # injected bugs not caught
     clean_failures: List[str] = field(default_factory=list)  # false alarms
+    crashed: List[str] = field(default_factory=list)  # tests the harness contained
+    records: List[TestRecord] = field(default_factory=list)
+    resumed: int = 0  # tests replayed from the journal instead of re-run
 
     def summary_rows(self) -> List[Dict[str, object]]:
         return [
@@ -38,57 +94,140 @@ def run_suite(
     options: Optional[VerifyOptions] = None,
     inject_bugs: bool = True,
     batch: int = 1,
+    *,
+    journal: Optional[Union[str, RunJournal]] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    ladder: Optional[DegradationLadder] = None,
 ) -> SuiteOutcome:
     """Validate every test; returns outcome statistics.
 
     With ``inject_bugs`` the per-test buggy pass variant is switched on,
     reproducing a compiler with the §8.2 defect classes; without it the
     same corpus measures the zero-false-alarm property.
+
+    ``journal`` (a path or :class:`RunJournal`) makes the run crash-safe
+    and resumable: already-journaled tests are replayed, not re-run.
+    ``ladder`` enables degraded retries of TIMEOUT/OOM jobs.
+    ``fault_plan`` is the test-only fault-injection hook.
     """
     options = options or VerifyOptions(timeout_s=30.0)
+    if isinstance(journal, (str, bytes)) or hasattr(journal, "__fspath__"):
+        journal = RunJournal(journal)
     outcome = SuiteOutcome()
-    for test in tests:
-        pass_options = {}
-        if inject_bugs and test.bug_option is not None:
-            pass_options[test.bug_option] = True
-        if inject_bugs and test.buggy_target is not None:
-            # FileCheck-style test: the buggy expected output is explicit.
-            from repro.refinement.check import verify_refinement
-
-            sm = parse_module(test.ir)
-            tm = parse_module(test.buggy_target)
-            result = verify_refinement(
-                sm.definitions()[0], tm.definitions()[0], sm, tm, options
-            )
-            outcome.tally.add(result)
-            if result.verdict is Verdict.INCORRECT:
-                outcome.violations_by_category[test.category] = (
-                    outcome.violations_by_category.get(test.category, 0) + 1
-                )
-                outcome.detected.append(test.name)
+    with faults.activate(fault_plan):
+        for test in tests:
+            if journal is not None and journal.is_done(test.name):
+                record = TestRecord.from_json(journal.get(test.name))
+                outcome.resumed += 1
             else:
-                outcome.missed.append(test.name)
-            continue
-        module = parse_module(test.ir)
-        report = validate_pipeline(
-            module, list(test.pipeline), options, pass_options, batch=batch
-        )
-        for record in report.records:
-            outcome.tally.add(record.result)
-        outcome.tally.skipped_unchanged += report.tally.skipped_unchanged
-        bug_injected = inject_bugs and test.bug_option is not None
-        found = bool(report.failures())
-        if found:
-            category = test.category if bug_injected else None
-            if category is None:
-                category = "tool-or-test"  # paper: failures due to Alive2/tests
-                if not bug_injected:
-                    outcome.clean_failures.append(test.name)
-            outcome.violations_by_category[category] = (
-                outcome.violations_by_category.get(category, 0) + 1
-            )
-            if bug_injected:
-                outcome.detected.append(test.name)
-        elif bug_injected:
-            outcome.missed.append(test.name)
+                record = _run_one_test(test, options, inject_bugs, batch, ladder)
+                if journal is not None:
+                    journal.record(record.to_json())
+            _merge_record(outcome, record)
     return outcome
+
+
+def _run_one_test(
+    test: UnitTest,
+    options: VerifyOptions,
+    inject_bugs: bool,
+    batch: int,
+    ladder: Optional[DegradationLadder],
+) -> TestRecord:
+    """Run one test inside the containment boundary; never raises
+    (except KeyboardInterrupt/SystemExit, which must abort the run so the
+    journal-based resume can take over)."""
+    record = TestRecord(test=test.name, category=test.category)
+    start = time.monotonic()
+    try:
+        with faults.current_test(test.name):
+            _evaluate_test(test, options, inject_bugs, batch, ladder, record)
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except MemoryError as exc:
+        record.count(Verdict.OOM)
+        record.diagnostic = diagnostic_from(exc)
+    except DeadlineExceeded as exc:
+        record.count(Verdict.TIMEOUT)
+        record.diagnostic = diagnostic_from(exc)
+    except Exception as exc:  # noqa: BLE001 — crash isolation per test
+        record.count(Verdict.CRASH)
+        record.diagnostic = diagnostic_from(exc)
+    record.elapsed_s = time.monotonic() - start
+    return record
+
+
+def _evaluate_test(
+    test: UnitTest,
+    options: VerifyOptions,
+    inject_bugs: bool,
+    batch: int,
+    ladder: Optional[DegradationLadder],
+    record: TestRecord,
+) -> None:
+    pass_options = {}
+    if inject_bugs and test.bug_option is not None:
+        pass_options[test.bug_option] = True
+    faults.maybe_fault("parse")
+    if inject_bugs and test.buggy_target is not None:
+        # FileCheck-style test: the buggy expected output is explicit.
+        sm = parse_module(test.ir)
+        tm = parse_module(test.buggy_target)
+        result = run_verification_job(
+            sm.definitions()[0], tm.definitions()[0], sm, tm, options, ladder=ladder
+        )
+        record.count(result.verdict)
+        record.degradations.extend(result.degradations)
+        if result.diagnostic is not None:
+            record.diagnostic = result.diagnostic
+        if result.verdict is Verdict.INCORRECT:
+            record.detected = True
+        else:
+            record.missed = True
+        return
+    module = parse_module(test.ir)
+    report = validate_pipeline(
+        module, list(test.pipeline), options, pass_options, batch=batch, ladder=ladder
+    )
+    for rec in report.records:
+        record.count(rec.result.verdict)
+        record.degradations.extend(rec.result.degradations)
+        if rec.result.verdict is Verdict.CRASH and record.diagnostic is None:
+            record.diagnostic = rec.result.diagnostic
+    record.skipped_unchanged = report.tally.skipped_unchanged
+    bug_injected = inject_bugs and test.bug_option is not None
+    found = bool(report.failures())
+    if found:
+        if bug_injected:
+            record.detected = True
+        else:
+            record.clean_failure = True
+            record.category = None
+    elif bug_injected:
+        record.missed = True
+
+
+def _merge_record(outcome: SuiteOutcome, record: TestRecord) -> None:
+    outcome.records.append(record)
+    for verdict_value, count in record.verdicts.items():
+        verdict = Verdict(verdict_value)
+        for _ in range(count):
+            outcome.tally.add_verdict(verdict)
+    outcome.tally.total_time_s += record.elapsed_s
+    outcome.tally.skipped_unchanged += record.skipped_unchanged
+    if record.verdicts.get(Verdict.CRASH.value):
+        outcome.crashed.append(record.test)
+    if record.detected:
+        category = record.category or "uncategorized"
+        outcome.violations_by_category[category] = (
+            outcome.violations_by_category.get(category, 0) + 1
+        )
+        outcome.detected.append(record.test)
+    elif record.clean_failure:
+        # paper: failures due to Alive2/tests themselves, not the compiler
+        outcome.violations_by_category["tool-or-test"] = (
+            outcome.violations_by_category.get("tool-or-test", 0) + 1
+        )
+        outcome.clean_failures.append(record.test)
+    if record.missed:
+        outcome.missed.append(record.test)

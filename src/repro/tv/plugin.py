@@ -7,6 +7,11 @@ plugin-level optimizations the paper describes:
 * skip validation entirely when a pass reports no change (§8.1), and
 * *batching* (§8.4): validate the composition of several passes at once
   (faster; slight risk of masking a bug that a later pass un-does).
+
+Every pair check runs inside the fault-tolerant harness: a crash in the
+parser/encoder/solver is contained to a ``CRASH`` record for that pair,
+and TIMEOUT/OOM outcomes are optionally retried down a degradation
+ladder (§8.3's reduced-settings practice, automated).
 """
 
 from __future__ import annotations
@@ -14,14 +19,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.harness.degrade import DegradationLadder
+from repro.harness.isolation import run_verification_job
 from repro.ir.module import Module
 from repro.opt.passmanager import PassManager, PassRun
-from repro.refinement.check import (
-    RefinementResult,
-    Verdict,
-    VerifyOptions,
-    verify_refinement,
-)
+from repro.refinement.check import RefinementResult, Verdict, VerifyOptions
 from repro.tv.report import Tally, ValidationRecord, ValidationReport
 
 
@@ -32,6 +34,8 @@ class TvPlugin:
     options: VerifyOptions = field(default_factory=VerifyOptions)
     batch: int = 1  # validate every N changed passes as one step
     skip_unchanged: bool = True
+    # Retry policy for TIMEOUT/OOM pairs; None disables degraded retries.
+    ladder: Optional[DegradationLadder] = None
 
     def validate(
         self, module: Module, pipeline: List[str], pass_options: Optional[dict] = None
@@ -86,7 +90,9 @@ class TvPlugin:
         tgt = after.get_function(fn_name)
         if src is None or tgt is None:
             return
-        result = verify_refinement(src, tgt, before, after, self.options)
+        result = run_verification_job(
+            src, tgt, before, after, self.options, ladder=self.ladder
+        )
         report.add(
             ValidationRecord(fn_name, "+".join(pass_names), result)
         )
@@ -98,11 +104,12 @@ def validate_pipeline(
     options: Optional[VerifyOptions] = None,
     pass_options: Optional[dict] = None,
     batch: int = 1,
+    ladder: Optional[DegradationLadder] = None,
 ) -> ValidationReport:
     """Run ``pipeline`` on a copy of ``module`` and validate every step.
 
     This is the `opt -tv` / `alivecc` entry point: the input module is
     not modified.
     """
-    plugin = TvPlugin(options or VerifyOptions(), batch=batch)
+    plugin = TvPlugin(options or VerifyOptions(), batch=batch, ladder=ladder)
     return plugin.validate(module.clone(), pipeline, pass_options)

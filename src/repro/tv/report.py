@@ -27,21 +27,28 @@ class Tally:
     oom: int = 0
     unsupported: int = 0
     approx: int = 0
+    crash: int = 0  # validator failures contained by the harness
     skipped_unchanged: int = 0
     total_time_s: float = 0.0
 
     def add(self, result: RefinementResult) -> None:
-        self.total_time_s += result.elapsed_s
-        if result.verdict is Verdict.CORRECT:
+        self.add_verdict(result.verdict, result.elapsed_s)
+
+    def add_verdict(self, verdict: Verdict, elapsed_s: float = 0.0) -> None:
+        """Count one outcome; used directly when replaying journal entries."""
+        self.total_time_s += elapsed_s
+        if verdict is Verdict.CORRECT:
             self.correct += 1
-        elif result.verdict is Verdict.INCORRECT:
+        elif verdict is Verdict.INCORRECT:
             self.incorrect += 1
-        elif result.verdict is Verdict.TIMEOUT:
+        elif verdict is Verdict.TIMEOUT:
             self.timeout += 1
-        elif result.verdict is Verdict.OOM:
+        elif verdict is Verdict.OOM:
             self.oom += 1
-        elif result.verdict is Verdict.APPROX:
+        elif verdict is Verdict.APPROX:
             self.approx += 1
+        elif verdict is Verdict.CRASH:
+            self.crash += 1
         else:
             self.unsupported += 1
 
@@ -54,6 +61,7 @@ class Tally:
             + self.oom
             + self.unsupported
             + self.approx
+            + self.crash
         )
 
     def row(self) -> Dict[str, object]:
@@ -64,6 +72,7 @@ class Tally:
             "incorrect": self.incorrect,
             "timeout": self.timeout,
             "oom": self.oom,
+            "crash": self.crash,
             "unsupported": self.unsupported + self.approx,
             "time_s": round(self.total_time_s, 2),
         }
@@ -88,7 +97,7 @@ class ValidationReport:
         return (
             f"{t.analyzed} analyzed ({t.skipped_unchanged} unchanged skipped): "
             f"{t.correct} correct, {t.incorrect} incorrect, "
-            f"{t.timeout} timeout, {t.oom} OOM, "
+            f"{t.timeout} timeout, {t.oom} OOM, {t.crash} crash, "
             f"{t.unsupported + t.approx} unsupported/approx "
             f"[{t.total_time_s:.1f}s]"
         )

@@ -1,0 +1,422 @@
+"""Tests for the fault-tolerant verification harness.
+
+Covers the four pillars: crash isolation (one bad test never kills a
+corpus run), whole-job deadline enforcement (timeout_s bounds the
+pre-solver phases too), the retry-with-degradation ladder, and
+crash-safe resumable runs via the JSONL journal — all driven through
+the FaultPlan injection hooks.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.harness import Deadline, DeadlineExceeded, FaultPlan, FaultSpec, RunJournal
+from repro.harness.degrade import DegradationLadder, run_with_degradation
+from repro.harness.isolation import run_contained, run_verification_job
+from repro.ir.parser import parse_module
+from repro.refinement.check import (
+    RefinementResult,
+    Verdict,
+    VerifyOptions,
+    verify_refinement,
+)
+from repro.suite.runner import TestRecord, run_suite
+from repro.suite.unittests import UNIT_TESTS, UnitTest
+from repro.tv.report import Tally
+
+
+def _pair(src_text, tgt_text):
+    sm, tm = parse_module(src_text), parse_module(tgt_text)
+    return sm.definitions()[0], tm.definitions()[0], sm, tm
+
+
+MUL_SRC = """
+define i8 @f(i8 %a, i8 %b) {
+entry:
+  %m = mul i8 %a, %b
+  ret i8 %m
+}
+"""
+
+MUL_TGT_COMM = """
+define i8 @f(i8 %a, i8 %b) {
+entry:
+  %m = mul i8 %b, %a
+  ret i8 %m
+}
+"""
+
+NESTED_LOOP = """
+define i8 @f(i8 %n) {
+entry:
+  br label %outer
+outer:
+  %i = phi i8 [ 0, %entry ], [ %i2, %olatch ]
+  %ic = icmp ult i8 %i, %n
+  br i1 %ic, label %inner, label %exit
+inner:
+  %j = phi i8 [ 0, %outer ], [ %j2, %inner ]
+  %j2 = add i8 %j, 1
+  %jc = icmp ult i8 %j2, %n
+  br i1 %jc, label %inner, label %olatch
+olatch:
+  %i2 = add i8 %i, 1
+  br label %outer
+exit:
+  ret i8 %i
+}
+"""
+
+
+def _clean_corpus(n=10):
+    """The first n cheap, clean (no injected bug) handwritten tests."""
+    tests = [
+        t for t in UNIT_TESTS
+        if t.bug_option is None and t.buggy_target is None
+    ]
+    assert len(tests) >= n
+    return tests[:n]
+
+
+# ---------------------------------------------------------------------------
+# Deadline
+# ---------------------------------------------------------------------------
+
+
+def test_deadline_unlimited_never_expires():
+    d = Deadline.start(None)
+    assert not d.expired()
+    assert d.remaining() is None
+    d.check("anything")  # must not raise
+
+
+def test_deadline_zero_budget_expires_immediately():
+    d = Deadline.start(0.0)
+    assert d.expired()
+    assert d.remaining() == 0.0
+    with pytest.raises(DeadlineExceeded) as exc:
+        d.check("encode")
+    assert exc.value.phase == "encode"
+
+
+def test_deadline_remaining_counts_down():
+    d = Deadline.start(60.0)
+    assert 0.0 < d.remaining() <= 60.0
+    assert not d.expired()
+
+
+# ---------------------------------------------------------------------------
+# Whole-job deadline enforcement (pre-solver phases)
+# ---------------------------------------------------------------------------
+
+
+def test_zero_budget_returns_timeout_not_exception():
+    src, tgt, sm, tm = _pair(MUL_SRC, MUL_SRC)
+    result = verify_refinement(src, tgt, sm, tm, VerifyOptions(timeout_s=0.0))
+    assert result.verdict is Verdict.TIMEOUT
+    assert result.elapsed_s < 1.0
+
+
+def test_unroll_encode_phases_respect_deadline():
+    """A pathological unroll/encode job stops within ~2x the budget."""
+    src, tgt, sm, tm = _pair(NESTED_LOOP, NESTED_LOOP)
+    budget = 0.15
+    start = time.monotonic()
+    result = verify_refinement(
+        src, tgt, sm, tm, VerifyOptions(timeout_s=budget, unroll_factor=300)
+    )
+    wall = time.monotonic() - start
+    assert result.verdict is Verdict.TIMEOUT
+    # The cooperative checkpoints must fire long before an uncontrolled
+    # 300x-nested unroll would finish; allow generous CI slack.
+    assert wall < 10 * budget + 1.0
+
+
+def test_timeout_phase_is_reported():
+    src, tgt, sm, tm = _pair(MUL_SRC, MUL_SRC)
+    result = verify_refinement(src, tgt, sm, tm, VerifyOptions(timeout_s=0.0))
+    assert result.failed_check  # names the phase that hit the deadline
+
+
+# ---------------------------------------------------------------------------
+# Resource-exhaustion verdict paths (reported, never raised)
+# ---------------------------------------------------------------------------
+
+
+def test_conflict_budget_exhaustion_reports_timeout():
+    src, tgt, sm, tm = _pair(MUL_SRC, MUL_TGT_COMM)
+    result = verify_refinement(
+        src, tgt, sm, tm, VerifyOptions(timeout_s=10.0, max_conflicts=1)
+    )
+    assert result.verdict is Verdict.TIMEOUT
+    assert result.elapsed_s > 0.0
+
+
+def test_learned_lits_exhaustion_reports_oom():
+    src, tgt, sm, tm = _pair(MUL_SRC, MUL_TGT_COMM)
+    result = verify_refinement(
+        src, tgt, sm, tm, VerifyOptions(timeout_s=10.0, max_learned_lits=8)
+    )
+    assert result.verdict is Verdict.OOM
+    assert result.elapsed_s > 0.0
+
+
+# ---------------------------------------------------------------------------
+# Crash isolation
+# ---------------------------------------------------------------------------
+
+
+def test_run_contained_maps_exceptions_to_verdicts():
+    def crash():
+        raise ValueError("boom")
+
+    def oom():
+        raise MemoryError("huge")
+
+    def deep():
+        raise RecursionError("too deep")
+
+    r = run_contained(crash)
+    assert r.verdict is Verdict.CRASH
+    assert r.diagnostic["type"] == "ValueError"
+    assert r.diagnostic["message"] == "boom"
+    assert run_contained(oom).verdict is Verdict.OOM
+    assert run_contained(deep).verdict is Verdict.CRASH
+
+
+def test_run_contained_passes_keyboardinterrupt_through():
+    def interrupted():
+        raise KeyboardInterrupt()
+
+    with pytest.raises(KeyboardInterrupt):
+        run_contained(interrupted)
+
+
+def test_parse_error_is_isolated_per_test():
+    corpus = [
+        UnitTest("bad-ir", "define garbage {{{", ("instsimplify",)),
+        _clean_corpus(1)[0],
+    ]
+    outcome = run_suite(corpus, VerifyOptions(timeout_s=10.0), inject_bugs=False)
+    assert len(outcome.records) == 2
+    assert outcome.crashed == ["bad-ir"]
+    assert outcome.records[0].verdicts == {"crash": 1}
+    assert outcome.records[0].diagnostic["type"] == "ParseError"
+    assert outcome.records[1].verdicts.get("crash") is None
+
+
+def test_tally_counts_crash():
+    tally = Tally()
+    tally.add(RefinementResult(Verdict.CRASH))
+    assert tally.crash == 1
+    assert tally.analyzed == 1
+    assert tally.row()["crash"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Fault injection: a 10-test corpus survives crash + hang + oom, and the
+# journal resumes an interrupted run.
+# ---------------------------------------------------------------------------
+
+
+def _fault_plan():
+    return FaultPlan(
+        {
+            "simplify-algebra": FaultSpec(kind="crash", site="encode"),
+            "combine-add-self": FaultSpec(kind="hang", site="solve"),
+            "combine-mul-pow2": FaultSpec(kind="oom", site="encode"),
+        }
+    )
+
+
+def test_faulted_corpus_completes_all_tests(tmp_path):
+    corpus = _clean_corpus(10)
+    names = [t.name for t in corpus]
+    assert {"simplify-algebra", "combine-add-self", "combine-mul-pow2"} <= set(names)
+    journal_path = str(tmp_path / "run.jsonl")
+    outcome = run_suite(
+        corpus,
+        VerifyOptions(timeout_s=0.5),
+        inject_bugs=False,
+        journal=journal_path,
+        fault_plan=_fault_plan(),
+    )
+    assert len(outcome.records) == 10
+    by_name = {r.test: r for r in outcome.records}
+    assert by_name["simplify-algebra"].verdicts.get("crash") == 1
+    assert by_name["combine-add-self"].verdicts.get("timeout", 0) >= 1
+    assert by_name["combine-mul-pow2"].verdicts.get("oom") == 1
+    assert outcome.crashed == ["simplify-algebra"]
+    # The 7 unfaulted tests all produced verdicts without crashing.
+    for name in names:
+        if name in ("simplify-algebra", "combine-add-self", "combine-mul-pow2"):
+            continue
+        assert by_name[name].verdicts.get("crash") is None, name
+    # One JSONL line per test, all valid JSON.
+    with open(journal_path) as fh:
+        lines = [json.loads(l) for l in fh if l.strip()]
+    assert sorted(e["test"] for e in lines) == sorted(names)
+
+    # A second invocation resumes everything from the journal: no test
+    # re-runs (the fault plan would detonate again if one did).
+    resumed = run_suite(
+        corpus,
+        VerifyOptions(timeout_s=0.5),
+        inject_bugs=False,
+        journal=journal_path,
+        fault_plan=_fault_plan(),
+    )
+    assert resumed.resumed == 10
+    assert resumed.crashed == outcome.crashed
+    assert resumed.tally.crash == outcome.tally.crash
+    assert resumed.tally.timeout == outcome.tally.timeout
+    assert resumed.tally.oom == outcome.tally.oom
+
+
+def test_interrupted_run_resumes_only_unfinished_tests(tmp_path):
+    corpus = _clean_corpus(10)
+    journal_path = str(tmp_path / "partial.jsonl")
+    first = run_suite(
+        corpus[:6],
+        VerifyOptions(timeout_s=10.0),
+        inject_bugs=False,
+        journal=journal_path,
+    )
+    assert first.resumed == 0
+    assert len(RunJournal(journal_path)) == 6
+
+    second = run_suite(
+        corpus,
+        VerifyOptions(timeout_s=10.0),
+        inject_bugs=False,
+        journal=journal_path,
+    )
+    assert second.resumed == 6  # journaled tests replayed, not re-run
+    assert len(second.records) == 10
+    assert len(RunJournal(journal_path)) == 10
+
+
+def test_journal_tolerates_truncated_tail(tmp_path):
+    path = tmp_path / "trunc.jsonl"
+    good = json.dumps({"v": 1, "test": "a", "verdicts": {"correct": 1}})
+    path.write_text(good + "\n" + '{"v": 1, "test": "b", "verd')
+    journal = RunJournal(str(path))
+    assert journal.is_done("a")
+    assert not journal.is_done("b")
+    assert journal.dropped_lines == 1
+    journal.record({"test": "b", "verdicts": {"timeout": 1}})
+    reloaded = RunJournal(str(path))
+    assert reloaded.is_done("b")
+    assert reloaded.pending(["a", "b", "c"]) == ["c"]
+
+
+# ---------------------------------------------------------------------------
+# Degradation ladder
+# ---------------------------------------------------------------------------
+
+
+def test_ladder_rungs_halve_unroll_then_shrink_memory():
+    ladder = DegradationLadder(max_retries=8)
+    options = VerifyOptions(unroll_factor=4)
+    steps1, opts1 = ladder.next_rung(options)
+    assert steps1 == ["unroll:4->2"]
+    assert opts1.unroll_factor == 2
+    steps2, opts2 = ladder.next_rung(opts1)
+    assert steps2 == ["unroll:2->1"]
+    steps3, opts3 = ladder.next_rung(opts2)
+    assert any(s.startswith("argbytes:") for s in steps3)
+    assert opts3.memory.arg_block_bytes < opts2.memory.arg_block_bytes
+
+
+def test_run_with_degradation_retries_until_verdict():
+    calls = []
+
+    def attempt(opts):
+        calls.append(opts.unroll_factor)
+        if opts.unroll_factor > 1:
+            return RefinementResult(Verdict.TIMEOUT)
+        return RefinementResult(Verdict.CORRECT)
+
+    result = run_with_degradation(
+        attempt, VerifyOptions(unroll_factor=4), DegradationLadder(max_retries=3)
+    )
+    assert result.verdict is Verdict.CORRECT
+    assert calls == [4, 2, 1]
+    assert result.degradations == ["unroll:4->2", "unroll:2->1"]
+
+
+def test_run_with_degradation_gives_up_after_max_retries():
+    def attempt(opts):
+        return RefinementResult(Verdict.TIMEOUT)
+
+    result = run_with_degradation(
+        attempt, VerifyOptions(unroll_factor=16), DegradationLadder(max_retries=2)
+    )
+    assert result.verdict is Verdict.TIMEOUT
+    assert result.degradations == ["unroll:16->8", "unroll:8->4"]
+
+
+def test_suite_test_times_out_at_unroll4_then_verifies_degraded():
+    """Acceptance demo: a job that times out at unroll_factor=4 produces a
+    definitive verdict after automatic retry at a lower bound, with the
+    degradation steps recorded in the result."""
+    test = next(t for t in UNIT_TESTS if t.name == "combine-add-self")
+    plan = FaultPlan(
+        {"combine-add-self": FaultSpec(kind="hang", site="solve", when_unroll_ge=4)}
+    )
+    outcome = run_suite(
+        [test],
+        VerifyOptions(timeout_s=0.4, unroll_factor=4),
+        inject_bugs=False,
+        fault_plan=plan,
+        ladder=DegradationLadder(max_retries=2),
+    )
+    record = outcome.records[0]
+    assert record.verdicts.get("correct", 0) >= 1  # definitive after retry
+    assert record.verdicts.get("crash") is None
+    assert "unroll:4->2" in record.degradations
+    assert outcome.tally.correct >= 1
+    assert outcome.tally.crash == 0
+
+
+def test_run_verification_job_degrades_injected_hang():
+    src, tgt, sm, tm = _pair(MUL_SRC, MUL_SRC)
+    plan = FaultPlan(
+        {"direct": FaultSpec(kind="hang", site="solve", when_unroll_ge=4)}
+    )
+    from repro.harness import faults
+
+    with faults.activate(plan), faults.current_test("direct"):
+        result = run_verification_job(
+            src,
+            tgt,
+            sm,
+            tm,
+            VerifyOptions(timeout_s=0.4, unroll_factor=4),
+            ladder=DegradationLadder(max_retries=1),
+        )
+    assert result.verdict is Verdict.CORRECT
+    assert result.degradations == ["unroll:4->2"]
+
+
+# ---------------------------------------------------------------------------
+# TestRecord round-trip (journal serialization)
+# ---------------------------------------------------------------------------
+
+
+def test_record_json_roundtrip():
+    record = TestRecord(
+        test="t",
+        verdicts={"correct": 2, "crash": 1},
+        elapsed_s=1.5,
+        skipped_unchanged=3,
+        category="memory",
+        detected=True,
+        degradations=["unroll:4->2"],
+        diagnostic={"type": "ValueError", "message": "x", "frames": []},
+    )
+    data = json.loads(json.dumps(record.to_json()))
+    back = TestRecord.from_json(data)
+    assert back == record
