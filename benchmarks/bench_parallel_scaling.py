@@ -1,0 +1,119 @@
+"""E9 — engine: parallel scaling and query-cache ablation.
+
+The verification engine (``repro.engine``) attacks whole-corpus
+wall-clock from two sides: a process-pool scheduler fans per-test jobs
+across CPUs, and a canonical-hash query cache replays structurally
+repeated solver queries without invoking the solver.  This benchmark
+measures corpus wall-clock at ``jobs`` ∈ {1, 2, 4} and with the cache
+off / cold / warm, checks that every configuration produces identical
+verdict tallies, and records the raw numbers in ``BENCH_engine.json``
+for cross-machine comparison.
+
+Speedup from ``jobs > 1`` scales with physical cores, so no absolute
+ratio is asserted here — a CI container may only have one.  The cache
+effect is machine-independent: a warm run must hit and must not lose
+verdicts.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from conftest import print_table
+
+from repro.engine.qcache import QueryCache
+from repro.refinement.check import VerifyOptions
+from repro.suite.runner import run_suite
+from repro.suite.unittests import build_corpus
+
+OPTS = VerifyOptions(timeout_s=10.0)
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def _tally_key(outcome):
+    row = outcome.tally.row()
+    row.pop("time_s")
+    return row
+
+
+def test_bench_parallel_scaling(benchmark, tmp_path):
+    corpus = build_corpus(generated=12)
+    cache_path = str(tmp_path / "qcache.jsonl")
+
+    def run():
+        results = {}
+        for label, jobs, cache in [
+            ("jobs=1 cache=off", 1, None),
+            ("jobs=1 cache=cold", 1, QueryCache()),
+            ("jobs=1 cache=warm", 1, cache_path),  # cold pass below warms it
+            ("jobs=2 cache=off", 2, None),
+            ("jobs=4 cache=off", 4, None),
+            ("jobs=4 cache=warm", 4, cache_path),
+        ]:
+            if label == "jobs=1 cache=warm":
+                run_suite(corpus, OPTS, inject_bugs=False, query_cache=cache_path)
+            start = time.monotonic()
+            outcome = run_suite(
+                corpus, OPTS, inject_bugs=False, jobs=jobs, query_cache=cache
+            )
+            results[label] = (time.monotonic() - start, outcome)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for label, (wall_s, outcome) in results.items():
+        t = outcome.tally
+        rows.append(
+            {
+                "config": label,
+                "wall_s": round(wall_s, 3),
+                "correct": t.correct,
+                "incorrect": t.incorrect,
+                "qc_hits": t.qcache_hits,
+                "qc_misses": t.qcache_misses,
+                "hit_rate": f"{t.qcache_hit_rate:.0%}",
+            }
+        )
+    print_table("E9: parallel scaling / query-cache ablation", rows)
+
+    base_wall, base = results["jobs=1 cache=off"]
+    for label, (_, outcome) in results.items():
+        assert _tally_key(outcome) == _tally_key(base), label
+    cold = results["jobs=1 cache=cold"][1]
+    warm = results["jobs=1 cache=warm"][1]
+    assert warm.tally.qcache_hits > 0
+    # Residual warm misses are the queries that died with a deadline
+    # exception (never stored); everything storable replays.
+    assert warm.tally.qcache_misses < cold.tally.qcache_misses
+    assert warm.tally.qcache_hit_rate > cold.tally.qcache_hit_rate
+    par_warm = results["jobs=4 cache=warm"][1]
+    assert par_warm.tally.qcache_hits > 0
+    # Parallel runs really fanned out to worker processes.
+    assert all(r.worker is not None for r in results["jobs=4 cache=off"][1].records)
+
+    OUT_PATH.write_text(
+        json.dumps(
+            {
+                "bench": "engine_parallel_scaling",
+                "corpus_tests": len(corpus),
+                "cpu_count": os.cpu_count(),
+                "tally": _tally_key(base),
+                "configs": {
+                    label: {
+                        "wall_s": round(wall_s, 3),
+                        "qcache_hits": outcome.tally.qcache_hits,
+                        "qcache_misses": outcome.tally.qcache_misses,
+                        "speedup_vs_seq": round(base_wall / wall_s, 2)
+                        if wall_s
+                        else None,
+                    }
+                    for label, (wall_s, outcome) in results.items()
+                },
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    print(f"wrote {OUT_PATH}")

@@ -1,0 +1,176 @@
+"""Process-pool scheduler for parallel corpus verification.
+
+The suite runner's throughput — not single-query latency — dominates
+wall-clock on whole-corpus runs (the paper validates ~37k unit tests
+under per-function budgets).  This module fans per-test jobs out to a
+pool of worker processes:
+
+* each worker is its own crash-isolation domain: a hard interpreter
+  death (segfault, OOM-kill) loses one test, not the run — strictly
+  stronger than the in-process containment of the sequential path,
+  which still catches soft failures inside the worker;
+* the parent is the **single journal writer**: workers return plain
+  JSON records and the parent appends them to the run journal as they
+  complete, so ``--journal`` resume stays crash-safe under parallelism;
+* record ordering is deterministic: the caller merges results in corpus
+  order regardless of completion order;
+* workers reset the term intern table before every test, bounding
+  memory across long runs, and each owns a private
+  :class:`~repro.engine.qcache.QueryCache` (sharing the same on-disk
+  file when one is configured — appends are line-atomic and loading is
+  corruption-tolerant, so concurrent writers are safe).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Dict, List, Optional
+
+from repro.engine import qcache
+from repro.harness import faults
+from repro.harness.degrade import DegradationLadder
+from repro.harness.faults import FaultPlan
+from repro.harness.journal import RunJournal
+from repro.refinement.check import Verdict, VerifyOptions
+from repro.suite.unittests import UnitTest
+
+#: How many times a test whose *worker process* died is retried in a
+#: fresh pool before it is recorded as a hard CRASH.  Soft failures are
+#: contained inside the worker and never get here.
+_MAX_HARD_ATTEMPTS = 2
+
+
+def default_jobs() -> int:
+    """CPU-count-aware default for ``--jobs``."""
+    return max(1, os.cpu_count() or 1)
+
+
+def _pool_context():
+    """Prefer fork (cheap, inherits the warm interpreter); fall back to
+    spawn where fork is unavailable (every argument we ship is picklable)."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+# -- worker side -------------------------------------------------------------
+
+_worker_state: dict = {}
+
+
+def _init_worker(
+    options: VerifyOptions,
+    inject_bugs: bool,
+    batch: int,
+    ladder: Optional[DegradationLadder],
+    fault_plan: Optional[FaultPlan],
+    cache_enabled: bool,
+    cache_path: Optional[str],
+) -> None:
+    _worker_state["options"] = options
+    _worker_state["inject_bugs"] = inject_bugs
+    _worker_state["batch"] = batch
+    _worker_state["ladder"] = ladder
+    _worker_state["fault_plan"] = fault_plan
+    _worker_state["cache"] = (
+        qcache.QueryCache(cache_path) if cache_enabled else None
+    )
+
+
+def _run_task(test: UnitTest) -> dict:
+    """Run one test in this worker; returns the journal-ready record."""
+    from repro.smt.terms import reset_interning
+    from repro.suite.runner import _run_one_test
+
+    # Per-test intern reset bounds worker memory over long corpora (and
+    # makes results independent of which worker ran which tests).
+    reset_interning()
+    cache = _worker_state["cache"]
+    with faults.activate(_worker_state["fault_plan"]), qcache.activate(cache):
+        record = _run_one_test(
+            test,
+            _worker_state["options"],
+            _worker_state["inject_bugs"],
+            _worker_state["batch"],
+            _worker_state["ladder"],
+        )
+    record.worker = os.getpid()
+    return record.to_json()
+
+
+# -- parent side -------------------------------------------------------------
+
+
+def run_parallel(
+    tests: List[UnitTest],
+    options: VerifyOptions,
+    inject_bugs: bool,
+    batch: int,
+    *,
+    jobs: int,
+    journal: Optional[RunJournal] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    ladder: Optional[DegradationLadder] = None,
+    cache_enabled: bool = False,
+    cache_path: Optional[str] = None,
+) -> List["TestRecord"]:
+    """Run ``tests`` across ``jobs`` worker processes.
+
+    Returns records in **corpus order**.  The parent journals each record
+    as its worker reports it (single writer, crash-safe); a test whose
+    worker process dies is retried once in a fresh pool, then recorded as
+    a CRASH.
+    """
+    from repro.suite.runner import TestRecord
+
+    ctx = _pool_context()
+    initargs = (
+        options,
+        inject_bugs,
+        batch,
+        ladder,
+        fault_plan,
+        cache_enabled,
+        cache_path,
+    )
+    remaining = list(tests)
+    attempts: Dict[str, int] = {t.name: 0 for t in tests}
+    records: Dict[str, TestRecord] = {}
+
+    def finish(record: TestRecord) -> None:
+        records[record.test] = record
+        if journal is not None:
+            journal.record(record.to_json())
+
+    while remaining:
+        retry: List[UnitTest] = []
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(remaining)),
+            mp_context=ctx,
+            initializer=_init_worker,
+            initargs=initargs,
+        ) as pool:
+            futures = {pool.submit(_run_task, t): t for t in remaining}
+            for future in as_completed(futures):
+                test = futures[future]
+                try:
+                    finish(TestRecord.from_json(future.result()))
+                    continue
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except BaseException as exc:  # noqa: BLE001 — worker died
+                    attempts[test.name] += 1
+                    if attempts[test.name] < _MAX_HARD_ATTEMPTS:
+                        retry.append(test)
+                        continue
+                    record = TestRecord(test=test.name, category=test.category)
+                    record.count(Verdict.CRASH)
+                    record.diagnostic = {
+                        "type": type(exc).__name__,
+                        "message": f"worker process died: {exc}",
+                        "frames": [],
+                    }
+                    finish(record)
+        remaining = retry
+    return [records[t.name] for t in tests]

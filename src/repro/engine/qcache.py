@@ -1,0 +1,218 @@
+"""Solver-side query result cache keyed by canonical content hashes.
+
+Two different unit tests frequently pose *structurally identical*
+refinement queries — the same pass applied to the same idiom produces
+the same (phi, psi) pair up to the fresh-name counter baked into
+variable names like ``tmp!42``.  This module hashes the assertion DAG
+after renaming variables by first occurrence in a deterministic
+traversal, so the digest is independent of object identities and of the
+global fresh-name counter.  A hit replays the recorded verdict (and
+counterexample model, translated back through the renaming) without
+touching the solver at all.
+
+Soundness policy:
+
+* definitive verdicts (``sat``/``unsat``) are sound under *any* resource
+  budget, so they replay unconditionally;
+* resource-exhaustion verdicts (``timeout``/``memout``) are only valid
+  for the exact budget that produced them — they carry a limits
+  fingerprint and replay only under an identical one.  This is the
+  poisoning guard: a TIMEOUT recorded under a 1s budget must never
+  answer for a 1000s run, and vice versa.
+
+The optional on-disk layer is an append-only JSONL file in the same
+style as the run journal: corrupted or truncated lines are counted and
+dropped, never fatal, so a killed run leaves a usable cache behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.smt.terms import Term
+
+CACHE_VERSION = 1
+
+#: Verdicts that are sound to replay regardless of resource limits.
+_DEFINITIVE = ("sat", "unsat")
+
+
+def canonical_fingerprint(
+    items: Sequence[Tuple[str, Term]],
+) -> Tuple[str, Dict[str, str]]:
+    """Hash a sequence of tagged terms into a content digest.
+
+    Returns ``(digest, rename)`` where ``rename`` maps every variable
+    name occurring in the terms to its canonical name (``v0``, ``v1``,
+    ... in first-occurrence order of the traversal).  Structurally equal
+    term sequences produce equal digests and *positionally* equal
+    renamings even when the underlying variable names differ — the
+    property that makes cached counterexample models translatable.
+    """
+    rename: Dict[str, str] = {}
+    index: Dict[Term, int] = {}
+    lines: List[str] = []
+
+    def visit(root: Term) -> None:
+        stack: List[Tuple[Term, bool]] = [(root, False)]
+        while stack:
+            t, expanded = stack.pop()
+            if t in index:
+                continue
+            if not expanded:
+                stack.append((t, True))
+                stack.extend((a, False) for a in t.args)
+                continue
+            if t.op == "var":
+                payload = rename.setdefault(t.payload, f"v{len(rename)}")
+            else:
+                payload = str(t.payload)
+            args = ",".join(str(index[a]) for a in t.args)
+            lines.append(f"{t.op}|{t.width}|{payload}|{args}")
+            index[t] = len(index)
+
+    for tag, term in items:
+        visit(term)
+        lines.append(f"@{tag}={index[term]}")
+    digest = hashlib.sha256("\n".join(lines).encode("utf-8")).hexdigest()
+    return digest, rename
+
+
+class QueryCache:
+    """In-memory + optional JSONL-on-disk map from query digest to verdict.
+
+    Thread-unsafe by design; each worker process owns its own instance.
+    Concurrent *disk* writers are tolerated: every entry is one small
+    appended line, and loading drops anything unparseable.
+    """
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self.path = os.fspath(path) if path is not None else None
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.dropped_lines = 0
+        self._mem: Dict[str, dict] = {}
+        if self.path is not None:
+            self._load()
+
+    # -- persistence -----------------------------------------------------------
+    def _load(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        try:
+            with open(self.path, "r", encoding="utf-8", errors="replace") as fh:
+                raw = fh.read()
+        except OSError:
+            return
+        for line in raw.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                self.dropped_lines += 1
+                continue
+            if (
+                not isinstance(entry, dict)
+                or entry.get("v") != CACHE_VERSION
+                or not isinstance(entry.get("key"), str)
+                or entry.get("result") not in ("sat", "unsat", "timeout", "memout")
+            ):
+                self.dropped_lines += 1
+                continue
+            self._mem[entry["key"]] = entry
+
+    def _append(self, entry: dict) -> None:
+        parent = os.path.dirname(self.path)
+        try:
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as fh:
+                fh.write(json.dumps(entry, sort_keys=True) + "\n")
+                fh.flush()
+        except OSError:
+            # A read-only or vanished cache file degrades to memory-only.
+            pass
+
+    # -- lookup / store --------------------------------------------------------
+    def lookup(self, digest: str, limits_fp: Optional[list] = None) -> Optional[dict]:
+        """The cached entry for ``digest``, honoring the poisoning guard."""
+        entry = self._mem.get(digest)
+        if entry is not None and entry["result"] not in _DEFINITIVE:
+            if entry.get("limits") != limits_fp:
+                entry = None
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def store(
+        self,
+        digest: str,
+        result: str,
+        model: Optional[Dict[str, object]] = None,
+        iterations: int = 0,
+        limits_fp: Optional[list] = None,
+    ) -> None:
+        entry = {
+            "v": CACHE_VERSION,
+            "key": digest,
+            "result": result,
+            "model": dict(model or {}),
+            "iterations": iterations,
+            # Definitive verdicts are budget-independent; drop the
+            # fingerprint so any later budget can replay them.
+            "limits": None if result in _DEFINITIVE else list(limits_fp or []),
+        }
+        self._mem[digest] = entry
+        self.stores += 1
+        if self.path is not None:
+            self._append(entry)
+
+    # -- reporting -------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._mem)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def counters(self) -> Dict[str, object]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "entries": len(self._mem),
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Active-cache scoping (mirrors repro.harness.faults.activate)
+# ---------------------------------------------------------------------------
+
+_active_cache: Optional[QueryCache] = None
+
+
+@contextmanager
+def activate(cache: Optional[QueryCache]) -> Iterator[Optional[QueryCache]]:
+    """Install ``cache`` as the process-wide query cache (None = disabled)."""
+    global _active_cache
+    previous = _active_cache
+    _active_cache = cache
+    try:
+        yield cache
+    finally:
+        _active_cache = previous
+
+
+def active() -> Optional[QueryCache]:
+    return _active_cache

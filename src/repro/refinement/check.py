@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, List, Optional, Tuple
 
+from repro.engine import qcache
 from repro.harness.deadline import Deadline, DeadlineExceeded
 from repro.harness.faults import maybe_fault
 from repro.ir.function import Function
@@ -43,7 +44,7 @@ from repro.semantics.encoder import (
 from repro.semantics.libfuncs import pair_class_of
 from repro.semantics.memory import MemoryConfig, build_layout
 from repro.semantics.value import SymAggregate, SymValue
-from repro.smt.exists_forall import EFResult, QuantVar, solve_exists_forall
+from repro.smt.exists_forall import EFOutcome, EFResult, QuantVar, solve_exists_forall
 from repro.smt.solver import CheckResult, ResourceLimits, SmtSolver
 from repro.smt.terms import (
     FALSE,
@@ -552,10 +553,58 @@ class _RefinementChecker:
         return RefinementResult(Verdict.CORRECT)
 
     # -- helpers ----------------------------------------------------------------------
+    def _limits_fingerprint(self) -> list:
+        """JSON-stable resource fingerprint guarding non-definitive entries."""
+        return [
+            self.options.timeout_s,
+            self.options.max_conflicts,
+            self.options.max_learned_lits,
+            self.options.max_ef_iterations,
+            self.options.unroll_factor,
+        ]
+
+    def _cache_items(self, phi: BoolTerm, psi: BoolTerm) -> list:
+        """The tagged term sequence whose canonical hash keys this query.
+
+        Besides (phi, psi) it must pin down which variables are universal
+        and what the symbolic seeds are: two structurally equal formula
+        pairs with a different quantifier split are different queries.
+        """
+        items = [("phi", phi), ("psi", psi)]
+        widths = {qv.name: qv.width for qv in self.forall_vars}
+        psi_names = term_vars(psi)
+        for i, qv in enumerate(self.forall_vars):
+            if qv.name not in psi_names:
+                continue  # solve_exists_forall ignores it too
+            var = bool_var(qv.name) if qv.width == 0 else bv_var(qv.name, qv.width)
+            items.append((f"A{i}", var))
+        for i, seed in enumerate(self.seeds):
+            for j, name in enumerate(sorted(seed)):
+                width = widths.get(name)
+                if width is None:
+                    continue
+                var = bool_var(name) if width == 0 else bv_var(name, width)
+                items.append((f"s{i}.{j}k", var))
+                items.append((f"s{i}.{j}v", seed[name]))
+        return items
+
     def _is_satisfiable(self, formula: BoolTerm) -> Optional[RefinementResult]:
-        solver = SmtSolver()
-        solver.assert_term(formula)
-        res = solver.check(self._limits())
+        cache = qcache.active()
+        digest = None
+        res = None
+        if cache is not None:
+            digest, _ = qcache.canonical_fingerprint([("satcheck", formula)])
+            hit = cache.lookup(digest, self._limits_fingerprint())
+            if hit is not None:
+                res = CheckResult(hit["result"])
+        if res is None:
+            solver = SmtSolver()
+            solver.assert_term(formula)
+            res = solver.check(self._limits())
+            if cache is not None:
+                cache.store(
+                    digest, res.value, limits_fp=self._limits_fingerprint()
+                )
         if res is CheckResult.UNSAT:
             return RefinementResult(Verdict.EMPTY_PRE, failed_check="precondition")
         if res is CheckResult.TIMEOUT:
@@ -567,14 +616,7 @@ class _RefinementChecker:
     def _query(self, name: str, phi: BoolTerm, psi: BoolTerm) -> Optional[RefinementResult]:
         """Run one exists-forall query; None means the check passed."""
         psi = bool_and(self.env_consistency, psi)
-        outcome = solve_exists_forall(
-            phi,
-            psi,
-            self.forall_vars,
-            limits=self._limits(),
-            max_iterations=self.options.max_ef_iterations,
-            symbolic_seeds=self.seeds,
-        )
+        outcome = self._solve_cached(phi, psi)
         if outcome.result is EFResult.UNSAT:
             return None
         if outcome.result is EFResult.TIMEOUT:
@@ -598,6 +640,60 @@ class _RefinementChecker:
         return RefinementResult(
             Verdict.INCORRECT, failed_check=name, counterexample=cex or dict(outcome.model)
         )
+
+    def _solve_cached(self, phi: BoolTerm, psi: BoolTerm) -> EFOutcome:
+        """The exists-forall solve, short-circuited by the query cache.
+
+        A hit replays the recorded verdict without constructing a solver;
+        the stored model is keyed by canonical variable names and gets
+        translated back through this query's renaming.
+        """
+        cache = qcache.active()
+        if cache is None:
+            return solve_exists_forall(
+                phi,
+                psi,
+                self.forall_vars,
+                limits=self._limits(),
+                max_iterations=self.options.max_ef_iterations,
+                symbolic_seeds=self.seeds,
+            )
+        digest, rename = qcache.canonical_fingerprint(self._cache_items(phi, psi))
+        fp = self._limits_fingerprint()
+        hit = cache.lookup(digest, fp)
+        if hit is not None:
+            unrename = {canon: real for real, canon in rename.items()}
+            model = {
+                unrename[canon]: value
+                for canon, value in hit.get("model", {}).items()
+                if canon in unrename
+            }
+            return EFOutcome(
+                EFResult(hit["result"]),
+                model=model,
+                iterations=int(hit.get("iterations", 0)),
+            )
+        outcome = solve_exists_forall(
+            phi,
+            psi,
+            self.forall_vars,
+            limits=self._limits(),
+            max_iterations=self.options.max_ef_iterations,
+            symbolic_seeds=self.seeds,
+        )
+        canon_model = {
+            rename[name]: value
+            for name, value in outcome.model.items()
+            if name in rename
+        }
+        cache.store(
+            digest,
+            outcome.result.value,
+            model=canon_model,
+            iterations=outcome.iterations,
+            limits_fp=fp,
+        )
+        return outcome
 
     def _prime_refines_value(self, src_value, tgt_value) -> BoolTerm:
         """src' ⊒ tgt for return values (Figure 4 rules, element-wise)."""

@@ -29,6 +29,21 @@ class BitBlaster:
         # name -> list of literals (bitvector) or single literal (bool)
         self.var_bits: Dict[str, object] = {}
 
+    # -- instrumentation ------------------------------------------------------
+    @property
+    def num_gates(self) -> int:
+        """Distinct Tseitin gates emitted so far.
+
+        The incremental-CEGAR path re-checks one persistent blast under
+        assumption literals; this counter is how tests and benchmarks see
+        that repeat rounds add no new circuitry.
+        """
+        return len(self._gate_cache)
+
+    @property
+    def num_blasted_terms(self) -> int:
+        return len(self._bool_cache) + len(self._bv_cache)
+
     # -- primitive literals -------------------------------------------------
     @property
     def lit_true(self) -> int:

@@ -35,7 +35,11 @@ from repro.smt.terms import (
     Term,
     bool_and,
     bool_not,
+    bool_var,
     bv_const,
+    bv_eq,
+    bv_var,
+    on_reset,
     substitute,
     term_vars,
 )
@@ -148,6 +152,7 @@ def solve_exists_forall(
         outer.assert_term(bool_not(substitute(psi, mapping)))
 
     iterations = 0
+    inner: Optional[SmtSolver] = None  # persistent across CEGAR rounds
     while True:
         iterations += 1
         if deadline is not None and time.monotonic() > deadline:
@@ -170,18 +175,27 @@ def solve_exists_forall(
 
         candidate = outer.model_env()
         # Fix every existential variable appearing in psi to its model value
-        # (missing ones are unconstrained; 0 is as good as any).
-        exist_subst: Dict[str, Term] = {}
+        # (missing ones are unconstrained; 0 is as good as any).  The inner
+        # solver is persistent: psi is blasted once, each round only adds
+        # assumption literals pinning the existentials to the candidate, so
+        # clauses learned refuting one candidate carry over to the next.
+        if inner is None:
+            inner = SmtSolver()
+            inner.assert_term(psi)
+        assumptions: List[Term] = []
         for name in psi_vars:
             if name in forall_names:
                 continue
             width = _var_width(psi, name)
-            exist_subst[name] = _const_for(
-                QuantVar(name, width), candidate.get(name, 0)
-            )
-        inner = SmtSolver()
-        inner.assert_term(substitute(psi, exist_subst))
-        inner_res = inner.check(remaining())
+            value = candidate.get(name, 0)
+            if width == 0:
+                var = bool_var(name)
+                assumptions.append(var if value else bool_not(var))
+            else:
+                assumptions.append(
+                    bv_eq(bv_var(name, width), bv_const(int(value), width))
+                )
+        inner_res = inner.check(remaining(), assumptions=assumptions)
         if inner_res is CheckResult.UNSAT:
             return EFOutcome(EFResult.SAT, model=candidate, iterations=iterations)
         if inner_res is CheckResult.TIMEOUT:
@@ -197,8 +211,6 @@ def solve_exists_forall(
         if key in tried:
             # The instantiation did not eliminate the candidate; block the
             # candidate itself to guarantee progress.
-            from repro.smt.terms import bv_eq, bv_var, bool_var, bool_ite, TRUE, FALSE
-
             blockers = []
             for name, value in candidate.items():
                 if name in forall_names:
@@ -226,12 +238,21 @@ def solve_exists_forall(
         )
 
 
+# Keyed by the interned term itself, NOT id(term): an id can be recycled
+# after reset_interning() frees the old object, which would alias a stale
+# width onto an unrelated term.  Holding the term pins it alive, and the
+# on_reset hook drops the cache together with the intern table.
 _WIDTH_CACHE: Dict[tuple, Optional[int]] = {}
+
+
+@on_reset
+def _clear_width_cache() -> None:
+    _WIDTH_CACHE.clear()
 
 
 def _var_width(term: Term, name: str) -> Optional[int]:
     """Find the width of variable ``name`` in ``term`` (None if absent)."""
-    key = (id(term), name)
+    key = (term, name)
     if key in _WIDTH_CACHE:
         return _WIDTH_CACHE[key]
     stack = [term]

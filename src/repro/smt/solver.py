@@ -23,6 +23,37 @@ class CheckResult(Enum):
     MEMOUT = "memout"
 
 
+@dataclass
+class SolverTelemetry:
+    """Process-wide counters over every :meth:`SmtSolver.check` call.
+
+    The query cache's contract is that a hit skips the solver *entirely*;
+    these counters are how tests and benchmarks observe that, and how the
+    engine reports per-worker solver load.
+    """
+
+    checks: int = 0
+    sat: int = 0
+    unsat: int = 0
+    indefinite: int = 0  # timeout / memout
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "checks": self.checks,
+            "sat": self.sat,
+            "unsat": self.unsat,
+            "indefinite": self.indefinite,
+        }
+
+
+TELEMETRY = SolverTelemetry()
+
+
+def reset_telemetry() -> None:
+    TELEMETRY.checks = TELEMETRY.sat = TELEMETRY.unsat = 0
+    TELEMETRY.indefinite = 0
+
+
 @dataclass(frozen=True)
 class ResourceLimits:
     """Per-query resource budget.
@@ -79,11 +110,15 @@ class SmtSolver:
         """Check satisfiability of the asserted formulas (plus assumptions)."""
         assumption_lits = [self.blaster.blast_bool(t) for t in assumptions]
         budget = limits.to_budget() if limits is not None else None
+        TELEMETRY.checks += 1
         result = self.sat.solve(assumptions=assumption_lits, budget=budget)
         if result is SatResult.SAT:
+            TELEMETRY.sat += 1
             return CheckResult.SAT
         if result is SatResult.UNSAT:
+            TELEMETRY.unsat += 1
             return CheckResult.UNSAT
+        TELEMETRY.indefinite += 1
         if self.sat.stats.unknown_reason == "memory":
             return CheckResult.MEMOUT
         return CheckResult.TIMEOUT

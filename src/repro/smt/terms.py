@@ -14,7 +14,7 @@ everywhere in this code base.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 # ---------------------------------------------------------------------------
 # Term representation
@@ -23,6 +23,17 @@ from typing import Dict, FrozenSet, Iterable, Optional, Tuple
 _INTERN: Dict[tuple, "Term"] = {}
 _FRESH_COUNTER = itertools.count()
 
+#: Callbacks invoked by :func:`reset_interning`.  Any module that caches
+#: data keyed by interned terms must register a hook here, or a recycled
+#: term object could alias a stale entry after a reset.
+_RESET_HOOKS: List[Callable[[], None]] = []
+
+
+def on_reset(hook: Callable[[], None]) -> Callable[[], None]:
+    """Register ``hook`` to run whenever the intern table is reset."""
+    _RESET_HOOKS.append(hook)
+    return hook
+
 
 def fresh_name(prefix: str = "tmp") -> str:
     """Return a globally unique symbol name."""
@@ -30,8 +41,18 @@ def fresh_name(prefix: str = "tmp") -> str:
 
 
 def reset_interning() -> None:
-    """Clear the intern table (mainly to bound memory in long test runs)."""
+    """Clear the intern table (mainly to bound memory in long test runs).
+
+    Also clears every term-keyed cache registered with :func:`on_reset`,
+    and re-registers the canonical TRUE/FALSE singletons so boolean
+    folding keeps returning the module-level objects.
+    """
     _INTERN.clear()
+    _SUBST_CACHE.clear()
+    for hook in _RESET_HOOKS:
+        hook()
+    _INTERN[("const", (), 0, True)] = TRUE
+    _INTERN[("const", (), 0, False)] = FALSE
 
 
 class Term:
@@ -557,10 +578,22 @@ _REBUILDERS = {
 }
 
 
+#: Memo for whole-call substitutions.  CEGAR re-substitutes the same
+#: (psi, instantiation) and priming maps many times per refinement job;
+#: interned terms make the (term, mapping) pair a usable dict key, so a
+#: repeat costs one lookup instead of a full DAG walk + rebuild.
+_SUBST_CACHE: Dict[tuple, Term] = {}
+_SUBST_CACHE_MAX = 8192
+
+
 def substitute(term: Term, mapping: Dict[str, Term]) -> Term:
     """Replace variables by terms; the mapping is keyed by variable name."""
     if not mapping:
         return term
+    memo_key = (term, tuple(sorted(mapping.items())))
+    memo_hit = _SUBST_CACHE.get(memo_key)
+    if memo_hit is not None:
+        return memo_hit
     cache: Dict[Term, Term] = {}
 
     def walk(t: Term) -> Term:
@@ -582,7 +615,11 @@ def substitute(term: Term, mapping: Dict[str, Term]) -> Term:
         cache[t] = result
         return result
 
-    return walk(term)
+    result = walk(term)
+    if len(_SUBST_CACHE) >= _SUBST_CACHE_MAX:
+        _SUBST_CACHE.clear()
+    _SUBST_CACHE[memo_key] = result
+    return result
 
 
 def evaluate(term: Term, env: Dict[str, int]) -> int:

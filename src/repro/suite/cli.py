@@ -41,6 +41,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="retry TIMEOUT/OOM jobs up to N times with degraded settings "
              "(halved unroll factor / conflict budget, smaller memory model)",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="unittests: run tests across N worker processes "
+             "(default: all CPUs); 1 forces the in-process sequential path",
+    )
+    parser.add_argument(
+        "--query-cache", default=None, metavar="PATH",
+        help="persist the solver query-result cache to this JSONL file "
+             "(shared across runs and workers)",
+    )
+    parser.add_argument(
+        "--no-query-cache", action="store_true",
+        help="disable the query-result cache entirely",
+    )
     args = parser.parse_args(argv)
     options = VerifyOptions(timeout_s=args.timeout, unroll_factor=args.unroll)
     ladder = None
@@ -50,9 +64,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         ladder = DegradationLadder(max_retries=args.retries)
 
     if args.what == "unittests":
+        from repro.engine.pool import default_jobs
+        from repro.engine.qcache import QueryCache
         from repro.suite.runner import run_suite
         from repro.suite.unittests import UNIT_TESTS
 
+        jobs = args.jobs if args.jobs is not None else default_jobs()
+        cache = None
+        if not args.no_query_cache:
+            cache = QueryCache(args.query_cache)
         tests = UNIT_TESTS[: args.limit] if args.limit is not None else UNIT_TESTS
         outcome = run_suite(
             tests,
@@ -61,6 +81,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             batch=args.batch,
             journal=args.journal,
             ladder=ladder,
+            jobs=jobs,
+            query_cache=cache,
         )
         print(f"analyzed: {outcome.tally.analyzed}")
         print(f"correct: {outcome.tally.correct}  incorrect: {outcome.tally.incorrect}")
@@ -68,6 +90,30 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"crash: {outcome.tally.crash}")
         if outcome.resumed:
             print(f"resumed from journal: {outcome.resumed} tests")
+        t = outcome.tally
+        if t.qcache_hits or t.qcache_misses:
+            print(
+                f"query cache: {t.qcache_hits} hits / {t.qcache_misses} misses "
+                f"({t.qcache_hit_rate:.0%} hit rate)"
+            )
+        by_worker: dict = {}
+        for rec in outcome.records:
+            if rec.worker is None:
+                continue
+            stats = by_worker.setdefault(
+                rec.worker, {"tests": 0, "time_s": 0.0, "checks": 0}
+            )
+            stats["tests"] += 1
+            stats["time_s"] += rec.elapsed_s
+            stats["checks"] += rec.solver_checks
+        if by_worker:
+            print(f"workers ({jobs} requested, {len(by_worker)} used):")
+            for pid in sorted(by_worker):
+                stats = by_worker[pid]
+                print(
+                    f"  pid {pid}: {stats['tests']} tests, "
+                    f"{stats['checks']} solver checks, {stats['time_s']:.1f}s"
+                )
         if outcome.crashed:
             print(f"contained crashes: {outcome.crashed}")
         degraded = [r.test for r in outcome.records if r.degradations]

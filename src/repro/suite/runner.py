@@ -15,10 +15,12 @@ re-invocation resumes from it, re-running only unfinished tests.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Union
 
+from repro.engine import qcache
 from repro.harness import faults
 from repro.harness.deadline import DeadlineExceeded
 from repro.harness.degrade import DegradationLadder
@@ -27,6 +29,7 @@ from repro.harness.isolation import diagnostic_from, run_verification_job
 from repro.harness.journal import RunJournal
 from repro.ir.parser import parse_module
 from repro.refinement.check import Verdict, VerifyOptions, verify_refinement
+from repro.smt import solver as smt_solver
 from repro.suite.unittests import UnitTest
 from repro.tv.plugin import validate_pipeline
 from repro.tv.report import Tally, ValidationReport
@@ -48,6 +51,12 @@ class TestRecord:
     clean_failure: bool = False
     degradations: List[str] = field(default_factory=list)
     diagnostic: Optional[Dict[str, object]] = None
+    # Engine statistics: query-cache hits/misses and solver checks spent
+    # on this test, plus the worker pid for parallel runs (None = in-process).
+    qcache_hits: int = 0
+    qcache_misses: int = 0
+    solver_checks: int = 0
+    worker: Optional[int] = None
 
     def count(self, verdict: Verdict) -> None:
         self.verdicts[verdict.value] = self.verdicts.get(verdict.value, 0) + 1
@@ -68,6 +77,10 @@ class TestRecord:
             clean_failure=bool(data.get("clean_failure", False)),
             degradations=list(data.get("degradations", [])),
             diagnostic=data.get("diagnostic"),
+            qcache_hits=int(data.get("qcache_hits", 0)),
+            qcache_misses=int(data.get("qcache_misses", 0)),
+            solver_checks=int(data.get("solver_checks", 0)),
+            worker=data.get("worker"),
         )
 
 
@@ -98,6 +111,8 @@ def run_suite(
     journal: Optional[Union[str, RunJournal]] = None,
     fault_plan: Optional[FaultPlan] = None,
     ladder: Optional[DegradationLadder] = None,
+    jobs: int = 1,
+    query_cache: Optional[Union[str, "qcache.QueryCache"]] = None,
 ) -> SuiteOutcome:
     """Validate every test; returns outcome statistics.
 
@@ -109,12 +124,52 @@ def run_suite(
     and resumable: already-journaled tests are replayed, not re-run.
     ``ladder`` enables degraded retries of TIMEOUT/OOM jobs.
     ``fault_plan`` is the test-only fault-injection hook.
+
+    ``jobs > 1`` fans unfinished tests out to a process pool (see
+    :mod:`repro.engine.pool`); tallies, journal contents and record order
+    are identical to a sequential run.  ``query_cache`` (a path or a
+    :class:`~repro.engine.qcache.QueryCache`) short-circuits structurally
+    repeated solver queries; with ``jobs > 1`` each worker gets its own
+    cache instance over the same on-disk file, if any.
     """
     options = options or VerifyOptions(timeout_s=30.0)
     if isinstance(journal, (str, bytes)) or hasattr(journal, "__fspath__"):
         journal = RunJournal(journal)
+    cache: Optional[qcache.QueryCache] = None
+    if isinstance(query_cache, qcache.QueryCache):
+        cache = query_cache
+    elif query_cache is not None:
+        cache = qcache.QueryCache(os.fspath(query_cache))
     outcome = SuiteOutcome()
-    with faults.activate(fault_plan):
+
+    pending = [
+        t for t in tests if journal is None or not journal.is_done(t.name)
+    ]
+    if jobs > 1 and len(pending) > 1:
+        from repro.engine.pool import run_parallel
+
+        fresh = run_parallel(
+            pending,
+            options,
+            inject_bugs,
+            batch,
+            jobs=jobs,
+            journal=journal,
+            fault_plan=fault_plan,
+            ladder=ladder,
+            cache_enabled=cache is not None,
+            cache_path=cache.path if cache is not None else None,
+        )
+        by_name = {r.test: r for r in fresh}
+        for test in tests:
+            record = by_name.get(test.name)
+            if record is None:
+                record = TestRecord.from_json(journal.get(test.name))
+                outcome.resumed += 1
+            _merge_record(outcome, record)
+        return outcome
+
+    with faults.activate(fault_plan), qcache.activate(cache):
         for test in tests:
             if journal is not None and journal.is_done(test.name):
                 record = TestRecord.from_json(journal.get(test.name))
@@ -138,6 +193,10 @@ def _run_one_test(
     (except KeyboardInterrupt/SystemExit, which must abort the run so the
     journal-based resume can take over)."""
     record = TestRecord(test=test.name, category=test.category)
+    cache = qcache.active()
+    hits0 = cache.hits if cache is not None else 0
+    misses0 = cache.misses if cache is not None else 0
+    checks0 = smt_solver.TELEMETRY.checks
     start = time.monotonic()
     try:
         with faults.current_test(test.name):
@@ -154,6 +213,10 @@ def _run_one_test(
         record.count(Verdict.CRASH)
         record.diagnostic = diagnostic_from(exc)
     record.elapsed_s = time.monotonic() - start
+    if cache is not None:
+        record.qcache_hits = cache.hits - hits0
+        record.qcache_misses = cache.misses - misses0
+    record.solver_checks = smt_solver.TELEMETRY.checks - checks0
     return record
 
 
@@ -215,6 +278,8 @@ def _merge_record(outcome: SuiteOutcome, record: TestRecord) -> None:
             outcome.tally.add_verdict(verdict)
     outcome.tally.total_time_s += record.elapsed_s
     outcome.tally.skipped_unchanged += record.skipped_unchanged
+    outcome.tally.qcache_hits += record.qcache_hits
+    outcome.tally.qcache_misses += record.qcache_misses
     if record.verdicts.get(Verdict.CRASH.value):
         outcome.crashed.append(record.test)
     if record.detected:

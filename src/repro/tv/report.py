@@ -30,6 +30,9 @@ class Tally:
     crash: int = 0  # validator failures contained by the harness
     skipped_unchanged: int = 0
     total_time_s: float = 0.0
+    # Query-cache traffic (engine layer); hits skipped the solver entirely.
+    qcache_hits: int = 0
+    qcache_misses: int = 0
 
     def add(self, result: RefinementResult) -> None:
         self.add_verdict(result.verdict, result.elapsed_s)
@@ -51,6 +54,11 @@ class Tally:
             self.crash += 1
         else:
             self.unsupported += 1
+
+    @property
+    def qcache_hit_rate(self) -> float:
+        total = self.qcache_hits + self.qcache_misses
+        return self.qcache_hits / total if total else 0.0
 
     @property
     def analyzed(self) -> int:
@@ -94,10 +102,16 @@ class ValidationReport:
 
     def summary(self) -> str:
         t = self.tally
-        return (
+        text = (
             f"{t.analyzed} analyzed ({t.skipped_unchanged} unchanged skipped): "
             f"{t.correct} correct, {t.incorrect} incorrect, "
             f"{t.timeout} timeout, {t.oom} OOM, {t.crash} crash, "
             f"{t.unsupported + t.approx} unsupported/approx "
             f"[{t.total_time_s:.1f}s]"
         )
+        if t.qcache_hits or t.qcache_misses:
+            text += (
+                f" [query cache: {t.qcache_hits} hits / "
+                f"{t.qcache_misses} misses, {t.qcache_hit_rate:.0%}]"
+            )
+        return text

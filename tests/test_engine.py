@@ -1,0 +1,295 @@
+"""Tests for the verification engine: query cache, process pool, CEGAR.
+
+Covers the engine-layer guarantees:
+
+* canonical query hashing is independent of fresh-name counters;
+* cache on/off produces identical verdicts, and warm hits skip the
+  solver entirely (observed through the solver telemetry);
+* the poisoning guard: resource-exhaustion entries never replay under a
+  different resource budget;
+* a corrupted on-disk cache is dropped, never fatal;
+* ``jobs=4`` produces the same tallies, record order and journal
+  contents as ``jobs=1`` — including under injected faults — and a
+  journal written by a parallel run resumes correctly;
+* ``_WIDTH_CACHE`` regression: reset_interning clears term-keyed caches.
+"""
+
+import json
+
+from repro.engine.qcache import QueryCache, canonical_fingerprint
+from repro.harness import FaultPlan, FaultSpec, RunJournal
+from repro.refinement.check import VerifyOptions
+from repro.smt import exists_forall as ef
+from repro.smt import solver as smt_solver
+from repro.smt.terms import (
+    bool_and,
+    bv_add,
+    bv_const,
+    bv_eq,
+    bv_var,
+    reset_interning,
+)
+from repro.suite.runner import run_suite
+from repro.suite.unittests import UNIT_TESTS
+
+OPTS = VerifyOptions(timeout_s=10.0)
+
+
+def _corpus(n=6):
+    return UNIT_TESTS[:n]
+
+
+def _verdict_rows(outcome):
+    row = outcome.tally.row()
+    row.pop("time_s")
+    return row
+
+
+# ---------------------------------------------------------------------------
+# Canonical fingerprinting
+# ---------------------------------------------------------------------------
+
+
+def test_fingerprint_independent_of_variable_names():
+    a = bv_eq(bv_add(bv_var("tmp!5", 8), bv_const(1, 8)), bv_var("tmp!6", 8))
+    b = bv_eq(bv_add(bv_var("tmp!91", 8), bv_const(1, 8)), bv_var("x", 8))
+    da, ra = canonical_fingerprint([("q", a)])
+    db, rb = canonical_fingerprint([("q", b)])
+    assert da == db
+    # Positionally equal renamings: the first-occurring variable maps to
+    # v0 in both, so cached models translate across the two queries.
+    assert ra["tmp!5"] == rb["tmp!91"]
+    assert ra["tmp!6"] == rb["x"]
+
+
+def test_fingerprint_distinguishes_structure_and_tags():
+    x = bv_var("x", 8)
+    y = bv_var("y", 8)
+    d1, _ = canonical_fingerprint([("q", bv_eq(bv_add(x, y), bv_const(0, 8)))])
+    d2, _ = canonical_fingerprint([("q", bv_eq(bv_add(x, x), bv_const(0, 8)))])
+    assert d1 != d2
+    # Same term under a different tag (e.g. a plain SAT check vs an
+    # exists-forall query) must not alias.
+    t = bv_eq(x, y)
+    d3, _ = canonical_fingerprint([("satcheck", t)])
+    d4, _ = canonical_fingerprint([("phi", t)])
+    assert d3 != d4
+
+
+def test_fingerprint_handles_deep_terms_iteratively():
+    t = bv_var("x", 8)
+    for _ in range(5000):  # far past the recursion limit
+        t = bv_add(t, bv_const(1, 8))
+    digest, _ = canonical_fingerprint([("q", bv_eq(t, bv_const(0, 8)))])
+    assert len(digest) == 64
+
+
+# ---------------------------------------------------------------------------
+# Query cache semantics
+# ---------------------------------------------------------------------------
+
+
+def test_cache_on_off_same_verdicts():
+    base = run_suite(_corpus(), OPTS, inject_bugs=False)
+    cached = run_suite(
+        _corpus(), OPTS, inject_bugs=False, query_cache=QueryCache()
+    )
+    assert _verdict_rows(base) == _verdict_rows(cached)
+    with_bugs = run_suite(_corpus(10), OPTS, inject_bugs=True)
+    with_bugs_cached = run_suite(
+        _corpus(10), OPTS, inject_bugs=True, query_cache=QueryCache()
+    )
+    assert _verdict_rows(with_bugs) == _verdict_rows(with_bugs_cached)
+    assert with_bugs.detected == with_bugs_cached.detected
+    assert with_bugs.missed == with_bugs_cached.missed
+
+
+def test_warm_cache_hits_skip_the_solver():
+    cache = QueryCache()
+    cold = run_suite(_corpus(), OPTS, inject_bugs=False, query_cache=cache)
+    assert cache.misses > 0
+    checks_before = smt_solver.TELEMETRY.checks
+    warm = run_suite(_corpus(), OPTS, inject_bugs=False, query_cache=cache)
+    warm_checks = smt_solver.TELEMETRY.checks - checks_before
+    assert warm.tally.qcache_hits > 0
+    assert warm.tally.qcache_misses == 0
+    # Every query replayed from the cache: no solver call happened.
+    assert warm_checks == 0
+    assert _verdict_rows(cold) == _verdict_rows(warm)
+
+
+def test_cache_poisoning_guard_on_resource_limits():
+    cache = QueryCache()
+    fast_fp = [1.0, None, 1000, 32, 4]
+    slow_fp = [1000.0, None, 2_000_000, 32, 4]
+    cache.store("deadbeef", "timeout", limits_fp=fast_fp)
+    # A TIMEOUT recorded under a tiny budget must not answer for a
+    # bigger one (or any other budget).
+    assert cache.lookup("deadbeef", slow_fp) is None
+    assert cache.lookup("deadbeef", fast_fp)["result"] == "timeout"
+    # Definitive verdicts are budget-independent.
+    cache.store("cafebabe", "unsat", limits_fp=fast_fp)
+    assert cache.lookup("cafebabe", slow_fp)["result"] == "unsat"
+
+
+def test_corrupted_disk_cache_is_ignored_not_fatal(tmp_path):
+    path = tmp_path / "qc.jsonl"
+    good = {
+        "v": 1,
+        "key": "k1",
+        "result": "unsat",
+        "model": {},
+        "iterations": 1,
+        "limits": None,
+    }
+    path.write_text(
+        "{truncated json\n"
+        + json.dumps(good)
+        + "\n"
+        + '{"v": 99, "key": "k2", "result": "unsat"}\n'  # future version
+        + '{"v": 1, "key": "k3", "result": "banana"}\n'  # bad verdict
+        + "\x00\x01garbage\n"
+    )
+    cache = QueryCache(str(path))
+    assert cache.dropped_lines == 4
+    assert len(cache) == 1
+    assert cache.lookup("k1", None)["result"] == "unsat"
+    # And a persisted store round-trips through a fresh load.
+    cache.store("k4", "sat", model={"v0": 3}, iterations=2)
+    reloaded = QueryCache(str(path))
+    assert reloaded.lookup("k4", None)["model"] == {"v0": 3}
+
+
+def test_disk_cache_shared_across_runs(tmp_path):
+    path = str(tmp_path / "qc.jsonl")
+    cold = run_suite(_corpus(), OPTS, inject_bugs=False, query_cache=path)
+    warm = run_suite(_corpus(), OPTS, inject_bugs=False, query_cache=path)
+    assert warm.tally.qcache_hits > 0
+    assert warm.tally.qcache_misses == 0
+    assert _verdict_rows(cold) == _verdict_rows(warm)
+
+
+# ---------------------------------------------------------------------------
+# Parallel execution
+# ---------------------------------------------------------------------------
+
+
+def test_parallel_matches_sequential(tmp_path):
+    corpus = _corpus(6)
+    seq_journal = str(tmp_path / "seq.jsonl")
+    par_journal = str(tmp_path / "par.jsonl")
+    seq = run_suite(
+        corpus, OPTS, inject_bugs=False, jobs=1, journal=seq_journal
+    )
+    par = run_suite(
+        corpus, OPTS, inject_bugs=False, jobs=4, journal=par_journal
+    )
+    assert _verdict_rows(seq) == _verdict_rows(par)
+    # Deterministic record ordering: corpus order, not completion order.
+    assert [r.test for r in par.records] == [t.name for t in corpus]
+    assert {r.test: r.verdicts for r in seq.records} == {
+        r.test: r.verdicts for r in par.records
+    }
+    # Journals hold the same per-test outcomes (modulo timing/worker).
+    def load(path):
+        with open(path) as fh:
+            entries = [json.loads(line) for line in fh if line.strip()]
+        return {
+            e["test"]: (e["verdicts"], e["detected"], e["missed"])
+            for e in entries
+        }
+
+    assert load(seq_journal) == load(par_journal)
+    # Work actually left the parent process.
+    assert all(r.worker is not None for r in par.records)
+    assert all(r.worker is None for r in seq.records)
+
+
+def test_parallel_with_injected_crash_matches_sequential(tmp_path):
+    corpus = _corpus(6)
+    victim = corpus[2].name
+    plan = {victim: FaultSpec(kind="crash", site="encode")}
+    seq = run_suite(
+        corpus, OPTS, inject_bugs=False, jobs=1, fault_plan=FaultPlan(plan)
+    )
+    par = run_suite(
+        corpus,
+        OPTS,
+        inject_bugs=False,
+        jobs=4,
+        fault_plan=FaultPlan(plan),
+        journal=str(tmp_path / "crash.jsonl"),
+    )
+    assert _verdict_rows(seq) == _verdict_rows(par)
+    assert seq.crashed == par.crashed == [victim]
+    by_name = {r.test: r for r in par.records}
+    assert by_name[victim].verdicts == {"crash": 1}
+    assert by_name[victim].diagnostic["type"] == "RuntimeError"
+
+
+def test_resume_from_parallel_journal(tmp_path):
+    corpus = _corpus(6)
+    journal = str(tmp_path / "resume.jsonl")
+    first = run_suite(
+        corpus[:4], OPTS, inject_bugs=False, jobs=4, journal=journal
+    )
+    assert first.resumed == 0
+    assert len(RunJournal(journal)) == 4
+    # Resume sequentially over the full corpus: the 4 parallel-journaled
+    # tests replay, only 2 run fresh.
+    second = run_suite(corpus, OPTS, inject_bugs=False, jobs=1, journal=journal)
+    assert second.resumed == 4
+    assert len(second.records) == 6
+    # And a parallel run resumes a parallel journal too.
+    third = run_suite(corpus, OPTS, inject_bugs=False, jobs=4, journal=journal)
+    assert third.resumed == 6
+    assert _verdict_rows(third) == _verdict_rows(second)
+
+
+def test_parallel_run_uses_multiple_workers():
+    # More tests than workers: with 2 workers at least 2 distinct pids
+    # should appear (scheduling could starve one only on a 1-test corpus).
+    par = run_suite(_corpus(8), OPTS, inject_bugs=False, jobs=2)
+    pids = {r.worker for r in par.records}
+    assert len(pids) >= 2
+
+
+# ---------------------------------------------------------------------------
+# _WIDTH_CACHE regression + incremental CEGAR
+# ---------------------------------------------------------------------------
+
+
+def test_width_cache_cleared_by_reset_interning():
+    term = bool_and(bv_eq(bv_var("w", 8), bv_const(0, 8)))
+    assert ef._var_width(term, "w") == 8
+    assert any(name == "w" for (_, name) in ef._WIDTH_CACHE)
+    reset_interning()
+    # The stale entry is gone: a recycled object id can no longer alias
+    # a different term onto the old width.
+    assert ef._WIDTH_CACHE == {}
+    term2 = bool_and(bv_eq(bv_var("w", 4), bv_const(0, 4)))
+    assert ef._var_width(term2, "w") == 4
+
+
+def test_width_cache_keys_are_terms_not_ids():
+    term = bv_eq(bv_var("z", 16), bv_const(5, 16))
+    ef._var_width(term, "z")
+    keys = [k for k in ef._WIDTH_CACHE if k[1] == "z"]
+    assert keys and all(k[0] is term for k in keys)
+
+
+def test_incremental_cegar_multi_iteration_query():
+    """A query needing several instantiation rounds still terminates and
+    agrees with ground truth under the persistent inner solver."""
+    x = bv_var("x", 4)
+    n = bv_var("n", 4)
+    # exists x. forall n. not (x == n)  -- false for 4-bit x (every x is
+    # matched by n = x), requires iterating until candidates run out.
+    outcome = ef.solve_exists_forall(
+        bool_and(bv_eq(x, x)),  # phi: trivially true
+        bv_eq(x, n),
+        [ef.QuantVar("n", 4)],
+        max_iterations=64,
+    )
+    assert outcome.result is ef.EFResult.UNSAT
+    assert outcome.iterations > 1
