@@ -8,7 +8,13 @@ pool of worker processes:
 * each worker is its own crash-isolation domain: a hard interpreter
   death (segfault, OOM-kill) loses one test, not the run — strictly
   stronger than the in-process containment of the sequential path,
-  which still catches soft failures inside the worker;
+  which still catches soft failures inside the worker.  A dead worker
+  breaks the whole :class:`ProcessPoolExecutor`, and the executor cannot
+  say *which* queued test killed it — every pending future raises
+  ``BrokenProcessPool``.  Collateral tests are therefore retried without
+  being charged an attempt; only after repeated pool collapses does the
+  scheduler fall back to one-test-per-pool isolation, where a death is
+  unambiguously attributable and counts toward the CRASH verdict;
 * the parent is the **single journal writer**: workers return plain
   JSON records and the parent appends them to the run journal as they
   complete, so ``--journal`` resume stays crash-safe under parallelism;
@@ -26,6 +32,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, List, Optional
 
 from repro.engine import qcache
@@ -36,10 +43,17 @@ from repro.harness.journal import RunJournal
 from repro.refinement.check import Verdict, VerifyOptions
 from repro.suite.unittests import UnitTest
 
-#: How many times a test whose *worker process* died is retried in a
-#: fresh pool before it is recorded as a hard CRASH.  Soft failures are
-#: contained inside the worker and never get here.
+#: How many times a test that *attributably* killed its worker process is
+#: retried before it is recorded as a hard CRASH.  Attempts are only
+#: charged when the death is attributable: in the batched pool a dead
+#: worker voids every pending future, so those casualties retry for free.
+#: Soft failures are contained inside the worker and never get here.
 _MAX_HARD_ATTEMPTS = 2
+
+#: How many pool collapses are absorbed (retrying the unfinished tests in
+#: a fresh batched pool each time) before the scheduler switches to
+#: one-test-per-pool isolation to pin down the culprit.
+_MAX_POOL_BREAKS = 2
 
 
 def default_jobs() -> int:
@@ -117,10 +131,21 @@ def run_parallel(
 ) -> List["TestRecord"]:
     """Run ``tests`` across ``jobs`` worker processes.
 
-    Returns records in **corpus order**.  The parent journals each record
-    as its worker reports it (single writer, crash-safe); a test whose
-    worker process dies is retried once in a fresh pool, then recorded as
-    a CRASH.
+    Returns records in **corpus order** (tests are keyed by corpus index
+    internally, so duplicate test names get one record each).  The parent
+    journals each record as its worker reports it (single writer,
+    crash-safe).
+
+    Hard worker deaths are handled in two stages.  A dead worker breaks
+    the whole pool — every still-pending future raises
+    ``BrokenProcessPool`` regardless of whether its test ever ran — so
+    the unfinished tests are retried in a fresh pool *without* being
+    charged an attempt.  After ``_MAX_POOL_BREAKS`` collapses the
+    scheduler runs each unfinished test in its own single-worker pool:
+    there a death is unambiguously that test's doing, attempts are
+    charged, and after ``_MAX_HARD_ATTEMPTS`` the test is recorded as a
+    CRASH.  One hard death thus loses (at most) one test, never the run,
+    and never mislabels tests that were merely queued behind it.
     """
     from repro.suite.runner import TestRecord
 
@@ -134,43 +159,79 @@ def run_parallel(
         cache_enabled,
         cache_path,
     )
-    remaining = list(tests)
-    attempts: Dict[str, int] = {t.name: 0 for t in tests}
-    records: Dict[str, TestRecord] = {}
+    attempts: List[int] = [0] * len(tests)
+    records: Dict[int, TestRecord] = {}
 
-    def finish(record: TestRecord) -> None:
-        records[record.test] = record
+    def finish(idx: int, record: TestRecord) -> None:
+        records[idx] = record
         if journal is not None:
             journal.record(record.to_json())
 
-    while remaining:
-        retry: List[UnitTest] = []
+    def crash_record(test: UnitTest, exc: BaseException) -> TestRecord:
+        record = TestRecord(test=test.name, category=test.category)
+        record.count(Verdict.CRASH)
+        record.diagnostic = {
+            "type": type(exc).__name__,
+            "message": f"worker process died: {exc}",
+            "frames": [],
+        }
+        return record
+
+    pending: List[int] = list(range(len(tests)))
+    pool_breaks = 0
+    while pending and pool_breaks < _MAX_POOL_BREAKS:
+        survivors: List[int] = []
+        broke = False
         with ProcessPoolExecutor(
-            max_workers=min(jobs, len(remaining)),
+            max_workers=min(jobs, len(pending)),
             mp_context=ctx,
             initializer=_init_worker,
             initargs=initargs,
         ) as pool:
-            futures = {pool.submit(_run_task, t): t for t in remaining}
+            futures = {pool.submit(_run_task, tests[i]): i for i in pending}
             for future in as_completed(futures):
-                test = futures[future]
+                idx = futures[future]
                 try:
-                    finish(TestRecord.from_json(future.result()))
-                    continue
+                    finish(idx, TestRecord.from_json(future.result()))
                 except (KeyboardInterrupt, SystemExit):
                     raise
-                except BaseException as exc:  # noqa: BLE001 — worker died
-                    attempts[test.name] += 1
-                    if attempts[test.name] < _MAX_HARD_ATTEMPTS:
-                        retry.append(test)
-                        continue
-                    record = TestRecord(test=test.name, category=test.category)
-                    record.count(Verdict.CRASH)
-                    record.diagnostic = {
-                        "type": type(exc).__name__,
-                        "message": f"worker process died: {exc}",
-                        "frames": [],
-                    }
-                    finish(record)
-        remaining = retry
-    return [records[t.name] for t in tests]
+                except BrokenProcessPool:
+                    # Some worker died and took the pool with it; this
+                    # future may never have run at all.  No attempt is
+                    # charged — the culprit is found in isolation below.
+                    broke = True
+                    survivors.append(idx)
+                except BaseException as exc:  # noqa: BLE001
+                    # The pool is still alive, so this failure (e.g. an
+                    # unpicklable result) is attributable to this test.
+                    attempts[idx] += 1
+                    if attempts[idx] < _MAX_HARD_ATTEMPTS:
+                        survivors.append(idx)
+                    else:
+                        finish(idx, crash_record(tests[idx], exc))
+        pending = survivors
+        pool_breaks = pool_breaks + 1 if broke else 0
+
+    # Repeated collapses: isolate each unfinished test in its own
+    # single-worker pool, where a death names its test.
+    for idx in pending:
+        test = tests[idx]
+        while True:
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=1,
+                    mp_context=ctx,
+                    initializer=_init_worker,
+                    initargs=initargs,
+                ) as pool:
+                    result = pool.submit(_run_task, test).result()
+                finish(idx, TestRecord.from_json(result))
+                break
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BaseException as exc:  # noqa: BLE001 — worker died
+                attempts[idx] += 1
+                if attempts[idx] >= _MAX_HARD_ATTEMPTS:
+                    finish(idx, crash_record(test, exc))
+                    break
+    return [records[i] for i in range(len(tests))]

@@ -13,12 +13,15 @@ touching the solver at all.
 Soundness policy:
 
 * definitive verdicts (``sat``/``unsat``) are sound under *any* resource
-  budget, so they replay unconditionally;
-* resource-exhaustion verdicts (``timeout``/``memout``) are only valid
-  for the exact budget that produced them — they carry a limits
-  fingerprint and replay only under an identical one.  This is the
-  poisoning guard: a TIMEOUT recorded under a 1s budget must never
-  answer for a 1000s run, and vice versa.
+  budget, so they are the only thing the cache stores and replays;
+* resource-exhaustion verdicts (``timeout``/``memout``) are **never
+  cached**.  Queries run under the *remaining* per-test deadline — a
+  shrinking budget — so a TIMEOUT observed with 0.2s left of a 30s
+  budget says nothing about the same query under a fresh budget.  This
+  is the poisoning guard: caching an exhaustion verdict would replay
+  spurious TIMEOUTs into tests and runs that still have their full
+  budget, converting would-be definitive answers into noise.  ``store``
+  silently drops them and ``_load`` refuses crafted disk entries.
 
 The optional on-disk layer is an append-only JSONL file in the same
 style as the run journal: corrupted or truncated lines are counted and
@@ -35,9 +38,11 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.smt.terms import Term
 
-CACHE_VERSION = 1
+CACHE_VERSION = 2
 
-#: Verdicts that are sound to replay regardless of resource limits.
+#: The only verdicts the cache stores: sound to replay regardless of
+#: resource limits.  Exhaustion verdicts (timeout/memout) are never
+#: cached — see the module docstring.
 _DEFINITIVE = ("sat", "unsat")
 
 
@@ -71,13 +76,17 @@ def canonical_fingerprint(
                 payload = rename.setdefault(t.payload, f"v{len(rename)}")
             else:
                 payload = str(t.payload)
-            args = ",".join(str(index[a]) for a in t.args)
-            lines.append(f"{t.op}|{t.width}|{payload}|{args}")
+            # One JSON array per node: injective, so a payload containing
+            # a delimiter or newline cannot forge field/line boundaries
+            # and alias a structurally different term sequence.
+            lines.append(
+                json.dumps([t.op, t.width, payload, [index[a] for a in t.args]])
+            )
             index[t] = len(index)
 
     for tag, term in items:
         visit(term)
-        lines.append(f"@{tag}={index[term]}")
+        lines.append(json.dumps(["@", tag, index[term]]))
     digest = hashlib.sha256("\n".join(lines).encode("utf-8")).hexdigest()
     return digest, rename
 
@@ -122,7 +131,7 @@ class QueryCache:
                 not isinstance(entry, dict)
                 or entry.get("v") != CACHE_VERSION
                 or not isinstance(entry.get("key"), str)
-                or entry.get("result") not in ("sat", "unsat", "timeout", "memout")
+                or entry.get("result") not in _DEFINITIVE
             ):
                 self.dropped_lines += 1
                 continue
@@ -141,12 +150,11 @@ class QueryCache:
             pass
 
     # -- lookup / store --------------------------------------------------------
-    def lookup(self, digest: str, limits_fp: Optional[list] = None) -> Optional[dict]:
+    def lookup(self, digest: str) -> Optional[dict]:
         """The cached entry for ``digest``, honoring the poisoning guard."""
         entry = self._mem.get(digest)
         if entry is not None and entry["result"] not in _DEFINITIVE:
-            if entry.get("limits") != limits_fp:
-                entry = None
+            entry = None  # belt-and-braces: such entries are never stored
         if entry is None:
             self.misses += 1
             return None
@@ -159,17 +167,18 @@ class QueryCache:
         result: str,
         model: Optional[Dict[str, object]] = None,
         iterations: int = 0,
-        limits_fp: Optional[list] = None,
     ) -> None:
+        # Exhaustion verdicts are only meaningful for the (shrinking,
+        # per-test) deadline they ran under; caching one would replay
+        # spurious TIMEOUTs into runs with a full budget.  Drop them.
+        if result not in _DEFINITIVE:
+            return
         entry = {
             "v": CACHE_VERSION,
             "key": digest,
             "result": result,
             "model": dict(model or {}),
             "iterations": iterations,
-            # Definitive verdicts are budget-independent; drop the
-            # fingerprint so any later budget can replay them.
-            "limits": None if result in _DEFINITIVE else list(limits_fp or []),
         }
         self._mem[digest] = entry
         self.stores += 1

@@ -15,6 +15,7 @@ cheap no-op, so production runs pay one dict lookup per phase at most.
 
 from __future__ import annotations
 
+import os
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -34,7 +35,11 @@ class FaultSpec:
     ``kind``: ``"crash"`` raises :class:`RuntimeError`, ``"oom"`` raises
     :class:`MemoryError`, ``"hang"`` spins until the job deadline expires
     (cooperatively — it raises :class:`DeadlineExceeded` exactly like a
-    real slow phase hitting a checkpoint).
+    real slow phase hitting a checkpoint), ``"die"`` hard-kills the
+    interpreter via ``os._exit`` — no exception, no cleanup, simulating a
+    segfault or OOM-kill.  Only process-level isolation (``jobs > 1``)
+    survives ``"die"``; injecting it into a sequential in-process run
+    kills the run itself.
 
     ``site``: the phase boundary to fire at (``parse`` / ``unroll`` /
     ``encode`` / ``solve``).
@@ -87,6 +92,8 @@ def _detonate(spec: FaultSpec, site: str, deadline: Optional[Deadline]) -> None:
         raise RuntimeError(f"injected crash at {site}")
     if spec.kind == "oom":
         raise MemoryError(f"injected oom at {site}")
+    if spec.kind == "die":
+        os._exit(134)  # simulated SIGABRT-style death: no unwinding at all
     if spec.kind == "hang":
         cap = time.monotonic() + _HANG_CAP_S
         while True:

@@ -553,16 +553,6 @@ class _RefinementChecker:
         return RefinementResult(Verdict.CORRECT)
 
     # -- helpers ----------------------------------------------------------------------
-    def _limits_fingerprint(self) -> list:
-        """JSON-stable resource fingerprint guarding non-definitive entries."""
-        return [
-            self.options.timeout_s,
-            self.options.max_conflicts,
-            self.options.max_learned_lits,
-            self.options.max_ef_iterations,
-            self.options.unroll_factor,
-        ]
-
     def _cache_items(self, phi: BoolTerm, psi: BoolTerm) -> list:
         """The tagged term sequence whose canonical hash keys this query.
 
@@ -594,7 +584,7 @@ class _RefinementChecker:
         res = None
         if cache is not None:
             digest, _ = qcache.canonical_fingerprint([("satcheck", formula)])
-            hit = cache.lookup(digest, self._limits_fingerprint())
+            hit = cache.lookup(digest)
             if hit is not None:
                 res = CheckResult(hit["result"])
         if res is None:
@@ -602,9 +592,9 @@ class _RefinementChecker:
             solver.assert_term(formula)
             res = solver.check(self._limits())
             if cache is not None:
-                cache.store(
-                    digest, res.value, limits_fp=self._limits_fingerprint()
-                )
+                # Exhaustion verdicts are dropped by the cache itself:
+                # they reflect this test's remaining deadline, not the query.
+                cache.store(digest, res.value)
         if res is CheckResult.UNSAT:
             return RefinementResult(Verdict.EMPTY_PRE, failed_check="precondition")
         if res is CheckResult.TIMEOUT:
@@ -659,8 +649,7 @@ class _RefinementChecker:
                 symbolic_seeds=self.seeds,
             )
         digest, rename = qcache.canonical_fingerprint(self._cache_items(phi, psi))
-        fp = self._limits_fingerprint()
-        hit = cache.lookup(digest, fp)
+        hit = cache.lookup(digest)
         if hit is not None:
             unrename = {canon: real for real, canon in rename.items()}
             model = {
@@ -691,7 +680,6 @@ class _RefinementChecker:
             outcome.result.value,
             model=canon_model,
             iterations=outcome.iterations,
-            limits_fp=fp,
         )
         return outcome
 

@@ -47,13 +47,14 @@ def main(argv: Optional[List[str]] = None) -> int:
              "(default: all CPUs); 1 forces the in-process sequential path",
     )
     parser.add_argument(
-        "--query-cache", default=None, metavar="PATH",
-        help="persist the solver query-result cache to this JSONL file "
-             "(shared across runs and workers)",
+        "--query-cache", nargs="?", const="", default=None, metavar="PATH",
+        help="enable the solver query-result cache (off by default); "
+             "with PATH, persist it to a JSONL file shared across runs "
+             "and workers, otherwise keep it in memory for this run",
     )
     parser.add_argument(
         "--no-query-cache", action="store_true",
-        help="disable the query-result cache entirely",
+        help="force the query-result cache off (overrides --query-cache)",
     )
     args = parser.parse_args(argv)
     options = VerifyOptions(timeout_s=args.timeout, unroll_factor=args.unroll)
@@ -70,9 +71,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.suite.unittests import UNIT_TESTS
 
         jobs = args.jobs if args.jobs is not None else default_jobs()
+        # Opt-in: verdicts only replay across tests/runs when asked for,
+        # keeping default runs comparable with earlier sequential ones.
         cache = None
-        if not args.no_query_cache:
-            cache = QueryCache(args.query_cache)
+        if args.query_cache is not None and not args.no_query_cache:
+            cache = QueryCache(args.query_cache or None)
         tests = UNIT_TESTS[: args.limit] if args.limit is not None else UNIT_TESTS
         outcome = run_suite(
             tests,

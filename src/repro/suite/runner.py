@@ -160,10 +160,14 @@ def run_suite(
             cache_enabled=cache is not None,
             cache_path=cache.path if cache is not None else None,
         )
-        by_name = {r.test: r for r in fresh}
+        # ``fresh`` is in ``pending`` order; consume it positionally so
+        # duplicate test names cannot collapse onto one record.
+        k = 0
         for test in tests:
-            record = by_name.get(test.name)
-            if record is None:
+            if k < len(pending) and test is pending[k]:
+                record = fresh[k]
+                k += 1
+            else:
                 record = TestRecord.from_json(journal.get(test.name))
                 outcome.resumed += 1
             _merge_record(outcome, record)

@@ -5,12 +5,15 @@ Covers the engine-layer guarantees:
 * canonical query hashing is independent of fresh-name counters;
 * cache on/off produces identical verdicts, and warm hits skip the
   solver entirely (observed through the solver telemetry);
-* the poisoning guard: resource-exhaustion entries never replay under a
-  different resource budget;
+* the poisoning guard: resource-exhaustion verdicts are never cached at
+  all (queries run under a shrinking per-test deadline, so a TIMEOUT is
+  meaningless for any other budget) and crafted disk entries are dropped;
 * a corrupted on-disk cache is dropped, never fatal;
 * ``jobs=4`` produces the same tallies, record order and journal
   contents as ``jobs=1`` — including under injected faults — and a
   journal written by a parallel run resumes correctly;
+* a hard worker death (simulated OOM-kill) breaks the pool without
+  poisoning the tests that were merely queued behind the dier;
 * ``_WIDTH_CACHE`` regression: reset_interning clears term-keyed caches.
 """
 
@@ -22,6 +25,7 @@ from repro.refinement.check import VerifyOptions
 from repro.smt import exists_forall as ef
 from repro.smt import solver as smt_solver
 from repro.smt.terms import (
+    Term,
     bool_and,
     bv_add,
     bv_const,
@@ -84,6 +88,22 @@ def test_fingerprint_handles_deep_terms_iteratively():
     assert len(digest) == 64
 
 
+def test_fingerprint_serialization_is_injective_for_evil_payloads():
+    # Under a plain '|'-joined line format these two distinct terms
+    # serialized to the same byte sequence ("x|1|1|y|"); delimiters and
+    # newlines inside payloads must not forge field or line boundaries.
+    a = Term("x|1", (), 1, "y")
+    b = Term("x", (), 1, "1|y")
+    da, _ = canonical_fingerprint([("q", a)])
+    db, _ = canonical_fingerprint([("q", b)])
+    assert da != db
+    c = Term("c", (), 8, "p\nc|8|q|")
+    d = Term("c", (), 8, "p")
+    dc, _ = canonical_fingerprint([("q", c)])
+    dd, _ = canonical_fingerprint([("q", d)])
+    assert dc != dd
+
+
 # ---------------------------------------------------------------------------
 # Query cache semantics
 # ---------------------------------------------------------------------------
@@ -118,46 +138,48 @@ def test_warm_cache_hits_skip_the_solver():
     assert _verdict_rows(cold) == _verdict_rows(warm)
 
 
-def test_cache_poisoning_guard_on_resource_limits():
+def test_cache_poisoning_guard_never_caches_resource_exhaustion():
     cache = QueryCache()
-    fast_fp = [1.0, None, 1000, 32, 4]
-    slow_fp = [1000.0, None, 2_000_000, 32, 4]
-    cache.store("deadbeef", "timeout", limits_fp=fast_fp)
-    # A TIMEOUT recorded under a tiny budget must not answer for a
-    # bigger one (or any other budget).
-    assert cache.lookup("deadbeef", slow_fp) is None
-    assert cache.lookup("deadbeef", fast_fp)["result"] == "timeout"
-    # Definitive verdicts are budget-independent.
-    cache.store("cafebabe", "unsat", limits_fp=fast_fp)
-    assert cache.lookup("cafebabe", slow_fp)["result"] == "unsat"
+    # Queries run under the *remaining* per-test deadline, so a TIMEOUT
+    # observed with 0.2s left says nothing about the query under a fresh
+    # budget: exhaustion verdicts must never be stored or replayed, even
+    # for a structurally identical query.
+    cache.store("deadbeef", "timeout")
+    cache.store("deadbeef", "memout")
+    assert len(cache) == 0
+    assert cache.lookup("deadbeef") is None
+    # Definitive verdicts are budget-independent and do replay.
+    cache.store("cafebabe", "unsat")
+    assert cache.lookup("cafebabe")["result"] == "unsat"
 
 
 def test_corrupted_disk_cache_is_ignored_not_fatal(tmp_path):
     path = tmp_path / "qc.jsonl"
     good = {
-        "v": 1,
+        "v": 2,
         "key": "k1",
         "result": "unsat",
         "model": {},
         "iterations": 1,
-        "limits": None,
     }
     path.write_text(
         "{truncated json\n"
         + json.dumps(good)
         + "\n"
         + '{"v": 99, "key": "k2", "result": "unsat"}\n'  # future version
-        + '{"v": 1, "key": "k3", "result": "banana"}\n'  # bad verdict
+        + '{"v": 2, "key": "k3", "result": "banana"}\n'  # bad verdict
+        + '{"v": 2, "key": "k5", "result": "timeout"}\n'  # crafted exhaustion
         + "\x00\x01garbage\n"
     )
     cache = QueryCache(str(path))
-    assert cache.dropped_lines == 4
+    assert cache.dropped_lines == 5
     assert len(cache) == 1
-    assert cache.lookup("k1", None)["result"] == "unsat"
+    assert cache.lookup("k1")["result"] == "unsat"
+    assert cache.lookup("k5") is None
     # And a persisted store round-trips through a fresh load.
     cache.store("k4", "sat", model={"v0": 3}, iterations=2)
     reloaded = QueryCache(str(path))
-    assert reloaded.lookup("k4", None)["model"] == {"v0": 3}
+    assert reloaded.lookup("k4")["model"] == {"v0": 3}
 
 
 def test_disk_cache_shared_across_runs(tmp_path):
@@ -225,6 +247,48 @@ def test_parallel_with_injected_crash_matches_sequential(tmp_path):
     by_name = {r.test: r for r in par.records}
     assert by_name[victim].verdicts == {"crash": 1}
     assert by_name[victim].diagnostic["type"] == "RuntimeError"
+
+
+def test_hard_worker_death_does_not_poison_pending_tests(tmp_path):
+    # One test hard-kills its worker (os._exit — simulated OOM-kill),
+    # which breaks the whole pool and voids every pending future.  Those
+    # casualties must be retried for free, not charged attempts: only the
+    # dier ends up CRASH, everything else gets its real verdict, and the
+    # journal records the same — so a resume re-runs nothing wrongly.
+    corpus = _corpus(6)
+    victim = corpus[1].name
+    plan = {victim: FaultSpec(kind="die", site="encode")}
+    journal = str(tmp_path / "die.jsonl")
+    par = run_suite(
+        corpus,
+        OPTS,
+        inject_bugs=False,
+        jobs=4,
+        fault_plan=FaultPlan(plan),
+        journal=journal,
+    )
+    clean = run_suite(corpus, OPTS, inject_bugs=False, jobs=1)
+    assert par.crashed == [victim]
+    by_name = {r.test: r for r in par.records}
+    assert by_name[victim].verdicts == {"crash": 1}
+    for ref in clean.records:
+        if ref.test != victim:
+            assert by_name[ref.test].verdicts == ref.verdicts
+    with open(journal) as fh:
+        entries = [json.loads(line) for line in fh if line.strip()]
+    assert len(entries) == len(corpus)
+    assert ["crash" in e["verdicts"] for e in entries].count(True) == 1
+
+
+def test_duplicate_test_names_keep_separate_records():
+    # Records are keyed by corpus index, not name: a duplicated test must
+    # yield one record (and one tally contribution) per occurrence.
+    corpus = _corpus(3) + [_corpus(3)[1]]
+    par = run_suite(corpus, OPTS, inject_bugs=False, jobs=2)
+    seq = run_suite(corpus, OPTS, inject_bugs=False, jobs=1)
+    assert len(par.records) == len(corpus)
+    assert [r.test for r in par.records] == [t.name for t in corpus]
+    assert _verdict_rows(seq) == _verdict_rows(par)
 
 
 def test_resume_from_parallel_journal(tmp_path):
