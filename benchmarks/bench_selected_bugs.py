@@ -12,7 +12,7 @@ the buggy passes.
 from conftest import print_table
 
 from repro.ir.parser import parse_module
-from repro.refinement.check import Verdict, VerifyOptions
+from repro.refinement.check import VerifyOptions
 from repro.tv.plugin import validate_pipeline
 
 OPTS = VerifyOptions(timeout_s=30.0)

@@ -1,0 +1,273 @@
+"""Generic lattice-based dataflow framework over the IR CFG.
+
+The solver is a classic worklist algorithm: blocks are processed in
+reverse postorder (forward analyses) or postorder (backward analyses)
+and re-queued while their input environments keep changing.  An
+analysis provides the lattice operations as hooks:
+
+* :meth:`DataflowAnalysis.boundary` — environment at the entry (forward)
+  or at the exits (backward);
+* :meth:`DataflowAnalysis.meet` — combine environments where control
+  merges (a join for may-analyses, an intersection for must-analyses);
+* :meth:`DataflowAnalysis.transfer_block` — push an environment through
+  one block;
+* :meth:`DataflowAnalysis.widen` — accelerate convergence on blocks
+  visited more than :attr:`DataflowAnalysis.widen_after` times (ranges
+  over unrolled loop chains need this; finite lattices can keep the
+  default, which is plain replacement).
+
+:class:`RegisterAnalysis` specializes the framework for the common SSA
+shape used by every concrete analysis in this package: the environment
+is a register → fact map, phis meet the facts of their incoming values,
+and ordinary instructions produce one fact via
+:meth:`RegisterAnalysis.transfer`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, List, Optional, TypeVar
+
+from repro.ir.cfg import reverse_postorder
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import Phi
+
+Env = TypeVar("Env")
+Fact = TypeVar("Fact")
+
+FORWARD = "forward"
+BACKWARD = "backward"
+
+
+class DataflowAnalysis(Generic[Env]):
+    """Hook container for one dataflow problem (see module docstring)."""
+
+    direction: str = FORWARD
+    #: Number of visits to one block before :meth:`widen` replaces the
+    #: plain meet; bounds iteration counts on long unrolled loop chains.
+    widen_after: int = 3
+
+    def boundary(self, fn: Function) -> Env:
+        raise NotImplementedError
+
+    def meet(self, a: Env, b: Env) -> Env:
+        raise NotImplementedError
+
+    def transfer_block(self, fn: Function, block: BasicBlock, env: Env) -> Env:
+        raise NotImplementedError
+
+    def widen(self, old: Env, new: Env) -> Env:
+        return new
+
+    def equal(self, a: Env, b: Env) -> bool:
+        return a == b
+
+
+def solve(fn: Function, analysis: DataflowAnalysis) -> Dict[str, Env]:
+    """Run ``analysis`` to a fixpoint; returns the *input* environment of
+    every reachable block (entry env for forward, exit env for backward).
+    """
+    order = reverse_postorder(fn)
+    reachable = set(order)
+    if analysis.direction == BACKWARD:
+        order = list(reversed(order))
+        # Dataflow edges run against control flow: a block's inputs come
+        # from its successors' outputs.
+        edges: Dict[str, List[str]] = {
+            label: [
+                s for s in fn.blocks[label].successors() if s in reachable
+            ]
+            for label in order
+        }
+        seeds = [
+            label
+            for label in order
+            if not any(s in reachable for s in fn.blocks[label].successors())
+        ] or [order[0]]
+    else:
+        preds = fn.predecessors()
+        edges = {
+            label: [p for p in preds[label] if p in reachable] for label in order
+        }
+        seeds = [order[0]]
+    position = {label: i for i, label in enumerate(order)}
+    # Dependents of a block: whoever lists it as a dataflow source.
+    targets_of: Dict[str, List[str]] = {label: [] for label in order}
+    for label, sources in edges.items():
+        for source in sources:
+            targets_of[source].append(label)
+
+    in_env: Dict[str, Env] = {}
+    out_env: Dict[str, Env] = {}
+    visits: Dict[str, int] = {label: 0 for label in order}
+    for seed in seeds:
+        in_env[seed] = analysis.boundary(fn)
+
+    pending = set(order)
+    worklist = list(order)
+    while worklist:
+        worklist.sort(key=lambda lb: position[lb], reverse=True)
+        label = worklist.pop()
+        pending.discard(label)
+        incoming: Optional[Env] = None
+        for source in edges[label]:
+            env = out_env.get(source)
+            if env is None:
+                continue
+            incoming = env if incoming is None else analysis.meet(incoming, env)
+        if incoming is not None:
+            if label in seeds:
+                incoming = analysis.meet(in_env[label], incoming)
+            old = in_env.get(label)
+            if old is not None:
+                visits[label] += 1
+                if visits[label] > analysis.widen_after:
+                    incoming = analysis.widen(old, incoming)
+                else:
+                    incoming = analysis.meet(old, incoming)
+            in_env[label] = incoming
+        if label not in in_env:
+            continue  # unreachable under this direction's seeding
+        new_out = analysis.transfer_block(fn, fn.blocks[label], in_env[label])
+        if label in out_env and analysis.equal(out_env[label], new_out):
+            continue
+        out_env[label] = new_out
+        for target in targets_of[label]:
+            if target not in pending:
+                pending.add(target)
+                worklist.append(target)
+    return in_env
+
+
+class RegisterAnalysis(DataflowAnalysis[Dict[str, Fact]]):
+    """SSA value analysis: environments map register names to facts.
+
+    Registers absent from an environment have not been reached yet
+    (lattice bottom); the environment meet keeps the union of names and
+    meets facts defined on both sides, which converges to the sound join
+    over all paths because defs dominate uses in SSA form.
+    """
+
+    def top(self) -> Fact:
+        raise NotImplementedError
+
+    def join(self, a: Fact, b: Fact) -> Fact:
+        raise NotImplementedError
+
+    def widen_fact(self, old: Fact, new: Fact) -> Fact:
+        return self.join(old, new)
+
+    def fact_of_argument(self, arg) -> Fact:
+        return self.top()
+
+    def fact_of_constant(self, value) -> Fact:
+        return self.top()
+
+    def transfer(self, inst, env: Dict[str, Fact]) -> Fact:
+        """Fact for ``inst``'s result; default is no information."""
+        return self.top()
+
+    # -- plumbing through the generic framework ------------------------------
+    def boundary(self, fn: Function) -> Dict[str, Fact]:
+        return {arg.name: self.fact_of_argument(arg) for arg in fn.args}
+
+    def meet(self, a: Dict[str, Fact], b: Dict[str, Fact]) -> Dict[str, Fact]:
+        merged = dict(a)
+        for name, fact in b.items():
+            mine = merged.get(name)
+            merged[name] = fact if mine is None else self.join(mine, fact)
+        return merged
+
+    def widen(self, old: Dict[str, Fact], new: Dict[str, Fact]) -> Dict[str, Fact]:
+        merged = dict(old)
+        for name, fact in new.items():
+            mine = merged.get(name)
+            merged[name] = fact if mine is None else self.widen_fact(mine, fact)
+        return merged
+
+    def value_fact(self, value, env: Dict[str, Fact]) -> Fact:
+        from repro.ir.values import Register
+
+        if isinstance(value, Register):
+            fact = env.get(value.name)
+            return fact if fact is not None else self.top()
+        return self.fact_of_constant(value)
+
+    def transfer_block(
+        self, fn: Function, block: BasicBlock, env: Dict[str, Fact]
+    ) -> Dict[str, Fact]:
+        from repro.ir.values import Register
+
+        env = dict(env)
+        for phi in block.phis():
+            fact: Optional[Fact] = None
+            seen_any = False
+            for value, _pred in phi.incoming:
+                # An incoming register absent from the environment flows
+                # from a path not processed yet (or unreachable): that is
+                # lattice bottom, so skip it — treating it as top would
+                # pin the phi at "no information" before the backedge's
+                # facts ever arrive.
+                if isinstance(value, Register) and value.name not in env:
+                    continue
+                seen_any = True
+                vf = self.value_fact(value, env)
+                fact = vf if fact is None else self.join(fact, vf)
+            env[phi.name] = fact if seen_any else self.top()
+        for inst in block.non_phi_instructions():
+            name = getattr(inst, "name", None)
+            if name is not None:
+                env[name] = self.transfer(inst, env)
+        return env
+
+
+def analyze_registers(fn: Function, analysis: RegisterAnalysis) -> Dict[str, Fact]:
+    """Fixpoint register → fact map over all reachable blocks of ``fn``."""
+    if fn.is_declaration:
+        return {}
+    envs = solve(fn, analysis)
+    facts: Dict[str, Fact] = {}
+    for label, env in envs.items():
+        block = fn.blocks.get(label)
+        if block is None:
+            continue
+        out = analysis.transfer_block(fn, block, env)
+        for name, fact in out.items():
+            mine = facts.get(name)
+            facts[name] = fact if mine is None else analysis.join(mine, fact)
+    return facts
+
+
+class LivenessAnalysis(DataflowAnalysis[frozenset]):
+    """Classic backward liveness; exercises the backward direction.
+
+    Environments are frozensets of live register names at block exit.
+    """
+
+    direction = BACKWARD
+
+    def boundary(self, fn: Function) -> frozenset:
+        return frozenset()
+
+    def meet(self, a: frozenset, b: frozenset) -> frozenset:
+        return a | b
+
+    def transfer_block(
+        self, fn: Function, block: BasicBlock, env: frozenset
+    ) -> frozenset:
+        from repro.ir.values import Register
+
+        live = set(env)
+        for inst in reversed(block.instructions):
+            name = getattr(inst, "name", None)
+            if name is not None:
+                live.discard(name)
+            if isinstance(inst, Phi):
+                continue  # phi reads happen on the incoming edges
+            for op in inst.operands:
+                if isinstance(op, Register):
+                    live.add(op.name)
+        for phi in block.phis():
+            for value, _pred in phi.incoming:
+                if isinstance(value, Register):
+                    live.add(value.name)
+        return frozenset(live)

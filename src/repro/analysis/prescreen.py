@@ -1,0 +1,211 @@
+"""Solver-bypass prescreening of refinement queries.
+
+Each refinement check is an exists-forall query ``∃O. φ ∧ ∀N. ¬ψ`` whose
+UNSAT outcome means "check passed".  Cheap static facts can decide many
+of them without bit-blasting:
+
+* **R-phi-false** — φ is false for every assignment (term-level
+  known-bits, :mod:`repro.analysis.termfacts`): no candidate
+  counterexample exists, the check passes.
+* **R-psi-true** — ψ is valid: ``¬ψ`` is unsatisfiable for every choice
+  of the universals, the check passes.  This also covers the
+  "known-bits prove ``bv_eq`` of matching defs" case: the abstract
+  evaluator folds ``bveq`` of two fully-determined equal values to True.
+* **R-poison-free** — for the *return-poison* check, the IR poison
+  taint proves every ``ret`` operand of the unrolled target poison-free.
+  φ of that check conjoins ``¬ub_tgt``, and the taint transfer relation
+  mirrors the encoder's poison semantics under ``¬ub`` (``noundef``
+  arguments add ``isundef ∨ ispoison`` to the UB terms, flagged
+  arithmetic is never proven, shifts need an in-range amount), so
+  φ's ``tgt_poison`` conjunct is unsatisfiable.
+* **R-const-ret** — for the *return-value* check, both sides provably
+  return the same constant and the target is poison-free; with trivial
+  source precondition/domain and no calls, ψ holds for every universal
+  choice.
+* **R-sat-witness** — for the check-1 satisfiability probe (a plain SAT
+  call, not exists-forall), concretely evaluating the preconditions
+  under an all-zeros or all-ones assignment yields True: the formula is
+  satisfiable by witness, so the preconditions are not vacuous.
+
+Every rule may only *prove* (discharge a query the solver would have
+answered UNSAT, or witness SAT for the satcheck); none may refute, so a
+prescreen hit can never flip a FAIL verdict to a pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.analysis import termfacts
+from repro.analysis.poison import returns_poison_free
+from repro.ir.function import Function
+from repro.ir.instructions import Ret
+from repro.ir.values import ConstantInt
+from repro.smt import terms
+from repro.smt.terms import FALSE, TRUE, BoolTerm, Term
+
+
+@dataclass
+class PrescreenStats:
+    """Module-level counters; the suite snapshots deltas per test."""
+
+    hits: int = 0
+    misses: int = 0
+    by_rule: Dict[str, int] = field(default_factory=dict)
+
+    def hit(self, rule: str) -> None:
+        self.hits += 1
+        self.by_rule[rule] = self.by_rule.get(rule, 0) + 1
+
+    def miss(self) -> None:
+        self.misses += 1
+
+    def reset(self) -> None:
+        self.hits = self.misses = 0
+        self.by_rule.clear()
+
+
+STATS = PrescreenStats()
+
+
+def _all_ones_env(term: Term) -> Dict[str, int]:
+    """name → all-ones/True for every variable of ``term``.
+
+    All-ones satisfies the NaN-pattern preconditions that argument-undef
+    seeds produce, which an all-zeros witness falsifies.
+    """
+    env: Dict[str, int] = {}
+    stack = [term]
+    seen = set()
+    while stack:
+        t = stack.pop()
+        if t in seen:
+            continue
+        seen.add(t)
+        if t.op == "var":
+            env[t.payload] = True if t.is_bool else (1 << t.width) - 1
+        else:
+            stack.extend(t.args)
+    return env
+
+
+class Prescreener:
+    """Per-verification fact holder consulted by the refinement checker.
+
+    IR analyses run lazily on the *unrolled* functions (the ones that
+    were encoded), at most once per verification job.
+    """
+
+    def __init__(self, src_unrolled: Function, tgt_unrolled: Function) -> None:
+        self.src = src_unrolled
+        self.tgt = tgt_unrolled
+        self._tgt_ret_poison_free: Optional[bool] = None
+        self._const_rets: Optional[tuple] = None  # (src_const, tgt_const)
+
+    # -- lazy IR facts -------------------------------------------------------
+    def tgt_returns_poison_free(self) -> bool:
+        if self._tgt_ret_poison_free is None:
+            self._tgt_ret_poison_free = returns_poison_free(self.tgt)
+        return self._tgt_ret_poison_free
+
+    def _ret_constant(self, fn: Function, kb_facts) -> Optional[int]:
+        """The single constant every ``ret`` of ``fn`` returns, if any."""
+        value: Optional[int] = None
+        saw_ret = False
+        for block in fn.blocks.values():
+            term = block.terminator
+            if not isinstance(term, Ret) or term.value is None:
+                continue
+            saw_ret = True
+            if isinstance(term.value, ConstantInt):
+                const: Optional[int] = term.value.value
+            else:
+                name = getattr(term.value, "name", None)
+                fact = kb_facts.get(name) if name is not None else None
+                const = fact.value if fact is not None else None
+            if const is None or (value is not None and const != value):
+                return None
+            value = const
+        return value if saw_ret else None
+
+    def const_rets(self) -> tuple:
+        if self._const_rets is None:
+            from repro.analysis.knownbits import analyze_known_bits
+
+            self._const_rets = (
+                self._ret_constant(self.src, analyze_known_bits(self.src)),
+                self._ret_constant(self.tgt, analyze_known_bits(self.tgt)),
+            )
+        return self._const_rets
+
+    # -- rules ---------------------------------------------------------------
+    def screen_sat(self, formula: BoolTerm) -> bool:
+        """True iff ``formula`` is proven satisfiable (check 1 passes)."""
+        try:
+            if terms.evaluate(formula, {}):
+                STATS.hit("sat-witness")
+                return True
+            if terms.evaluate(formula, _all_ones_env(formula)):
+                STATS.hit("sat-witness")
+                return True
+        except (RecursionError, OverflowError):
+            pass
+        STATS.miss()
+        return False
+
+    def screen_query(
+        self,
+        name: str,
+        phi: BoolTerm,
+        psi: BoolTerm,
+        src_enc=None,
+        tgt_enc=None,
+    ) -> bool:
+        """True iff the query is discharged (the check provably passes).
+
+        ``psi`` must already include the environment-consistency axioms —
+        validity of the full right-hand side is what makes ``∀N.¬ψ``
+        unsatisfiable regardless of the quantifier split.
+        """
+        try:
+            if phi is FALSE or termfacts.must_false(phi):
+                STATS.hit("phi-false")
+                return True
+            if psi is TRUE or termfacts.must_true(psi):
+                STATS.hit("psi-true")
+                return True
+            if name == "return-poison" and self.tgt_returns_poison_free():
+                STATS.hit("poison-free")
+                return True
+            if name == "return-value" and self._screen_const_ret(
+                src_enc, tgt_enc
+            ):
+                STATS.hit("const-ret")
+                return True
+        except (RecursionError, OverflowError):
+            pass
+        STATS.miss()
+        return False
+
+    def _screen_const_ret(self, src_enc, tgt_enc) -> bool:
+        """R-const-ret; see the module docstring for the soundness argument.
+
+        Guards: trivial source precondition/sink/return-domain (so the
+        primed ψ prefix is the literal TRUE), no calls on either side (so
+        pairing and environment-consistency are trivial), and both sides
+        return one proven-equal integer constant with the target
+        poison-free under φ's ``¬ub_tgt``.
+        """
+        if src_enc is None or tgt_enc is None:
+            return False
+        if src_enc.pre is not TRUE or src_enc.sink is not FALSE:
+            return False
+        if src_enc.ret_domain is not TRUE:
+            return False
+        if src_enc.calls or tgt_enc.calls:
+            return False
+        src_const, tgt_const = self.const_rets()
+        if src_const is None or src_const != tgt_const:
+            return False
+        return self.tgt_returns_poison_free()

@@ -1,0 +1,171 @@
+"""Abstract evaluation of SMT terms with known-bits facts.
+
+This is the *term-level* counterpart of the IR analyses: bitvector terms
+get a :class:`~repro.analysis.knownbits.KnownBits` fact, boolean terms a
+three-valued ``True``/``False``/``None``.  Variables evaluate to ⊤, so
+every fact holds for *all* assignments — a fully-determined bitvector
+term really is that constant, a must-true boolean really is valid.
+That unconditional soundness is what lets the encoder substitute
+constants before bit-blasting and the prescreen discharge queries
+without ever touching UB/poison reasoning.
+
+Facts are memoized per interned :class:`~repro.smt.terms.Term`; the
+cache registers with :func:`repro.smt.terms.on_reset` so an interning
+reset cannot alias stale facts onto recycled term objects (the same
+staleness class as ``exists_forall._WIDTH_CACHE``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from repro.analysis.knownbits import (
+    KnownBits,
+    kb_binop,
+    kb_concat,
+    kb_extract,
+    kb_icmp,
+    kb_neg,
+    kb_not,
+    kb_sext,
+)
+from repro.smt import terms
+from repro.smt.terms import Term
+
+TermFact = Union[KnownBits, Optional[bool]]
+
+_TERM_FACTS: Dict[Term, TermFact] = {}
+
+
+@terms.on_reset
+def _clear_term_facts() -> None:
+    _TERM_FACTS.clear()
+
+
+_KB_BINOPS = {
+    "bvadd": "add",
+    "bvsub": "sub",
+    "bvmul": "mul",
+    "bvudiv": "udiv",
+    "bvurem": "urem",
+    "bvsdiv": "sdiv",
+    "bvsrem": "srem",
+    "bvand": "and",
+    "bvor": "or",
+    "bvxor": "xor",
+    "bvshl": "shl",
+    "bvlshr": "lshr",
+    "bvashr": "ashr",
+}
+
+
+def _bool3_not(a: Optional[bool]) -> Optional[bool]:
+    return None if a is None else not a
+
+
+def _fact_of(term: Term, arg_facts) -> TermFact:
+    op = term.op
+    if op == "const":
+        if term.is_bool:
+            return bool(term.payload)
+        return KnownBits.constant(term.payload, term.width)
+    if op == "var":
+        return None if term.is_bool else KnownBits.top(term.width)
+    if op == "not":
+        return _bool3_not(arg_facts[0])
+    if op == "and":
+        if any(f is False for f in arg_facts):
+            return False
+        if all(f is True for f in arg_facts):
+            return True
+        return None
+    if op == "or":
+        if any(f is True for f in arg_facts):
+            return True
+        if all(f is False for f in arg_facts):
+            return False
+        return None
+    if op == "xor":
+        a, b = arg_facts
+        if a is None or b is None:
+            return None
+        return a != b
+    if op == "ite":
+        cond, then, els = arg_facts
+        if cond is True:
+            return then
+        if cond is False:
+            return els
+        if then is not None and then == els:
+            return then
+        return None
+    if op == "bvite":
+        cond, then, els = arg_facts
+        if cond is True:
+            return then
+        if cond is False:
+            return els
+        return then.join(els)
+    if op == "bveq":
+        return kb_icmp("eq", arg_facts[0], arg_facts[1])
+    if op == "bvult":
+        return kb_icmp("ult", arg_facts[0], arg_facts[1])
+    if op == "bvslt":
+        return kb_icmp("slt", arg_facts[0], arg_facts[1])
+    kb_op = _KB_BINOPS.get(op)
+    if kb_op is not None:
+        return kb_binop(kb_op, arg_facts[0], arg_facts[1])
+    if op == "bvnot":
+        return kb_not(arg_facts[0])
+    if op == "bvneg":
+        return kb_neg(arg_facts[0])
+    if op == "concat":
+        return kb_concat(arg_facts[0], arg_facts[1])
+    if op == "extract":
+        hi, lo = term.payload
+        return kb_extract(arg_facts[0], hi, lo)
+    if op == "sext":
+        return kb_sext(arg_facts[0], term.width)
+    # Unknown operator: no information.
+    return None if term.is_bool else KnownBits.top(term.width)
+
+
+def term_fact(term: Term) -> TermFact:
+    """Abstract value of ``term``: KnownBits for bitvectors, 3-valued
+    bool (``True``/``False``/``None``) for booleans."""
+    cached = _TERM_FACTS.get(term)
+    if cached is not None or term in _TERM_FACTS:
+        return cached
+    # Iterative postorder; refinement formulas nest deeper than the
+    # recursion limit.
+    stack = [term]
+    while stack:
+        t = stack[-1]
+        if t in _TERM_FACTS:
+            stack.pop()
+            continue
+        missing = [a for a in t.args if a not in _TERM_FACTS]
+        if missing:
+            stack.extend(missing)
+            continue
+        stack.pop()
+        _TERM_FACTS[t] = _fact_of(t, [_TERM_FACTS[a] for a in t.args])
+    return _TERM_FACTS[term]
+
+
+def must_true(term: Term) -> bool:
+    """True iff ``term`` is valid (holds for every assignment)."""
+    return term_fact(term) is True
+
+
+def must_false(term: Term) -> bool:
+    """True iff ``term`` is unsatisfiable (false for every assignment)."""
+    return term_fact(term) is False
+
+
+def known_const(term: Term) -> Optional[int]:
+    """The concrete value of a fully-determined bitvector term, if any."""
+    if term.is_bool:
+        return None
+    fact = term_fact(term)
+    return fact.value if isinstance(fact, KnownBits) else None

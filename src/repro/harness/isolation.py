@@ -71,6 +71,33 @@ def run_contained(
         )
 
 
+def lint_gate(src: Function, tgt: Function) -> Optional[RefinementResult]:
+    """Pre-verification well-formedness gate (repro.analysis.verify).
+
+    Malformed IR surfaces here as ``UNSUPPORTED`` with a diagnostic
+    naming the function, block, and instruction — instead of an opaque
+    ``EncodeError``/CRASH deep inside the encoder.  Warnings never gate.
+    """
+    from repro.analysis.verify import ERROR, lint_function
+
+    for which, fn in (("src", src), ("tgt", tgt)):
+        errors = [d for d in lint_function(fn) if d.level == ERROR]
+        if errors:
+            return RefinementResult(
+                Verdict.UNSUPPORTED,
+                unsupported_feature="ill-formed-ir",
+                diagnostic={
+                    "type": "lint",
+                    "side": which,
+                    "function": errors[0].function,
+                    "block": errors[0].block,
+                    "instruction": errors[0].instruction,
+                    "errors": [str(d) for d in errors[:5]],
+                },
+            )
+    return None
+
+
 def run_verification_job(
     src: Function,
     tgt: Function,
@@ -78,14 +105,23 @@ def run_verification_job(
     module_tgt: Optional[Module] = None,
     options: Optional[VerifyOptions] = None,
     ladder: Optional[DegradationLadder] = None,
+    lint: bool = True,
 ) -> RefinementResult:
     """The fault-tolerant replacement for a bare ``verify_refinement``.
 
-    Crash-isolates every attempt and walks the degradation ladder on
-    TIMEOUT/OOM.  This is what the TV plugin and the suite runner call;
-    ``verify_refinement`` itself stays a pure library function.
+    Lint-gates the pair, crash-isolates every attempt, and walks the
+    degradation ladder on TIMEOUT/OOM.  This is what the TV plugin and
+    the suite runner call; ``verify_refinement`` itself stays a pure
+    library function.
     """
     options = options or VerifyOptions()
+
+    if lint:
+        # A crash *inside the linter* must not block verification; only a
+        # clean UNSUPPORTED finding gates.
+        gated = run_contained(lambda: lint_gate(src, tgt), phase="lint")
+        if gated is not None and gated.verdict is Verdict.UNSUPPORTED:
+            return gated
 
     def attempt(opts: VerifyOptions) -> RefinementResult:
         return run_contained(

@@ -52,15 +52,25 @@ def reachable_blocks(fn: Function) -> Set[str]:
 def remove_unreachable_blocks(fn: Function) -> bool:
     """Drop blocks unreachable from the entry; returns True if changed.
 
-    Phi nodes in surviving blocks lose incoming entries from removed blocks.
+    Phi nodes in surviving blocks keep only entries from their *actual*
+    predecessors.  Filtering against the reachable set alone is not
+    enough: a pass that folds a conditional branch removes an edge but
+    not the block it came from, leaving a dangling entry from a block
+    that is still reachable yet no longer a predecessor (the verifier's
+    phi-extra-pred check flags exactly this).
     """
     keep = reachable_blocks(fn)
     dead = [label for label in fn.blocks if label not in keep]
-    if not dead:
-        return False
     for label in dead:
         del fn.blocks[label]
+    preds = fn.predecessors()
+    changed = bool(dead)
     for block in fn.blocks.values():
         for phi in block.phis():
-            phi.incoming = [(v, b) for v, b in phi.incoming if b in keep]
-    return True
+            pruned = [
+                (v, b) for v, b in phi.incoming if b in preds[block.label]
+            ]
+            if len(pruned) != len(phi.incoming):
+                phi.incoming = pruned
+                changed = True
+    return changed

@@ -38,7 +38,6 @@ def float_to_bits(value: float, fmt: FloatType) -> int:
     min_e = 1 - bias
     if e > max_e:
         # Round to infinity if beyond the largest finite value.
-        frac_scaled = value / (2.0**e)
         return bit_sign | (((1 << fmt.exp_bits) - 1) << fmt.frac_bits)
     if e < min_e:
         # Subnormal range: value = f * 2**(min_e - frac_bits)

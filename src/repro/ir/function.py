@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
 from repro.ir.instructions import Instruction, Phi
-from repro.ir.types import Type, VoidType
+from repro.ir.types import Type
 from repro.ir.values import Argument
 
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.ir.types import Type, VoidType
+from repro.ir.types import Type
 from repro.ir.values import Value
 
 INT_BINOPS = {

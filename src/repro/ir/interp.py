@@ -12,7 +12,7 @@ through arithmetic like the paper describes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.ir.fpformat import bits_to_float, float_to_bits
@@ -34,7 +34,6 @@ from repro.ir.instructions import (
     InsertElement,
     InsertValue,
     Load,
-    Phi,
     Ret,
     Select,
     ShuffleVector,
@@ -47,7 +46,6 @@ from repro.ir.types import (
     ArrayType,
     FloatType,
     IntType,
-    PointerType,
     StructType,
     Type,
     VectorType,

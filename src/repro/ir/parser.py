@@ -9,7 +9,7 @@ parameter and function attributes, globals, and declarations.  See
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.ir.fpformat import parse_float_literal
 from repro.ir.function import BasicBlock, Function

@@ -13,7 +13,6 @@ itself is opaque here.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import cached_property
 from typing import Tuple
 
 

@@ -32,7 +32,7 @@ from repro.ir.instructions import (
     Store,
     Switch,
 )
-from repro.ir.loops import Loop, LoopForest
+from repro.ir.loops import LoopForest
 from repro.ir.types import PTR
 from repro.ir.values import Register, Value
 
@@ -133,12 +133,6 @@ def _unroll_one_loop(
             if name is not None:
                 defs.append(name)
     def_set = set(defs)
-
-    latches = [
-        label
-        for label in loop_blocks
-        if header in fn.blocks[label].successors()
-    ]
 
     # Pristine snapshot of the loop body: later copies are cloned from this,
     # not from copy 0, whose backedges get patched as soon as copy 1 exists.

@@ -19,9 +19,9 @@ from typing import List, Optional
 
 from repro.ir.fpformat import float_to_bits
 from repro.ir.function import Function
-from repro.ir.instructions import BinOp, Cast, FBinOp, ICmp, Select
+from repro.ir.instructions import BinOp, Cast, FBinOp, Select
 from repro.ir.module import Module
-from repro.ir.types import FloatType, IntType
+from repro.ir.types import IntType
 from repro.ir.values import ConstantFloat, ConstantInt, Register, UndefValue, Value
 from repro.opt.passmanager import register_pass
 from repro.opt.util import const_int, replace_all_uses, same_register

@@ -8,15 +8,14 @@ ran — one of the §8.2 "loop optimizations incorrectly handling" class.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Optional, Set
 
-from repro.ir.function import BasicBlock, Function
+from repro.ir.function import Function
 from repro.ir.instructions import BinOp, Br, Cast, ICmp, Instruction, Select
 from repro.ir.loops import LoopForest
 from repro.ir.module import Module
 from repro.ir.values import Register
 from repro.opt.passmanager import register_pass
-from repro.opt.util import may_trigger_ub
 
 
 def _is_invariant(inst: Instruction, loop_defs: Set[str]) -> bool:

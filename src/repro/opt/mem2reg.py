@@ -9,14 +9,13 @@ renaming walk over the dominator tree.  Loads before any store read
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Set
 
-from repro.ir.cfg import predecessors, reverse_postorder
+from repro.ir.cfg import predecessors
 from repro.ir.dominators import DominatorTree
 from repro.ir.function import Function
 from repro.ir.instructions import Alloca, Load, Phi, Store
 from repro.ir.module import Module
-from repro.ir.types import Type
 from repro.ir.values import Register, UndefValue, Value
 from repro.opt.passmanager import register_pass
 from repro.opt.util import replace_all_uses

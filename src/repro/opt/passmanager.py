@@ -9,7 +9,7 @@ whether anything changed (the plugin skips validation for no-change runs,
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
 from repro.ir.function import Function
 from repro.ir.module import Module

@@ -12,9 +12,9 @@ from typing import List, Optional
 
 from repro.ir.cfg import predecessors, remove_unreachable_blocks
 from repro.ir.function import BasicBlock, Function
-from repro.ir.instructions import Br, Phi, Ret, Select
+from repro.ir.instructions import Br, Phi, Select
 from repro.ir.module import Module
-from repro.ir.values import ConstantInt, Register
+from repro.ir.values import Register
 from repro.opt.passmanager import register_pass
 from repro.opt.util import const_int
 

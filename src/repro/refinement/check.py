@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, List, Optional, Tuple
 
+from repro.analysis.prescreen import Prescreener
 from repro.engine import qcache
 from repro.harness.deadline import Deadline, DeadlineExceeded
 from repro.harness.faults import maybe_fault
@@ -88,6 +89,11 @@ class VerifyOptions:
     memory: MemoryConfig = field(default_factory=MemoryConfig)
     check_memory: bool = True
     max_ef_iterations: int = 32
+    # Static-analysis prescreen (repro.analysis): discharge queries whose
+    # outcome dataflow facts already prove, and fold known-constant bits
+    # in the encoder before bit-blasting.  Sound both ways (it may only
+    # prove, never refute); --no-prescreen ablates it.
+    prescreen: bool = True
 
     def limits(self) -> ResourceLimits:
         return ResourceLimits(
@@ -217,10 +223,20 @@ def _verify_with_deadline(
         deadline.check("layout")
         layout = build_layout(globals_, pointer_args, num_allocas, options.memory)
         enc_src = _Encoder(
-            src_unrolled, module_src, "src", layout, deadline=deadline
+            src_unrolled,
+            module_src,
+            "src",
+            layout,
+            deadline=deadline,
+            fold_known_bits=options.prescreen,
         ).encode()
         enc_tgt = _Encoder(
-            tgt_unrolled, module_tgt, "tgt", layout, deadline=deadline
+            tgt_unrolled,
+            module_tgt,
+            "tgt",
+            layout,
+            deadline=deadline,
+            fold_known_bits=options.prescreen,
         ).encode()
     except EncodeError as exc:
         return done(
@@ -233,7 +249,12 @@ def _verify_with_deadline(
 
     maybe_fault("solve", deadline=deadline, unroll_factor=options.unroll_factor)
     deadline.check("solve")
-    checker = _RefinementChecker(enc_src, enc_tgt, options, deadline=deadline)
+    prescreener = (
+        Prescreener(src_unrolled, tgt_unrolled) if options.prescreen else None
+    )
+    checker = _RefinementChecker(
+        enc_src, enc_tgt, options, deadline=deadline, prescreener=prescreener
+    )
     return done(checker.run())
 
 
@@ -244,10 +265,12 @@ class _RefinementChecker:
         tgt: EncodedFunction,
         options: VerifyOptions,
         deadline: Optional[Deadline] = None,
+        prescreener: Optional[Prescreener] = None,
     ) -> None:
         self.src = src
         self.tgt = tgt
         self.options = options
+        self.prescreener = prescreener
         # The whole-job deadline; standalone construction (benchmarks)
         # falls back to a fresh budget from the options.
         self.deadline = deadline if deadline is not None else Deadline.start(
@@ -579,6 +602,10 @@ class _RefinementChecker:
         return items
 
     def _is_satisfiable(self, formula: BoolTerm) -> Optional[RefinementResult]:
+        # A concrete satisfying witness settles this plain SAT probe
+        # without a solver (and without touching the query cache).
+        if self.prescreener is not None and self.prescreener.screen_sat(formula):
+            return None
         cache = qcache.active()
         digest = None
         res = None
@@ -606,6 +633,10 @@ class _RefinementChecker:
     def _query(self, name: str, phi: BoolTerm, psi: BoolTerm) -> Optional[RefinementResult]:
         """Run one exists-forall query; None means the check passed."""
         psi = bool_and(self.env_consistency, psi)
+        if self.prescreener is not None and self.prescreener.screen_query(
+            name, phi, psi, self.src, self.tgt
+        ):
+            return None
         outcome = self._solve_cached(phi, psi)
         if outcome.result is EFResult.UNSAT:
             return None

@@ -21,11 +21,11 @@ from __future__ import annotations
 import heapq
 import random
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.sat.types import Clause, Lit
+from repro.sat.types import Lit
 
 _UNASSIGNED = -1
 _FALSE = 0

@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.harness.deadline import Deadline
 from repro.ir.cfg import remove_unreachable_blocks, reverse_postorder
-from repro.ir.function import BasicBlock, Function
+from repro.ir.function import Function
 from repro.ir.instructions import (
     Alloca,
     BinOp,
@@ -214,12 +214,14 @@ class _Encoder:
         prefix: str,
         layout: MemoryLayout,
         deadline: Optional[Deadline] = None,
+        fold_known_bits: bool = False,
     ) -> None:
         self.fn = fn
         self.module = module
         self.prefix = prefix
         self.layout = layout
         self.deadline = deadline
+        self.fold_known_bits = fold_known_bits
         self.regs: Dict[str, object] = {}
         self.reg_used: Set[str] = set()
         self.undef_vars: List[QuantVar] = []
@@ -291,7 +293,6 @@ class _Encoder:
             if block is None:
                 # Element of an aggregate-of-pointers: unsupported for now.
                 raise EncodeError("aggregate-of-pointers")
-            off = bv_extract(value, self.layout.config.off_bits - 1, 0)
             bid = bv_extract(
                 value, width - 1, self.layout.config.off_bits
             )
@@ -431,6 +432,7 @@ class _Encoder:
             # Phi nodes first (they read on the incoming edges).
             for phi in block.phis():
                 self.regs[phi.name] = self._encode_phi(phi, dom, edge_cond)
+                self._fold_reg(phi.name)
             alive = block_dom
             for inst in block.non_phi_instructions():
                 if inst.is_terminator():
@@ -439,6 +441,7 @@ class _Encoder:
                     )
                     break
                 alive = self._encode_instruction(inst, alive, mem)
+                self._fold_reg(getattr(inst, "name", None))
                 if alive is FALSE:
                     break
             mem_out[label] = mem
@@ -683,6 +686,21 @@ class _Encoder:
         if isinstance(inst, ShuffleVector):
             return self._shufflevector(inst, alive)
         raise EncodeError(f"instruction-{type(inst).__name__}")
+
+    def _fold_reg(self, name) -> None:
+        """Replace fully-determined bits of a register with constants.
+
+        Term-level known-bits facts (:mod:`repro.analysis.termfacts`)
+        hold for *every* assignment, so swapping a fully-determined expr
+        for its constant — or a decided poison bit for TRUE/FALSE —
+        preserves the encoded semantics while shrinking what reaches the
+        bit-blaster (the paper's §3.7 formula-shrinking idea).
+        """
+        if not self.fold_known_bits or name is None:
+            return
+        folded = _fold_value(self.regs.get(name))
+        if folded is not None:
+            self.regs[name] = folded
 
     # -- scalars ---------------------------------------------------------------------
     def _map_binary(self, ty: Type, lhs, rhs, fn) -> object:
@@ -1344,6 +1362,37 @@ def _insert_at(agg: object, elem: object, indices) -> object:
     else:
         elems[idx] = _insert_at(elems[idx], elem, indices[1:])
     return SymAggregate(tuple(elems))
+
+
+def _fold_value(value):
+    """Constant-folded copy of a symbolic value, or None if unchanged."""
+    from repro.analysis import termfacts
+
+    if isinstance(value, SymAggregate):
+        elems = [_fold_value(e) for e in value.elems]
+        if all(e is None for e in elems):
+            return None
+        return SymAggregate(
+            tuple(n if n is not None else o for n, o in zip(elems, value.elems))
+        )
+    if not isinstance(value, SymValue):
+        return None
+    expr, poison = value.expr, value.poison
+    changed = False
+    if expr.op != "const":
+        const = termfacts.known_const(expr)
+        if const is not None:
+            expr = bv_const(const, expr.width)
+            changed = True
+    if poison.op != "const":
+        fact = termfacts.term_fact(poison)
+        if fact is True:
+            poison, changed = TRUE, True
+        elif fact is False:
+            poison, changed = FALSE, True
+    if not changed:
+        return None
+    return SymValue(expr, poison, value.undef_vars, value.varies).normalized()
 
 
 def _merge_values(cond: BoolTerm, then: object, els: object) -> object:

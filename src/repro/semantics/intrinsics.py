@@ -12,17 +12,14 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.ir.instructions import Call
-from repro.ir.types import IntType, VectorType
+from repro.ir.types import VectorType
 from repro.semantics.value import SymAggregate, SymValue
 from repro.smt.terms import (
     FALSE,
-    TRUE,
     bool_and,
     bool_not,
     bool_or,
     bv_add,
-    bv_and,
-    bv_ashr,
     bv_const,
     bv_eq,
     bv_extract,
@@ -30,13 +27,11 @@ from repro.smt.terms import (
     bv_lshr,
     bv_mul,
     bv_neg,
-    bv_or,
     bv_sext,
     bv_shl,
     bv_slt,
     bv_sub,
     bv_ult,
-    bv_xor,
     bv_zext,
 )
 

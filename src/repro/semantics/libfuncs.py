@@ -11,7 +11,7 @@ function attributes that the call encoder (§6) honours, plus an optional
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 

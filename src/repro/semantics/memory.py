@@ -20,7 +20,7 @@ escaped locals are not modified by unknown calls (the same limitation
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.ir.types import Type, byte_size
@@ -34,16 +34,13 @@ from repro.smt.terms import (
     bool_ite,
     bool_not,
     bool_or,
-    bv_add,
     bv_concat,
     bv_const,
     bv_eq,
     bv_extract,
     bv_ite,
     bv_sle,
-    bv_slt,
     bv_var,
-    bv_zext,
 )
 
 
@@ -319,7 +316,6 @@ class SymMemory:
 
 def _init_bytes(initializer, ty: Type) -> List[SymByte]:
     """Bytes for a constant global initializer."""
-    from repro.ir.types import ArrayType, IntType, VectorType
     from repro.ir.values import (
         ConstantAggregate,
         ConstantFloat,

@@ -17,8 +17,6 @@ from typing import Tuple
 
 from repro.ir.types import FloatType
 from repro.smt.terms import (
-    FALSE,
-    TRUE,
     BoolTerm,
     BvTerm,
     bool_and,

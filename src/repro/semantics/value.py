@@ -21,8 +21,8 @@ the element-wise refinement rules of Figure 4.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 from repro.smt.terms import (
     FALSE,

@@ -14,7 +14,7 @@ everywhere in this code base.
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
 
 # ---------------------------------------------------------------------------
 # Term representation

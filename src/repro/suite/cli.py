@@ -56,8 +56,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--no-query-cache", action="store_true",
         help="force the query-result cache off (overrides --query-cache)",
     )
+    parser.add_argument(
+        "--no-prescreen", action="store_true",
+        help="disable the static-analysis prescreen that discharges "
+             "refinement queries without the solver (ablation switch)",
+    )
     args = parser.parse_args(argv)
-    options = VerifyOptions(timeout_s=args.timeout, unroll_factor=args.unroll)
+    options = VerifyOptions(
+        timeout_s=args.timeout,
+        unroll_factor=args.unroll,
+        prescreen=not args.no_prescreen,
+    )
     ladder = None
     if args.retries > 0:
         from repro.harness.degrade import DegradationLadder
@@ -98,6 +107,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(
                 f"query cache: {t.qcache_hits} hits / {t.qcache_misses} misses "
                 f"({t.qcache_hit_rate:.0%} hit rate)"
+            )
+        if t.prescreen_hits or t.prescreen_misses:
+            print(
+                f"prescreen: {t.prescreen_hits} discharged / "
+                f"{t.prescreen_misses} passed to solver "
+                f"({t.prescreen_hit_rate:.0%} hit rate)"
+            )
+        if t.lint_errors or t.lint_warnings:
+            print(
+                f"lint: {t.lint_errors} errors, {t.lint_warnings} warnings"
             )
         by_worker: dict = {}
         for rec in outcome.records:

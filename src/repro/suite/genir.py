@@ -10,7 +10,7 @@ and to synthesize the "application" modules of Figure 7.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.ir.module import Module

@@ -20,6 +20,8 @@ import time
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Union
 
+from repro.analysis import prescreen
+from repro.analysis import verify as lint_verify
 from repro.engine import qcache
 from repro.harness import faults
 from repro.harness.deadline import DeadlineExceeded
@@ -28,11 +30,11 @@ from repro.harness.faults import FaultPlan
 from repro.harness.isolation import diagnostic_from, run_verification_job
 from repro.harness.journal import RunJournal
 from repro.ir.parser import parse_module
-from repro.refinement.check import Verdict, VerifyOptions, verify_refinement
+from repro.refinement.check import Verdict, VerifyOptions
 from repro.smt import solver as smt_solver
 from repro.suite.unittests import UnitTest
 from repro.tv.plugin import validate_pipeline
-from repro.tv.report import Tally, ValidationReport
+from repro.tv.report import Tally
 
 
 @dataclass
@@ -57,6 +59,13 @@ class TestRecord:
     qcache_misses: int = 0
     solver_checks: int = 0
     worker: Optional[int] = None
+    # Static-analysis statistics: refinement queries discharged/attempted
+    # by the solver-bypass prescreen, and lint diagnostics seen while
+    # gating this test's verification jobs.
+    prescreen_hits: int = 0
+    prescreen_misses: int = 0
+    lint_errors: int = 0
+    lint_warnings: int = 0
 
     def count(self, verdict: Verdict) -> None:
         self.verdicts[verdict.value] = self.verdicts.get(verdict.value, 0) + 1
@@ -81,6 +90,10 @@ class TestRecord:
             qcache_misses=int(data.get("qcache_misses", 0)),
             solver_checks=int(data.get("solver_checks", 0)),
             worker=data.get("worker"),
+            prescreen_hits=int(data.get("prescreen_hits", 0)),
+            prescreen_misses=int(data.get("prescreen_misses", 0)),
+            lint_errors=int(data.get("lint_errors", 0)),
+            lint_warnings=int(data.get("lint_warnings", 0)),
         )
 
 
@@ -201,6 +214,9 @@ def _run_one_test(
     hits0 = cache.hits if cache is not None else 0
     misses0 = cache.misses if cache is not None else 0
     checks0 = smt_solver.TELEMETRY.checks
+    ps_hits0, ps_misses0 = prescreen.STATS.hits, prescreen.STATS.misses
+    lint_errors0 = lint_verify.LINT_STATS.errors
+    lint_warnings0 = lint_verify.LINT_STATS.warnings
     start = time.monotonic()
     try:
         with faults.current_test(test.name):
@@ -221,6 +237,10 @@ def _run_one_test(
         record.qcache_hits = cache.hits - hits0
         record.qcache_misses = cache.misses - misses0
     record.solver_checks = smt_solver.TELEMETRY.checks - checks0
+    record.prescreen_hits = prescreen.STATS.hits - ps_hits0
+    record.prescreen_misses = prescreen.STATS.misses - ps_misses0
+    record.lint_errors = lint_verify.LINT_STATS.errors - lint_errors0
+    record.lint_warnings = lint_verify.LINT_STATS.warnings - lint_warnings0
     return record
 
 
@@ -284,6 +304,10 @@ def _merge_record(outcome: SuiteOutcome, record: TestRecord) -> None:
     outcome.tally.skipped_unchanged += record.skipped_unchanged
     outcome.tally.qcache_hits += record.qcache_hits
     outcome.tally.qcache_misses += record.qcache_misses
+    outcome.tally.prescreen_hits += record.prescreen_hits
+    outcome.tally.prescreen_misses += record.prescreen_misses
+    outcome.tally.lint_errors += record.lint_errors
+    outcome.tally.lint_warnings += record.lint_warnings
     if record.verdicts.get(Verdict.CRASH.value):
         outcome.crashed.append(record.test)
     if record.detected:

@@ -10,8 +10,8 @@ the paper's violation breakdown from exactly this corpus.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 from repro.suite.genir import GenConfig, generate_module
 from repro.ir.printer import print_module

@@ -9,16 +9,11 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.ir.module import Module
 from repro.ir.parser import parse_module
-from repro.refinement.check import (
-    RefinementResult,
-    Verdict,
-    VerifyOptions,
-    verify_refinement,
-)
+from repro.refinement.check import VerifyOptions, verify_refinement
 from repro.tv.report import ValidationRecord, ValidationReport
 
 

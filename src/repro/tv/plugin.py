@@ -23,8 +23,8 @@ from repro.harness.degrade import DegradationLadder
 from repro.harness.isolation import run_verification_job
 from repro.ir.module import Module
 from repro.opt.passmanager import PassManager, PassRun
-from repro.refinement.check import RefinementResult, Verdict, VerifyOptions
-from repro.tv.report import Tally, ValidationRecord, ValidationReport
+from repro.refinement.check import VerifyOptions
+from repro.tv.report import ValidationRecord, ValidationReport
 
 
 @dataclass

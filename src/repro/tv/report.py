@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.refinement.check import RefinementResult, Verdict
 
@@ -33,6 +33,13 @@ class Tally:
     # Query-cache traffic (engine layer); hits skipped the solver entirely.
     qcache_hits: int = 0
     qcache_misses: int = 0
+    # Static prescreen traffic (analysis layer): queries discharged by
+    # dataflow facts before ever reaching the cache or the solver, plus
+    # lint diagnostics from the pre-verification gate.
+    prescreen_hits: int = 0
+    prescreen_misses: int = 0
+    lint_errors: int = 0
+    lint_warnings: int = 0
 
     def add(self, result: RefinementResult) -> None:
         self.add_verdict(result.verdict, result.elapsed_s)
@@ -59,6 +66,11 @@ class Tally:
     def qcache_hit_rate(self) -> float:
         total = self.qcache_hits + self.qcache_misses
         return self.qcache_hits / total if total else 0.0
+
+    @property
+    def prescreen_hit_rate(self) -> float:
+        total = self.prescreen_hits + self.prescreen_misses
+        return self.prescreen_hits / total if total else 0.0
 
     @property
     def analyzed(self) -> int:
@@ -113,5 +125,14 @@ class ValidationReport:
             text += (
                 f" [query cache: {t.qcache_hits} hits / "
                 f"{t.qcache_misses} misses, {t.qcache_hit_rate:.0%}]"
+            )
+        if t.prescreen_hits or t.prescreen_misses:
+            text += (
+                f" [prescreen: {t.prescreen_hits} discharged / "
+                f"{t.prescreen_misses} passed on, {t.prescreen_hit_rate:.0%}]"
+            )
+        if t.lint_errors or t.lint_warnings:
+            text += (
+                f" [lint: {t.lint_errors} errors, {t.lint_warnings} warnings]"
             )
         return text

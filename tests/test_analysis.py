@@ -1,0 +1,374 @@
+"""Tests for the static-analysis layer: dataflow framework, known-bits,
+ranges, poison taint, term-level facts, and their differential check
+against the concrete reference interpreter."""
+
+import random
+
+from repro.analysis import (
+    IntRange,
+    KnownBits,
+    LivenessAnalysis,
+    analyze_known_bits,
+    analyze_poison,
+    analyze_ranges,
+    returns_poison_free,
+    solve,
+)
+from repro.analysis import termfacts
+from repro.analysis.knownbits import kb_binop, kb_icmp
+from repro.analysis.range import range_binop, range_icmp
+from repro.ir.interp import (
+    POISON,
+    Interpreter,
+    InterpError,
+    UndefinedBehavior,
+)
+from repro.ir.parser import parse_function, parse_module
+from repro.smt import terms
+from repro.suite.genir import GenConfig, generate_module
+
+
+def _fn(src, name=None):
+    return parse_function(src, name)
+
+
+# -- framework ----------------------------------------------------------------
+
+
+def test_liveness_backward_diamond():
+    fn = _fn(
+        """
+        define i8 @f(i8 %a, i8 %b, i1 %c) {
+        entry:
+          %x = add i8 %a, 1
+          br i1 %c, label %then, label %else
+        then:
+          %y = mul i8 %x, 2
+          br label %join
+        else:
+          br label %join
+        join:
+          %p = phi i8 [ %y, %then ], [ %b, %else ]
+          ret i8 %p
+        }
+        """
+    )
+    live_out = solve(fn, LivenessAnalysis())
+    # At %then's exit, %y is live (read on the then->join edge).
+    assert "y" in live_out["then"]
+    # At %else's exit, %b is live (phi reads are attributed to every
+    # predecessor exit — conservative but sound).
+    assert "b" in live_out["else"]
+    # %p is defined by the phi; it is not live above its own block.
+    assert all("p" not in env for env in live_out.values())
+    # %a is consumed in entry; it is not live at any exit.
+    assert all("a" not in env for env in live_out.values())
+
+
+def test_forward_loop_converges_with_widening():
+    fn = _fn(
+        """
+        define i8 @f(i8 %n) {
+        entry:
+          br label %header
+        header:
+          %i = phi i8 [ 0, %entry ], [ %inc, %body ]
+          %cond = icmp ult i8 %i, %n
+          br i1 %cond, label %body, label %exit
+        body:
+          %inc = add i8 %i, 1
+          br label %header
+        exit:
+          ret i8 %i
+        }
+        """
+    )
+    ranges = analyze_ranges(fn)
+    # The loop counter cannot be pinned; widening must have kicked in
+    # (the analysis terminates) and the result is a sound full range.
+    assert ranges["i"] is not None
+    assert ranges["i"].umin == 0
+
+
+# -- known bits ---------------------------------------------------------------
+
+
+def test_knownbits_mask_and_or():
+    fn = _fn(
+        """
+        define i8 @f(i8 %x) {
+        entry:
+          %lo = and i8 %x, 15
+          %hi = or i8 %lo, 32
+          ret i8 %hi
+        }
+        """
+    )
+    kb = analyze_known_bits(fn)
+    assert kb["lo"].zeros == 0xF0
+    assert kb["hi"].ones == 0x20
+    assert kb["hi"].zeros == 0xD0
+
+
+def test_knownbits_shift_semantics_match_terms():
+    # shl by >= width folds to 0 in the term DSL; the transfer agrees.
+    a = KnownBits.top(8)
+    sh = KnownBits.constant(9, 8)
+    assert kb_binop("shl", a, sh).value == 0
+    assert kb_binop("lshr", a, sh).value == 0
+
+
+def test_knownbits_decides_icmp():
+    lo = KnownBits(8, zeros=0xF0, ones=0)  # <= 15
+    hi = KnownBits(8, zeros=0, ones=0x80)  # >= 128
+    assert kb_icmp("ult", lo, hi) is True
+    assert kb_icmp("ugt", lo, hi) is False
+    assert kb_icmp("eq", lo, hi) is False
+
+
+def test_knownbits_through_phi_join():
+    fn = _fn(
+        """
+        define i8 @f(i1 %c) {
+        entry:
+          br i1 %c, label %a, label %b
+        a:
+          br label %join
+        b:
+          br label %join
+        join:
+          %p = phi i8 [ 5, %a ], [ 7, %b ]
+          ret i8 %p
+        }
+        """
+    )
+    kb = analyze_known_bits(fn)
+    # 5 = 0b101, 7 = 0b111: bits 0 and 2 are known one, high bits zero.
+    assert kb["p"].ones == 0b101
+    assert kb["p"].zeros == 0xF8
+
+
+# -- ranges -------------------------------------------------------------------
+
+
+def test_range_binop_follows_term_folds():
+    full = IntRange.full(8)
+    zero = IntRange.constant(0, 8)
+    # udiv by zero folds to all-ones in the term DSL: full range, not crash.
+    assert range_binop("udiv", full, zero).is_full
+    # x urem 0 folds to x.
+    x = IntRange(8, 3, 9)
+    assert range_binop("urem", x, zero).umax == 9
+
+
+def test_range_icmp_decides_from_bounds():
+    a = IntRange(8, 0, 10)
+    b = IntRange(8, 20, 30)
+    assert range_icmp("ult", a, b) is True
+    assert range_icmp("uge", a, b) is False
+    assert range_icmp("ne", a, b) is True
+    assert range_icmp("ult", a, a) is None
+
+
+def test_range_tracks_urem_bound():
+    fn = _fn(
+        """
+        define i8 @f(i8 %x) {
+        entry:
+          %r = urem i8 %x, 10
+          ret i8 %r
+        }
+        """
+    )
+    ranges = analyze_ranges(fn)
+    assert ranges["r"].umax == 9
+
+
+# -- poison taint -------------------------------------------------------------
+
+
+def test_poison_flags_and_freeze():
+    fn = _fn(
+        """
+        define i8 @f(i8 %x) {
+        entry:
+          %bad = add nsw i8 %x, 1
+          %ok = freeze i8 %bad
+          %sum = add i8 %ok, 3
+          ret i8 %sum
+        }
+        """
+    )
+    facts = analyze_poison(fn)
+    assert facts["bad"] is False
+    assert facts["ok"] is True
+    assert facts["sum"] is True
+    assert returns_poison_free(fn)
+
+
+def test_poison_shift_needs_range_proof():
+    fn = _fn(
+        """
+        define i8 @f(i8 %x, i8 noundef %s) {
+        entry:
+          %amt = and i8 %s, 7
+          %fx = freeze i8 %x
+          %sh = shl i8 %fx, %amt
+          %bad = shl i8 %fx, %s
+          ret i8 %sh
+        }
+        """
+    )
+    facts = analyze_poison(fn)
+    assert facts["sh"] is True  # amt <= 7 < 8 by range fact
+    assert facts["bad"] is False  # %s may be >= 8
+    assert returns_poison_free(fn)
+
+
+def test_noundef_argument_is_poison_free():
+    fn = _fn(
+        """
+        define i8 @f(i8 noundef %x, i8 %y) {
+        entry:
+          %a = add i8 %x, 1
+          %b = add i8 %y, 1
+          ret i8 %a
+        }
+        """
+    )
+    facts = analyze_poison(fn)
+    assert facts["a"] is True
+    assert facts["b"] is False
+
+
+# -- term-level facts ---------------------------------------------------------
+
+
+def test_termfacts_knownbits_and_bools():
+    x = terms.bv_var("x", 8)
+    masked = terms.bv_and(x, terms.bv_const(0x0F, 8))
+    fact = termfacts.term_fact(masked)
+    assert fact.zeros == 0xF0
+    # masked < 16 holds for every assignment.
+    assert termfacts.must_true(terms.bv_ult(masked, terms.bv_const(16, 8)))
+    # masked == 200 holds for none.
+    assert termfacts.must_false(
+        terms.bv_eq(masked, terms.bv_const(200, 8))
+    )
+    # or with the complement mask determines every bit.
+    both = terms.bv_or(masked, terms.bv_const(0xF0, 8))
+    assert termfacts.known_const(terms.bv_and(both, terms.bv_const(0xF0, 8))) == 0xF0
+
+
+def test_reset_interning_cannot_alias_stale_facts():
+    terms.reset_interning()
+    x = terms.bv_var("x", 8)
+    low = terms.bv_and(x, terms.bv_const(0x0F, 8))
+    assert termfacts.term_fact(low).zeros == 0xF0
+    assert len(termfacts._TERM_FACTS) > 0
+    # The reset hook must clear the memo table: recycled term identities
+    # would otherwise inherit facts computed for different structures.
+    terms.reset_interning()
+    assert len(termfacts._TERM_FACTS) == 0
+    y = terms.bv_var("x", 8)
+    high = terms.bv_and(y, terms.bv_const(0xF0, 8))
+    assert termfacts.term_fact(high).zeros == 0x0F
+    assert termfacts.term_fact(terms.bv_and(y, terms.bv_const(0x0F, 8))).zeros == 0xF0
+
+
+# -- differential testing against the interpreter -----------------------------
+
+
+class _RecordingInterpreter(Interpreter):
+    """Keeps a reference to the run's register environment.
+
+    ``Interpreter.run`` threads one env dict through the whole
+    execution, so capturing the reference at any callback exposes the
+    final register state after the run completes.
+    """
+
+    final_env: dict = {}
+
+    def _operand(self, value, env):
+        self.final_env = env
+        return super()._operand(value, env)
+
+    def _execute(self, inst, env):
+        self.final_env = env
+        return super()._execute(inst, env)
+
+
+def _check_facts_against_run(module, fn, inputs):
+    kb = analyze_known_bits(fn)
+    ranges = analyze_ranges(fn)
+    ret_pf = returns_poison_free(fn)
+    for args in inputs:
+        interp = _RecordingInterpreter(module)
+        try:
+            result = interp.run(fn, list(args))
+        except (UndefinedBehavior, InterpError):
+            continue
+        for name, value in interp.final_env.items():
+            if not isinstance(value, int):
+                continue  # poison or aggregate: value facts say nothing
+            fact = kb.get(name)
+            if fact is not None:
+                assert fact.agrees_with(value), (
+                    fn.name, name, value, fact, args,
+                )
+            rng_fact = ranges.get(name)
+            if rng_fact is not None:
+                assert rng_fact.contains(value), (
+                    fn.name, name, value, rng_fact, args,
+                )
+        if ret_pf:
+            assert result.value is not POISON, (fn.name, args)
+
+
+def test_differential_4bit_exhaustive():
+    config = GenConfig(
+        width=4, num_args=2, allow_undef_consts=False, allow_branches=True
+    )
+    module = generate_module(seed=1101, num_functions=10, config=config)
+    inputs = [(a, b) for a in range(16) for b in range(16)]
+    for fn in module.definitions():
+        _check_facts_against_run(module, fn, inputs)
+
+
+def test_differential_8bit_sampled():
+    config = GenConfig(
+        width=8,
+        num_args=3,
+        allow_undef_consts=False,
+        allow_branches=True,
+        allow_loops=True,
+    )
+    module = generate_module(seed=2202, num_functions=8, config=config)
+    rng = random.Random(7)
+    inputs = [
+        tuple(rng.randrange(256) for _ in range(3)) for _ in range(40)
+    ]
+    for fn in module.definitions():
+        _check_facts_against_run(module, fn, inputs)
+
+
+def test_differential_poison_freeze_chain():
+    # A function whose return is provably poison-free must never return
+    # the POISON sentinel on any UB-free concrete run.
+    module = parse_module(
+        """
+        define i8 @f(i8 %x, i8 %s) {
+        entry:
+          %fx = freeze i8 %x
+          %fs = freeze i8 %s
+          %amt = and i8 %fs, 7
+          %sh = shl i8 %fx, %amt
+          ret i8 %sh
+        }
+        """
+    )
+    fn = module.get_function("f")
+    assert returns_poison_free(fn)
+    _check_facts_against_run(
+        module, fn, [(x, s) for x in range(0, 256, 17) for s in range(16)]
+    )

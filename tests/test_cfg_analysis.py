@@ -136,6 +136,33 @@ def test_unreachable_removal_patches_phis():
     assert [b for _, b in phi.incoming] == ["entry"]
 
 
+def test_unreachable_removal_prunes_dangling_phi_entries():
+    # A pass that folds a conditional branch removes an *edge* without
+    # removing the block it came from: %side stays reachable but is no
+    # longer a predecessor of %join.  The stale phi entry must go, or
+    # the verifier's phi-extra-pred check flags the function.
+    fn = parse_function(
+        """
+        define i8 @f(i1 %c) {
+        entry:
+          br i1 %c, label %side, label %join
+        side:
+          br label %exit
+        join:
+          %x = phi i8 [ 1, %entry ], [ 2, %side ]
+          ret i8 %x
+        exit:
+          ret i8 9
+        }
+        """
+    )
+    assert remove_unreachable_blocks(fn)  # pruning counts as a change
+    phi = fn.blocks["join"].instructions[0]
+    assert [b for _, b in phi.incoming] == ["entry"]
+    assert set(fn.blocks) == {"entry", "side", "join", "exit"}
+    assert not remove_unreachable_blocks(fn)
+
+
 def test_dominators_diamond():
     fn = parse_function(DIAMOND)
     dom = DominatorTree(fn)

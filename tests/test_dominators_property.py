@@ -60,7 +60,6 @@ def test_dominates_matches_path_definition(seed):
     fn = _random_cfg(rng, rng.randint(3, 9))
     reachable = set(reverse_postorder(fn))
     dom = DominatorTree(fn)
-    entry = next(iter(fn.blocks))
     for d in reachable:
         cut = _reachable_without(fn, d)
         for b in reachable:

@@ -22,15 +22,7 @@ from repro.ir.interp import (
 from repro.ir.parser import parse_module
 from repro.semantics.encoder import encode_function
 from repro.smt.solver import CheckResult, ResourceLimits, SmtSolver
-from repro.smt.terms import (
-    FALSE,
-    bool_and,
-    bool_not,
-    bool_var,
-    bv_const,
-    bv_eq,
-    bv_var,
-)
+from repro.smt.terms import bool_not, bool_var, bv_const, bv_eq, bv_var
 from repro.suite.genir import GenConfig, generate_module
 
 LIMITS = ResourceLimits(timeout_s=30.0)

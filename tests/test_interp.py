@@ -2,13 +2,7 @@
 
 import pytest
 
-from repro.ir.interp import (
-    POISON,
-    Interpreter,
-    SinkReached,
-    UndefinedBehavior,
-    run_function,
-)
+from repro.ir.interp import POISON, UndefinedBehavior, run_function
 from repro.ir.parser import parse_module
 
 

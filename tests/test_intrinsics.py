@@ -1,6 +1,5 @@
 """Tests for intrinsic support (§3.8) and library-function specs."""
 
-import pytest
 
 from repro.ir.parser import parse_module
 from repro.refinement.check import Verdict, VerifyOptions, verify_refinement

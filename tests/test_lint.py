@@ -1,0 +1,289 @@
+"""Tests for the IR verifier/linter and its pre-verification gate."""
+
+import pytest
+
+from repro.analysis.verify import (
+    WARNING,
+    errors_only,
+    lint_function,
+    lint_module,
+    main,
+)
+from repro.harness.isolation import run_verification_job
+from repro.ir.parser import parse_function, parse_module
+from repro.refinement.check import Verdict, VerifyOptions
+
+
+def _codes(diags):
+    return [d.code for d in diags]
+
+
+def test_clean_function_lints_clean():
+    fn = parse_function(
+        """
+        define i8 @f(i8 %a, i1 %c) {
+        entry:
+          %x = add i8 %a, 1
+          br i1 %c, label %then, label %join
+        then:
+          %y = mul i8 %x, 2
+          br label %join
+        join:
+          %p = phi i8 [ %y, %then ], [ %x, %entry ]
+          ret i8 %p
+        }
+        """
+    )
+    assert lint_function(fn) == []
+
+
+def test_rejects_use_not_dominated_by_def():
+    fn = parse_function(
+        """
+        define i8 @dom(i1 %c) {
+        entry:
+          %y = add i8 %x, 1
+          br i1 %c, label %late, label %exit
+        late:
+          %x = add i8 40, 2
+          br label %exit
+        exit:
+          ret i8 %y
+        }
+        """
+    )
+    errors = errors_only(lint_function(fn))
+    assert "dominance" in _codes(errors)
+    diag = next(d for d in errors if d.code == "dominance")
+    assert diag.function == "dom"
+    assert diag.block == "entry"
+    assert "%x" in diag.instruction
+
+
+def test_rejects_phi_with_missing_predecessor_entry():
+    fn = parse_function(
+        """
+        define i8 @miss(i1 %c) {
+        entry:
+          br i1 %c, label %a, label %b
+        a:
+          br label %join
+        b:
+          br label %join
+        join:
+          %p = phi i8 [ 1, %a ]
+          ret i8 %p
+        }
+        """
+    )
+    errors = errors_only(lint_function(fn))
+    assert "phi-missing-pred" in _codes(errors)
+    diag = next(d for d in errors if d.code == "phi-missing-pred")
+    assert diag.function == "miss"
+    assert diag.block == "join"
+    assert "%b" in diag.message
+    assert "phi" in diag.instruction
+
+
+def test_rejects_phi_with_extra_predecessor_entry():
+    fn = parse_function(
+        """
+        define i8 @extra(i1 %c) {
+        entry:
+          br i1 %c, label %a, label %join
+        a:
+          br label %join
+        join:
+          %p = phi i8 [ 1, %a ], [ 2, %entry ], [ 3, %nowhere ]
+          ret i8 %p
+        }
+        """
+    )
+    errors = errors_only(lint_function(fn))
+    diag = next(d for d in errors if d.code == "phi-extra-pred")
+    assert diag.function == "extra"
+    assert diag.block == "join"
+    assert "%nowhere" in diag.message
+
+
+def test_rejects_operand_type_mismatch():
+    fn = parse_function(
+        """
+        define i16 @ty(i8 %a) {
+        entry:
+          %w = zext i8 %a to i16
+          %z = add i8 %w, 1
+          ret i16 %w
+        }
+        """
+    )
+    errors = errors_only(lint_function(fn))
+    diag = next(d for d in errors if d.code == "type-mismatch")
+    assert diag.function == "ty"
+    assert diag.block == "entry"
+    assert "%w" in diag.message
+    assert "add" in diag.instruction
+
+
+def test_rejects_undefined_value_and_duplicate_def():
+    fn = parse_function(
+        """
+        define i8 @bad(i8 %a) {
+        entry:
+          %x = add i8 %a, %ghost
+          %x = add i8 %a, 1
+          ret i8 %x
+        }
+        """
+    )
+    codes = _codes(errors_only(lint_function(fn)))
+    assert "undefined-value" in codes
+    assert "duplicate-def" in codes
+
+
+def test_warns_on_unreachable_block_and_certain_ub():
+    fn = parse_function(
+        """
+        define i8 @warn(i8 %a) {
+        entry:
+          %d = udiv i8 %a, 0
+          %s = shl i8 %a, 9
+          ret i8 %d
+        island:
+          ret i8 1
+        }
+        """
+    )
+    diags = lint_function(fn)
+    assert errors_only(diags) == []
+    warnings = [d.code for d in diags if d.level == WARNING]
+    assert "div-by-zero" in warnings
+    assert "shift-overflow" in warnings
+    assert "unreachable-block" in warnings
+
+
+def test_ret_type_and_branch_cond_checks():
+    fn = parse_function(
+        """
+        define i8 @retty(i8 %a) {
+        entry:
+          ret i16 7
+        }
+        """
+    )
+    assert "type-mismatch" in _codes(errors_only(lint_function(fn)))
+
+
+def test_lint_module_covers_all_functions():
+    module = parse_module(
+        """
+        define i8 @ok(i8 %a) {
+        entry:
+          ret i8 %a
+        }
+
+        define i8 @bad() {
+        entry:
+          ret i8 %ghost
+        }
+        """
+    )
+    diags = lint_module(module)
+    assert {d.function for d in errors_only(diags)} == {"bad"}
+
+
+# -- the pre-verification gate ------------------------------------------------
+
+
+def test_lint_gate_blocks_malformed_source():
+    bad = parse_module(
+        """
+        define i8 @f(i1 %c) {
+        entry:
+          %y = add i8 %x, 1
+          br i1 %c, label %late, label %exit
+        late:
+          %x = add i8 40, 2
+          br label %exit
+        exit:
+          ret i8 %y
+        }
+        """
+    )
+    fn = bad.get_function("f")
+    result = run_verification_job(
+        fn, fn, bad, bad, VerifyOptions(timeout_s=5.0)
+    )
+    assert result.verdict is Verdict.UNSUPPORTED
+    assert result.unsupported_feature == "ill-formed-ir"
+    assert result.diagnostic["type"] == "lint"
+    assert result.diagnostic["function"] == "f"
+    assert any("dominance" in e for e in result.diagnostic["errors"])
+
+
+def test_lint_gate_passes_well_formed_pair():
+    good = parse_module(
+        """
+        define i8 @f(i8 %a) {
+        entry:
+          %x = add i8 %a, 0
+          ret i8 %x
+        }
+        """
+    )
+    fn = good.get_function("f")
+    result = run_verification_job(
+        fn, fn, good, good, VerifyOptions(timeout_s=5.0)
+    )
+    assert result.verdict is Verdict.CORRECT
+
+
+def test_lint_gate_can_be_disabled():
+    bad = parse_module(
+        """
+        define i8 @f() {
+        entry:
+          ret i8 %ghost
+        }
+        """
+    )
+    fn = bad.get_function("f")
+    result = run_verification_job(
+        fn, fn, bad, bad, VerifyOptions(timeout_s=5.0), lint=False
+    )
+    # The encoder reports its own (less precise) outcome instead of the
+    # linter's structured "ill-formed-ir" gate.
+    assert result.unsupported_feature != "ill-formed-ir"
+
+
+# -- the alive-lint console script --------------------------------------------
+
+
+def test_cli_lints_files(tmp_path, capsys):
+    good = tmp_path / "good.ll"
+    good.write_text(
+        "define i8 @f(i8 %a) {\nentry:\n  ret i8 %a\n}\n"
+    )
+    bad = tmp_path / "bad.ll"
+    bad.write_text(
+        "define i8 @g() {\nentry:\n  ret i8 %ghost\n}\n"
+    )
+    assert main([str(good)]) == 0
+    assert main([str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "undefined-value" in out
+    assert "@g" in out
+
+
+def test_cli_werror_promotes_warnings(tmp_path):
+    warny = tmp_path / "warn.ll"
+    warny.write_text(
+        "define i8 @h(i8 %a) {\nentry:\n  %d = udiv i8 %a, 0\n  ret i8 %d\n}\n"
+    )
+    assert main([str(warny)]) == 0
+    assert main(["--werror", str(warny)]) == 1
+
+
+def test_cli_requires_input():
+    with pytest.raises(SystemExit):
+        main([])

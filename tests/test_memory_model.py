@@ -6,24 +6,8 @@ from repro.ir.parser import parse_module
 from repro.ir.types import IntType
 from repro.ir.values import GlobalVariable
 from repro.refinement.check import Verdict, VerifyOptions, verify_refinement
-from repro.semantics.memory import (
-    BlockInfo,
-    MemoryConfig,
-    MemoryLayout,
-    SymByte,
-    SymMemory,
-    build_layout,
-)
-from repro.smt.solver import CheckResult, SmtSolver
-from repro.smt.terms import (
-    FALSE,
-    TRUE,
-    bool_not,
-    bv_const,
-    bv_eq,
-    bv_var,
-    evaluate,
-)
+from repro.semantics.memory import MemoryConfig, SymByte, SymMemory, build_layout
+from repro.smt.terms import TRUE, bv_const, bv_var, evaluate
 
 OPTS = VerifyOptions(timeout_s=30.0)
 

@@ -6,12 +6,11 @@ validate; each buggy variant must be caught) — the same double-checking
 the paper applies to LLVM.
 """
 
-import pytest
 
 from repro.ir.interp import run_function
 from repro.ir.parser import parse_module
 from repro.opt.passmanager import PASS_REGISTRY, run_pipeline
-from repro.refinement.check import Verdict, VerifyOptions
+from repro.refinement.check import VerifyOptions
 from repro.tv.plugin import validate_pipeline
 
 OPTS = VerifyOptions(timeout_s=60.0)

@@ -11,7 +11,6 @@ Plus the semantics clarifications of §8.3 (branch on undef, shufflevector
 undef mask, NaN bitcast).
 """
 
-import pytest
 
 from repro.ir.parser import parse_module
 from repro.refinement.check import Verdict, VerifyOptions, verify_refinement

@@ -2,27 +2,17 @@
 
 import pytest
 
-from repro.ir import (
-    ArrayType,
-    ConstantInt,
-    IntType,
-    Module,
-    VectorType,
-)
+from repro.ir import ConstantInt, IntType
 from repro.ir.instructions import (
     Alloca,
     BinOp,
     Br,
     Call,
-    Cast,
     FBinOp,
     FCmp,
     Gep,
-    ICmp,
     Load,
     Phi,
-    Ret,
-    Select,
     ShuffleVector,
     Store,
     Switch,

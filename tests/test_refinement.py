@@ -6,7 +6,6 @@ paper's discussion: undef/poison propagation, flag dropping, select/and,
 freeze, branch-on-undef, bounded loops, and memory.
 """
 
-import pytest
 
 from repro.ir.parser import parse_module
 from repro.refinement.check import RefinementResult, Verdict, VerifyOptions, verify_refinement

@@ -1,8 +1,6 @@
 """Tests for the bit-blasting QF_BV solver: circuits vs. concrete evaluation."""
 
-import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -9,7 +9,6 @@ tiny formats); division uses exact rational arithmetic.
 import math
 from fractions import Fraction
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

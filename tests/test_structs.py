@@ -1,8 +1,7 @@
 """Tests for literal struct aggregates and the with.overflow intrinsics."""
 
-import pytest
 
-from repro.ir.interp import POISON, run_function
+from repro.ir.interp import run_function
 from repro.ir.parser import parse_function, parse_module
 from repro.ir.printer import print_module
 from repro.ir.types import IntType, StructType

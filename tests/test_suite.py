@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.ir.interp import Interpreter, SinkReached, UndefinedBehavior, run_function
+from repro.ir.interp import SinkReached, UndefinedBehavior, run_function
 from repro.ir.parser import parse_module
 from repro.ir.printer import print_module
 from repro.refinement.check import Verdict, VerifyOptions, verify_refinement

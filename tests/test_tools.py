@@ -1,6 +1,5 @@
 """Tests for the command-line tools and the report layer (§8.1)."""
 
-import pytest
 
 from repro.refinement.check import RefinementResult, Verdict, VerifyOptions
 from repro.tv.alive_tv import main as alive_tv_main

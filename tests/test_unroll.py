@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.ir.interp import Interpreter, SinkReached, run_function
+from repro.ir.interp import SinkReached, run_function
 from repro.ir.loops import LoopForest
-from repro.ir.parser import parse_function, parse_module
+from repro.ir.parser import parse_module
 from repro.ir.unroll import SINK_LABEL, UnrollError, unroll_function
 
 SUM_LOOP = """
