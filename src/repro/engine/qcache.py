@@ -21,7 +21,11 @@ Soundness policy:
   is the poisoning guard: caching an exhaustion verdict would replay
   spurious TIMEOUTs into tests and runs that still have their full
   budget, converting would-be definitive answers into noise.  ``store``
-  silently drops them and ``_load`` refuses crafted disk entries.
+  silently drops them and ``_load`` refuses crafted disk entries;
+* entries record whether their verdict carried a checker-accepted proof
+  certificate (``certified``); under ``--certify`` an *uncertified*
+  ``unsat`` entry is treated as a miss and re-solved, so a certified run
+  never replays an unchecked claim (CACHE_VERSION 3).
 
 The optional on-disk layer is an append-only JSONL file in the same
 style as the run journal: corrupted or truncated lines are counted and
@@ -38,7 +42,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.smt.terms import Term
 
-CACHE_VERSION = 2
+CACHE_VERSION = 3
 
 #: The only verdicts the cache stores: sound to replay regardless of
 #: resource limits.  Exhaustion verdicts (timeout/memout) are never
@@ -150,11 +154,27 @@ class QueryCache:
             pass
 
     # -- lookup / store --------------------------------------------------------
-    def lookup(self, digest: str) -> Optional[dict]:
-        """The cached entry for ``digest``, honoring the poisoning guard."""
+    def lookup(
+        self, digest: str, require_certified_unsat: bool = False
+    ) -> Optional[dict]:
+        """The cached entry for ``digest``, honoring the poisoning guard.
+
+        ``require_certified_unsat`` (certify mode) treats an ``unsat``
+        entry recorded without an accepted proof certificate as a miss:
+        replaying it would launder an unchecked claim into a certified
+        run.  ``sat`` entries replay freely — they are witnessed by a
+        model, not by a proof.
+        """
         entry = self._mem.get(digest)
         if entry is not None and entry["result"] not in _DEFINITIVE:
             entry = None  # belt-and-braces: such entries are never stored
+        if (
+            entry is not None
+            and require_certified_unsat
+            and entry["result"] == "unsat"
+            and not entry.get("certified", False)
+        ):
+            entry = None
         if entry is None:
             self.misses += 1
             return None
@@ -167,6 +187,7 @@ class QueryCache:
         result: str,
         model: Optional[Dict[str, object]] = None,
         iterations: int = 0,
+        certified: bool = False,
     ) -> None:
         # Exhaustion verdicts are only meaningful for the (shrinking,
         # per-test) deadline they ran under; caching one would replay
@@ -179,6 +200,7 @@ class QueryCache:
             "result": result,
             "model": dict(model or {}),
             "iterations": iterations,
+            "certified": bool(certified),
         }
         self._mem[digest] = entry
         self.stores += 1

@@ -39,10 +39,16 @@ class FaultSpec:
     interpreter via ``os._exit`` — no exception, no cleanup, simulating a
     segfault or OOM-kill.  Only process-level isolation (``jobs > 1``)
     survives ``"die"``; injecting it into a sequential in-process run
-    kills the run itself.
+    kills the run itself.  ``"unsound"`` does not raise at all: it arms a
+    solver-level corruption (the next learned clause degenerates to the
+    empty clause, see :func:`repro.sat.solver.arm_unsound`) so the solver
+    silently claims UNSAT — the failure mode ``--certify`` exists to
+    catch.  The arming is reset when the test finishes.
 
     ``site``: the phase boundary to fire at (``parse`` / ``unroll`` /
-    ``encode`` / ``solve``).
+    ``encode`` / ``solve`` / ``ef`` — the last fires inside
+    :func:`repro.smt.exists_forall.solve_exists_forall`, past the plain
+    SAT probes).
 
     ``at_call``: fire on the Nth visit to the site (1-based).  Retries
     re-visit sites, so ``at_call=1`` makes a fault fire once and then let
@@ -94,6 +100,13 @@ def _detonate(spec: FaultSpec, site: str, deadline: Optional[Deadline]) -> None:
         raise MemoryError(f"injected oom at {site}")
     if spec.kind == "die":
         os._exit(134)  # simulated SIGABRT-style death: no unwinding at all
+    if spec.kind == "unsound":
+        # Arm, don't raise: the point is that nothing *visibly* fails —
+        # the solver keeps running and returns a confident wrong UNSAT.
+        from repro.sat import solver as sat_solver
+
+        sat_solver.arm_unsound()
+        return
     if spec.kind == "hang":
         cap = time.monotonic() + _HANG_CAP_S
         while True:
@@ -131,6 +144,15 @@ def current_test(name: str) -> Iterator[None]:
         yield
     finally:
         _current_test = previous
+        # An "unsound" fault armed during this test must not leak into the
+        # next one: disarm any still-pending corruption.  Checked via
+        # sys.modules so merely running a faultless suite never imports
+        # the SAT layer as a side effect.
+        import sys
+
+        mod = sys.modules.get("repro.sat.solver")
+        if mod is not None:
+            mod.reset_unsound()
 
 
 def maybe_fault(

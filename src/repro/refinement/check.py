@@ -76,6 +76,9 @@ class Verdict(Enum):
     APPROX = "approx"  # a counterexample touched an over-approximated feature
     EMPTY_PRE = "empty-pre"  # a precondition is unsatisfiable (check #1)
     CRASH = "crash"  # the validator itself failed; contained by the harness
+    # An UNSAT the solver claimed but the independent proof checker
+    # rejected (certify mode): never reported as VERIFIED.
+    SOLVER_UNSOUND = "solver-unsound"
 
 
 @dataclass(frozen=True)
@@ -94,6 +97,12 @@ class VerifyOptions:
     # in the encoder before bit-blasting.  Sound both ways (it may only
     # prove, never refute); --no-prescreen ablates it.
     prescreen: bool = True
+    # Self-certifying mode (--certify): every UNSAT the solver stack
+    # claims must carry a proof the independent RUP checker accepts; a
+    # rejected proof downgrades the verdict to SOLVER_UNSOUND instead of
+    # VERIFIED, and only certified UNSAT entries replay from the query
+    # cache.
+    certify: bool = False
 
     def limits(self) -> ResourceLimits:
         return ResourceLimits(
@@ -115,6 +124,11 @@ class RefinementResult:
     degradations: List[str] = field(default_factory=list)
     # Structured crash record when the harness contained a failure.
     diagnostic: Optional[Dict[str, object]] = None
+    # Certify mode: proof certificates gathered across the query sequence
+    # (one per UNSAT answer) and human-readable notes such as the unsat-
+    # core classification of a confirmed counterexample.
+    certificates: List[object] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -122,7 +136,18 @@ class RefinementResult:
 
     def describe(self) -> str:
         if self.verdict is Verdict.CORRECT:
-            return "Transformation seems to be correct!"
+            text = "Transformation seems to be correct!"
+            certified = [c for c in self.certificates if getattr(c, "valid", False)]
+            if certified:
+                text += f" ({len(certified)} UNSAT answers certified)"
+            return text
+        if self.verdict is Verdict.SOLVER_UNSOUND:
+            reason = (self.diagnostic or {}).get("reason", "proof rejected")
+            return (
+                "SOLVER UNSOUND: the solver claimed UNSAT "
+                f"(check: {self.failed_check}) but the independent proof "
+                f"checker rejected the certificate ({reason})"
+            )
         if self.verdict is Verdict.INCORRECT:
             lines = [
                 f"Transformation doesn't verify! (check: {self.failed_check})",
@@ -130,6 +155,7 @@ class RefinementResult:
             ]
             for name in sorted(self.counterexample):
                 lines.append(f"  {name} = {self.counterexample[name]}")
+            lines.extend(self.notes)
             return "\n".join(lines)
         if self.verdict is Verdict.APPROX:
             feats = ", ".join(self.approx_features) or "unknown"
@@ -291,6 +317,35 @@ class _RefinementChecker:
         )
         self.env_consistency = self._cross_copy_axioms()
         self.seeds = self._build_seeds()
+        # Certify mode: certificates and notes gathered across the query
+        # sequence, attached to whatever result ends the run.
+        self._certs: List[object] = []
+        self._notes: List[str] = []
+
+    def _attach(self, result: RefinementResult) -> RefinementResult:
+        result.certificates = list(self._certs)
+        result.notes = list(self._notes)
+        return result
+
+    def _reject_unsound(
+        self, check_name: str, bad_certs: List[object]
+    ) -> RefinementResult:
+        """A claimed UNSAT whose proof the checker rejected: report the
+        solver, not the transformation."""
+        cert = bad_certs[0]
+        return self._attach(
+            RefinementResult(
+                Verdict.SOLVER_UNSOUND,
+                failed_check=check_name,
+                diagnostic={
+                    "type": "solver-unsound",
+                    "reason": getattr(cert, "reason", "proof rejected"),
+                    "query": getattr(cert, "query", "?"),
+                    "digest": getattr(cert, "digest", ""),
+                    "rejected": len(bad_certs),
+                },
+            )
+        )
 
     def _cross_copy_axioms(self) -> BoolTerm:
         """Environment consistency between the two source copies.
@@ -573,7 +628,7 @@ class _RefinementChecker:
                 if result is not None:
                     return result
 
-        return RefinementResult(Verdict.CORRECT)
+        return self._attach(RefinementResult(Verdict.CORRECT))
 
     # -- helpers ----------------------------------------------------------------------
     def _cache_items(self, phi: BoolTerm, psi: BoolTerm) -> list:
@@ -607,23 +662,35 @@ class _RefinementChecker:
         if self.prescreener is not None and self.prescreener.screen_sat(formula):
             return None
         cache = qcache.active()
+        certify = self.options.certify
         digest = None
         res = None
         if cache is not None:
             digest, _ = qcache.canonical_fingerprint([("satcheck", formula)])
-            hit = cache.lookup(digest)
+            hit = cache.lookup(digest, require_certified_unsat=certify)
             if hit is not None:
                 res = CheckResult(hit["result"])
         if res is None:
-            solver = SmtSolver()
+            solver = SmtSolver(certify=certify)
             solver.assert_term(formula)
             res = solver.check(self._limits())
+            self._certs.extend(solver.certificates)
+            bad = [c for c in solver.certificates if not c.valid]
+            if bad:
+                return self._reject_unsound("precondition", bad)
             if cache is not None:
                 # Exhaustion verdicts are dropped by the cache itself:
                 # they reflect this test's remaining deadline, not the query.
-                cache.store(digest, res.value)
+                cache.store(
+                    digest,
+                    res.value,
+                    certified=bool(solver.certificates)
+                    and all(c.valid for c in solver.certificates),
+                )
         if res is CheckResult.UNSAT:
-            return RefinementResult(Verdict.EMPTY_PRE, failed_check="precondition")
+            return self._attach(
+                RefinementResult(Verdict.EMPTY_PRE, failed_check="precondition")
+            )
         if res is CheckResult.TIMEOUT:
             return RefinementResult(Verdict.TIMEOUT, failed_check="precondition")
         if res is CheckResult.MEMOUT:
@@ -638,28 +705,40 @@ class _RefinementChecker:
         ):
             return None
         outcome = self._solve_cached(phi, psi)
+        self._certs.extend(outcome.certificates)
+        bad = [c for c in outcome.certificates if not getattr(c, "valid", True)]
+        if bad:
+            return self._reject_unsound(name, bad)
         if outcome.result is EFResult.UNSAT:
             return None
         if outcome.result is EFResult.TIMEOUT:
             return RefinementResult(Verdict.TIMEOUT, failed_check=name)
         if outcome.result is EFResult.MEMOUT:
             return RefinementResult(Verdict.OOM, failed_check=name)
+        if outcome.core_names:
+            self._notes.append(_describe_core(name, outcome.core_names))
         # Counterexample found; filter for over-approximation (§3.8).
         approx = sorted(
             (self.src.approx_vars | self.tgt.approx_vars)
             & set(outcome.model.keys())
         )
         if approx:
-            return RefinementResult(
-                Verdict.APPROX, failed_check=name, approx_features=approx
+            return self._attach(
+                RefinementResult(
+                    Verdict.APPROX, failed_check=name, approx_features=approx
+                )
             )
         cex = {
             k: v
             for k, v in outcome.model.items()
             if k.startswith(("arg_", "isundef_", "ispoison_", "glob_", "argmem_"))
         }
-        return RefinementResult(
-            Verdict.INCORRECT, failed_check=name, counterexample=cex or dict(outcome.model)
+        return self._attach(
+            RefinementResult(
+                Verdict.INCORRECT,
+                failed_check=name,
+                counterexample=cex or dict(outcome.model),
+            )
         )
 
     def _solve_cached(self, phi: BoolTerm, psi: BoolTerm) -> EFOutcome:
@@ -670,6 +749,7 @@ class _RefinementChecker:
         translated back through this query's renaming.
         """
         cache = qcache.active()
+        certify = self.options.certify
         if cache is None:
             return solve_exists_forall(
                 phi,
@@ -678,9 +758,10 @@ class _RefinementChecker:
                 limits=self._limits(),
                 max_iterations=self.options.max_ef_iterations,
                 symbolic_seeds=self.seeds,
+                certify=certify,
             )
         digest, rename = qcache.canonical_fingerprint(self._cache_items(phi, psi))
-        hit = cache.lookup(digest)
+        hit = cache.lookup(digest, require_certified_unsat=certify)
         if hit is not None:
             unrename = {canon: real for real, canon in rename.items()}
             model = {
@@ -700,18 +781,24 @@ class _RefinementChecker:
             limits=self._limits(),
             max_iterations=self.options.max_ef_iterations,
             symbolic_seeds=self.seeds,
+            certify=certify,
         )
         canon_model = {
             rename[name]: value
             for name, value in outcome.model.items()
             if name in rename
         }
-        cache.store(
-            digest,
-            outcome.result.value,
-            model=canon_model,
-            iterations=outcome.iterations,
-        )
+        if all(getattr(c, "valid", True) for c in outcome.certificates):
+            # A verdict whose proof the checker rejected is suspect; never
+            # let it replay into later tests or non-certify runs.
+            cache.store(
+                digest,
+                outcome.result.value,
+                model=canon_model,
+                iterations=outcome.iterations,
+                certified=bool(outcome.certificates)
+                and all(c.valid for c in outcome.certificates),
+            )
         return outcome
 
     def _prime_refines_value(self, src_value, tgt_value) -> BoolTerm:
@@ -773,6 +860,47 @@ class _RefinementChecker:
         if not clauses:
             return TRUE
         return bool_and(*clauses)
+
+
+def _classify_core_name(name: str) -> str:
+    """Bucket one unsat-core variable by what it encodes.
+
+    Core variables come from the inner CEGAR solver's assumption literals,
+    which pin existentials to the candidate model: function inputs
+    (``arg_``), UB/poison/undef shadow variables, memory contents and the
+    encoder's nondeterminism variables (``src.freeze_x!1`` etc.; a
+    trailing ``'`` marks the primed source copy).
+    """
+    base = name.rstrip("'")
+    leaf = base.split(".")[-1]
+    low = leaf.lower()
+    if "poison" in low or low.startswith(("callp_", "hvp")):
+        return "poison"
+    if "undef" in low:
+        return "undef"
+    if low.startswith("arg_"):
+        return "input"
+    if low.startswith(("glob_", "argmem_", "hv_")):
+        return "memory"
+    if low.startswith(("freeze_", "call", "fpnan_", "nanbits_", "nsz_", "nd")):
+        return "nondet"
+    return "value"
+
+
+def _describe_core(check_name: str, core_names: List[str]) -> str:
+    """Human-readable unsat-core summary for ``RefinementResult.notes``."""
+    buckets: Dict[str, List[str]] = {}
+    for name in core_names:
+        buckets.setdefault(_classify_core_name(name), []).append(name)
+    parts = [
+        f"{kind}={len(buckets[kind])}" for kind in sorted(buckets)
+    ]
+    shown = ", ".join(core_names[:6])
+    if len(core_names) > 6:
+        shown += ", ..."
+    return (
+        f"unsat core ({check_name}): {' '.join(parts)} [{shown}]"
+    )
 
 
 def _value_poison(value) -> BoolTerm:

@@ -5,10 +5,26 @@ Alive2 reproduction.  It is a self-contained CDCL solver with two-literal
 watching, VSIDS branching, Luby restarts and learned-clause reduction.
 
 The public entry point is :class:`SatSolver`; literals use the DIMACS
-convention (positive/negative non-zero integers).
+convention (positive/negative non-zero integers).  UNSAT answers can be
+made self-certifying: pass a :class:`ProofLog` to the solver and verify
+the emitted event stream with :func:`check_events` — an independent RUP
+checker that shares nothing with the solver beyond the literal encoding.
 """
 
+from repro.sat.checker import RupOutcome, check_events
+from repro.sat.proof import Certificate, ProofLog
 from repro.sat.solver import SatResult, SatSolver
 from repro.sat.types import Clause, Lit, neg, var_of
 
-__all__ = ["SatSolver", "SatResult", "Clause", "Lit", "neg", "var_of"]
+__all__ = [
+    "SatSolver",
+    "SatResult",
+    "Clause",
+    "Lit",
+    "neg",
+    "var_of",
+    "ProofLog",
+    "Certificate",
+    "RupOutcome",
+    "check_events",
+]

@@ -1,0 +1,310 @@
+"""Independent RUP proof checker with backward trimming.
+
+This module certifies UNSAT claims made by :class:`repro.sat.solver
+.SatSolver` without trusting it: it has its own clause store, its own
+two-watched-literal unit propagation, and shares nothing with the
+solver beyond the DIMACS literal encoding.  A lemma is accepted iff it
+is a reverse-unit-propagation (RUP) consequence of the clauses alive at
+the point it was logged: asserting the negation of every lemma literal
+and propagating exhaustively must yield a conflict.
+
+Checking runs *backward* from the final lemma (DRAT-trim style): only
+lemmas reachable through antecedent marking from the terminal conflict
+are verified, so certification cost is proportional to the useful part
+of the proof rather than to everything the search ever learned.  The
+watch structures are maintained incrementally along the backward walk —
+clauses are detached at their addition events and re-attached at their
+deletion events — so the whole pass is a single traversal of the log.
+
+Assumption support: an UNSAT under assumptions terminates the log with
+the clause ``¬core``.  The checker verifies both that this final lemma
+only negates declared assumption literals and that it is RUP with
+respect to the clause database alone, which together certify that the
+formula conjoined with the core is unsatisfiable.
+
+Tolerated log artifacts (each only ever weakens the claim being
+checked, never strengthens it): tautological clauses are ignored,
+duplicate literals are merged, and a deletion that matches no live
+clause is skipped — the clause simply stays in the database, which can
+only make later RUP checks easier against a still-entailed set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.sat.proof import ADD, DELETE, INPUT
+
+
+@dataclass
+class RupOutcome:
+    """Result of checking one proof log."""
+
+    valid: bool
+    reason: str = ""
+    total_lemmas: int = 0
+    checked_lemmas: int = 0
+    needed_inputs: int = 0
+
+
+def _normalize(lits: Iterable[int]) -> Tuple[Optional[Tuple[int, ...]], bool]:
+    """Dedup literals; returns (lits, is_tautology).  ``None`` on a bad lit."""
+    seen: Dict[int, int] = {}
+    out: List[int] = []
+    taut = False
+    for lit in lits:
+        if not isinstance(lit, int) or lit == 0:
+            return None, False
+        prev = seen.get(abs(lit))
+        if prev is None:
+            seen[abs(lit)] = lit
+            out.append(lit)
+        elif prev != lit:
+            taut = True
+    return tuple(out), taut
+
+
+class _ClauseDb:
+    """Clause store + two-watched-literal propagation (checker-private)."""
+
+    def __init__(self) -> None:
+        self.clauses: List[Tuple[int, ...]] = []
+        self.taut: List[bool] = []
+        self._watch: Dict[int, List[int]] = {}  # lit -> cids watching lit
+        self._pair: Dict[int, List[int]] = {}  # cid -> its two watched lits
+        self._units: Dict[int, int] = {}  # cid -> the unit literal
+        self._empties: Set[int] = set()
+        self._attached: Set[int] = set()
+
+    def new_clause(self, lits: Tuple[int, ...], taut: bool) -> int:
+        cid = len(self.clauses)
+        self.clauses.append(lits)
+        self.taut.append(taut)
+        return cid
+
+    # -- attach / detach ---------------------------------------------------
+    def attach(self, cid: int) -> None:
+        if cid in self._attached or self.taut[cid]:
+            # A tautology is satisfied under every assignment: it can never
+            # become unit or conflicting, so it never participates in RUP.
+            return
+        self._attached.add(cid)
+        lits = self.clauses[cid]
+        if not lits:
+            self._empties.add(cid)
+        elif len(lits) == 1:
+            self._units[cid] = lits[0]
+        else:
+            self._pair[cid] = [lits[0], lits[1]]
+            self._watch.setdefault(lits[0], []).append(cid)
+            self._watch.setdefault(lits[1], []).append(cid)
+
+    def detach(self, cid: int) -> None:
+        if cid not in self._attached:
+            return
+        self._attached.discard(cid)
+        self._empties.discard(cid)
+        if self._units.pop(cid, None) is not None:
+            return
+        pair = self._pair.pop(cid, None)
+        if pair is None:
+            return
+        for lit in set(pair):
+            watchers = self._watch.get(lit)
+            if watchers is not None and cid in watchers:
+                watchers.remove(cid)
+
+    # -- RUP ---------------------------------------------------------------
+    def rup(self, lemma: Sequence[int]) -> Tuple[bool, Set[int]]:
+        """Is ``lemma`` a RUP consequence of the attached clauses?
+
+        Returns ``(valid, antecedent cids)``.  The assignment is local to
+        the call; watch positions persist between calls, which is sound
+        because any watch pair is valid under the empty assignment.
+        """
+        lemma_vars = {abs(lit) for lit in lemma}
+        if len(lemma_vars) < len(lemma):
+            return True, set()  # tautological lemma: vacuously entailed
+        assign: Dict[int, bool] = {}
+        reason: Dict[int, Optional[int]] = {}
+        trail: List[int] = []
+
+        def value(lit: int) -> Optional[bool]:
+            val = assign.get(abs(lit))
+            if val is None:
+                return None
+            return val if lit > 0 else not val
+
+        def enqueue(lit: int, rcid: Optional[int]) -> Optional[Set[int]]:
+            """Assign ``lit`` true; returns antecedents on conflict."""
+            val = value(lit)
+            if val is True:
+                return None
+            if val is False:
+                return self._closure(
+                    [c for c in (rcid, reason.get(abs(lit))) if c is not None],
+                    reason,
+                )
+            assign[abs(lit)] = lit > 0
+            reason[abs(lit)] = rcid
+            trail.append(lit)
+            return None
+
+        if self._empties:
+            return True, {next(iter(self._empties))}
+        for lit in lemma:
+            enqueue(-lit, None)  # cannot conflict: lemma has distinct vars
+        for cid, lit in self._units.items():
+            conflict = enqueue(lit, cid)
+            if conflict is not None:
+                return True, conflict
+        qhead = 0
+        while qhead < len(trail):
+            false_lit = -trail[qhead]
+            qhead += 1
+            watchers = self._watch.get(false_lit)
+            if not watchers:
+                continue
+            kept: List[int] = []
+            i = 0
+            while i < len(watchers):
+                cid = watchers[i]
+                i += 1
+                pair = self._pair[cid]
+                if pair[0] == false_lit:
+                    pair[0], pair[1] = pair[1], pair[0]
+                other = pair[0]
+                if value(other) is True:
+                    kept.append(cid)
+                    continue
+                moved = False
+                for cand in self.clauses[cid]:
+                    if cand != other and cand != false_lit and value(cand) is not False:
+                        pair[1] = cand
+                        self._watch.setdefault(cand, []).append(cid)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                kept.append(cid)
+                if value(other) is False:
+                    kept.extend(watchers[i:])
+                    self._watch[false_lit] = kept
+                    return True, self._closure([cid], reason)
+                conflict = enqueue(other, cid)
+                if conflict is not None:
+                    kept.extend(watchers[i:])
+                    self._watch[false_lit] = kept
+                    return True, conflict
+            self._watch[false_lit] = kept
+        return False, set()
+
+    def _closure(
+        self, start: List[int], reason: Dict[int, Optional[int]]
+    ) -> Set[int]:
+        """Antecedent closure: the conflicting clauses plus, transitively,
+        the reason clause of every variable they mention."""
+        marked = set(start)
+        stack = list(marked)
+        seen_vars: Set[int] = set()
+        while stack:
+            cid = stack.pop()
+            for lit in self.clauses[cid]:
+                var = abs(lit)
+                if var in seen_vars:
+                    continue
+                seen_vars.add(var)
+                rcid = reason.get(var)
+                if rcid is not None and rcid not in marked:
+                    marked.add(rcid)
+                    stack.append(rcid)
+        return marked
+
+
+def check_events(
+    events: Sequence[Tuple[str, Tuple[int, ...]]],
+    assumptions: Sequence[int] = (),
+    trim: bool = True,
+) -> RupOutcome:
+    """Check a :class:`~repro.sat.proof.ProofLog` event stream.
+
+    The last ``ADD`` event is the UNSAT claim: it must consist solely of
+    negated ``assumptions`` literals (hence be the empty clause when no
+    assumptions were given) and every lemma it transitively depends on
+    must be RUP at its point in the log.  ``trim=False`` checks every
+    lemma instead of the needed subset.
+    """
+    db = _ClauseDb()
+    norm: List[Tuple[str, Optional[int]]] = []
+    by_key: Dict[Tuple[int, ...], List[int]] = {}
+    alive: Set[int] = set()
+    total_lemmas = 0
+    last_add = -1
+    for tag, raw in events:
+        if tag in (INPUT, ADD):
+            lits, taut = _normalize(raw)
+            if lits is None:
+                return RupOutcome(False, f"malformed clause {raw!r}")
+            cid = db.new_clause(lits, taut)
+            by_key.setdefault(tuple(sorted(lits)), []).append(cid)
+            alive.add(cid)
+            norm.append((tag, cid))
+            if tag == ADD:
+                total_lemmas += 1
+                last_add = len(norm) - 1
+        elif tag == DELETE:
+            lits, _ = _normalize(raw)
+            if lits is None:
+                return RupOutcome(False, f"malformed deletion {raw!r}")
+            stack = by_key.get(tuple(sorted(lits)))
+            cid = stack.pop() if stack else None
+            if cid is not None:
+                alive.discard(cid)
+            norm.append((DELETE, cid))
+        else:
+            return RupOutcome(False, f"unknown event tag {tag!r}")
+    if last_add < 0:
+        return RupOutcome(False, "no lemma to certify", total_lemmas)
+
+    terminal_cid = norm[last_add][1]
+    allowed = {-lit for lit in assumptions}
+    stray = set(db.clauses[terminal_cid]) - allowed
+    if stray:
+        return RupOutcome(
+            False,
+            "final lemma mentions non-assumption literals "
+            f"{sorted(stray)}",
+            total_lemmas,
+        )
+
+    for cid in alive:
+        db.attach(cid)
+    needed: Set[int] = {terminal_cid}
+    checked = 0
+    for tag, cid in reversed(norm):
+        if tag == DELETE:
+            if cid is not None:
+                db.attach(cid)
+            continue
+        db.detach(cid)
+        if tag == INPUT:
+            continue
+        if not trim:
+            needed.add(cid)
+        if cid not in needed:
+            continue
+        ok, antecedents = db.rup(db.clauses[cid])
+        checked += 1
+        if not ok:
+            return RupOutcome(
+                False,
+                f"lemma {list(db.clauses[cid])} is not RUP",
+                total_lemmas,
+                checked,
+            )
+        needed |= antecedents
+    needed_inputs = sum(
+        1 for tag, cid in norm if tag == INPUT and cid in needed
+    )
+    return RupOutcome(True, "", total_lemmas, checked, needed_inputs)

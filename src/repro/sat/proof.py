@@ -1,0 +1,101 @@
+"""DRAT-style proof logging for the CDCL solver.
+
+A :class:`ProofLog` is the append-only event stream a :class:`SatSolver`
+emits while searching: every *input* clause as given by the caller
+(before any in-solver simplification), every *learned* clause the
+moment first-UIP analysis produces it, and every learned-clause
+*deletion* performed by database reduction.  An UNSAT answer terminates
+the stream with a final lemma — the empty clause for a root-level
+contradiction, or the negation of the assumption core for an UNSAT
+under assumptions.
+
+Every logged lemma is a reverse-unit-propagation (RUP) consequence of
+the clauses alive at the moment it was logged, which is exactly what
+:mod:`repro.sat.checker` verifies.  The log is cumulative across
+incremental ``solve`` calls: lemmas learned while refuting one CEGAR
+candidate stay valid (they are consequences of the input clauses alone),
+so a certificate for the k-th UNSAT simply checks the whole stream up to
+that point.
+
+The :class:`Certificate` bundles one checked UNSAT claim for the upper
+layers: the CNF/variable-map digest from the bit-blaster (tying the
+proof to the query that was actually posed), the proof-size counters
+before and after backward trimming, the assumption core, and the
+checker's verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Tuple
+
+from repro.sat.types import Lit
+
+#: Event tags: input clause / lemma addition / lemma deletion.
+INPUT = "i"
+ADD = "a"
+DELETE = "d"
+
+
+class ProofLog:
+    """Append-only (tag, literals) event stream in DIMACS literals."""
+
+    __slots__ = ("events", "inputs", "lemmas", "deletions")
+
+    def __init__(self) -> None:
+        self.events: List[Tuple[str, Tuple[int, ...]]] = []
+        self.inputs = 0
+        self.lemmas = 0
+        self.deletions = 0
+
+    def log_input(self, lits: Iterable[Lit]) -> None:
+        self.events.append((INPUT, tuple(lits)))
+        self.inputs += 1
+
+    def log_lemma(self, lits: Iterable[Lit]) -> None:
+        self.events.append((ADD, tuple(lits)))
+        self.lemmas += 1
+
+    def log_delete(self, lits: Iterable[Lit]) -> None:
+        self.events.append((DELETE, tuple(lits)))
+        self.deletions += 1
+
+    @property
+    def terminal(self) -> Tuple[int, ...]:
+        """Literals of the last lemma (the UNSAT claim being certified)."""
+        for tag, lits in reversed(self.events):
+            if tag == ADD:
+                return lits
+        raise ValueError("proof log has no lemma")
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+@dataclass
+class Certificate:
+    """One independently checked UNSAT claim.
+
+    ``digest`` identifies the CNF + variable map the claim was made
+    about; ``core`` is the subset of assumption literals the final lemma
+    negates (empty for a root-level UNSAT).  ``checked_lemmas`` counts
+    lemmas the backward-trimming checker actually had to verify —
+    the "useful proof" the module docstring promises certification cost
+    is proportional to.
+    """
+
+    query: str
+    digest: str
+    valid: bool
+    reason: str = ""
+    lemmas: int = 0
+    deletions: int = 0
+    checked_lemmas: int = 0
+    core: Tuple[int, ...] = field(default_factory=tuple)
+
+    def summary(self) -> str:
+        status = "certified" if self.valid else f"REJECTED ({self.reason})"
+        return (
+            f"{self.query}: {status}, {self.checked_lemmas}/{self.lemmas} "
+            f"lemmas checked, core size {len(self.core)}"
+        )

@@ -25,11 +25,41 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from repro.sat.proof import ProofLog
 from repro.sat.types import Lit
 
 _UNASSIGNED = -1
 _FALSE = 0
 _TRUE = 1
+
+# ---------------------------------------------------------------------------
+# Unsound-solver fault injection (harness.faults kind="unsound")
+# ---------------------------------------------------------------------------
+# When armed, the next learned clause anywhere in this process is replaced
+# by the empty clause: the solver immediately claims UNSAT, exactly the
+# failure mode of a buggy solver silently blessing a miscompilation.  The
+# proof checker rejects the bogus empty lemma, which is how the harness
+# demonstrates that --certify catches a genuinely unsound solver.
+
+_UNSOUND_PENDING = 0
+
+
+def arm_unsound(count: int = 1) -> None:
+    global _UNSOUND_PENDING
+    _UNSOUND_PENDING = count
+
+
+def reset_unsound() -> None:
+    global _UNSOUND_PENDING
+    _UNSOUND_PENDING = 0
+
+
+def _consume_unsound() -> bool:
+    global _UNSOUND_PENDING
+    if _UNSOUND_PENDING > 0:
+        _UNSOUND_PENDING -= 1
+        return True
+    return False
 
 
 class SatResult(Enum):
@@ -107,10 +137,17 @@ class SatSolver:
         assert s.model_value(b) is True
     """
 
-    def __init__(self, polarity_seed: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        polarity_seed: Optional[int] = None,
+        proof: Optional[ProofLog] = None,
+    ) -> None:
         """``polarity_seed`` randomizes initial branching polarity; useful
-        for model diversity in enumeration loops (CEGAR)."""
+        for model diversity in enumeration loops (CEGAR).  ``proof``
+        receives a DRAT-style event stream (inputs, learned lemmas,
+        deletions) that :mod:`repro.sat.checker` can certify."""
         self._rng = random.Random(polarity_seed) if polarity_seed is not None else None
+        self.proof = proof
         self._num_vars = 0
         # Indexed by coded literal (2*v for +v, 2*v+1 for -v).
         self._watches: List[List[_ClauseRef]] = [[], []]
@@ -189,6 +226,11 @@ class SatSolver:
         """
         if not self._ok:
             return False
+        lits = list(lits)
+        if self.proof is not None:
+            # Log the clause as given, before simplification: dropped
+            # literals are justified by level-0 units the checker re-derives.
+            self.proof.log_input(lits)
         seen: Dict[int, int] = {}
         out: List[int] = []
         for lit in lits:
@@ -212,14 +254,17 @@ class SatSolver:
             filtered.append(code)
         if not filtered:
             self._ok = False
+            self._log_lemma([])
             return False
         if len(filtered) == 1:
             if not self._enqueue(filtered[0], None):
                 self._ok = False
+                self._log_lemma([])
                 return False
             conflict = self._propagate()
             if conflict is not None:
                 self._ok = False
+                self._log_lemma([])
                 return False
             return True
         ref = _ClauseRef(filtered, learned=False)
@@ -382,6 +427,78 @@ class SatSolver:
         learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
         return learnt, self._level[learnt[1] >> 1]
 
+    def _log_lemma(self, codes: List[int]) -> None:
+        if self.proof is not None:
+            self.proof.log_lemma([self._decode(c) for c in codes])
+
+    def _final_core_from_conflict(self, conflict: _ClauseRef) -> List[int]:
+        """Assumption core for a conflict at level <= #assumptions.
+
+        MiniSat's ``analyzeFinal``: walk the trail top-down from the
+        conflict clause, expanding propagation reasons; the pseudo-decision
+        literals reached (reason None, level > 0) are exactly the
+        assumptions the contradiction depends on.  Must run before
+        ``_backtrack(0)`` destroys the trail.
+        """
+        seen = self._seen
+        core: List[int] = []
+        for code in conflict.lits:
+            v = code >> 1
+            if self._level[v] > 0:
+                seen[v] = 1
+        for i in range(len(self._trail) - 1, -1, -1):
+            code = self._trail[i]
+            v = code >> 1
+            if not seen[v]:
+                continue
+            seen[v] = 0
+            reason = self._reason[v]
+            if reason is None:
+                core.append(code)
+            else:
+                for other in reason.lits:
+                    ov = other >> 1
+                    if self._level[ov] > 0:
+                        seen[ov] = 1
+        return core
+
+    def _final_core_from_failed(self, failed_code: int) -> List[int]:
+        """Assumption core when an assumption is already FALSE on the trail:
+        the failed assumption itself plus the assumptions that propagated
+        its negation."""
+        core = [failed_code]
+        v = failed_code >> 1
+        if self._level[v] == 0:
+            return core
+        seen = self._seen
+        seen[v] = 1
+        for i in range(len(self._trail) - 1, -1, -1):
+            code = self._trail[i]
+            w = code >> 1
+            if not seen[w]:
+                continue
+            seen[w] = 0
+            reason = self._reason[w]
+            if reason is None:
+                core.append(code)
+            else:
+                for other in reason.lits:
+                    ov = other >> 1
+                    if self._level[ov] > 0:
+                        seen[ov] = 1
+        return core
+
+    def _finish_assumption_unsat(self, core_codes: List[int]) -> None:
+        """Record the core and log the terminal lemma ``¬core``."""
+        self._conflict_assumptions = [self._decode(c) for c in core_codes]
+        self._log_lemma([c ^ 1 for c in core_codes])
+        self._backtrack(0)
+
+    def unsat_core(self) -> List[Lit]:
+        """Assumption literals the last UNSAT answer depended on (may be a
+        strict subset of what was passed; empty for a root-level UNSAT)."""
+        return list(self._conflict_assumptions)
+
     def _backtrack(self, level: int) -> None:
         if len(self._trail_lim) <= level:
             return
@@ -432,6 +549,10 @@ class SatSolver:
                 removed.add(id(ref))
                 self._learned_lits -= len(ref.lits)
                 self.stats.deleted += 1
+                if self.proof is not None:
+                    self.proof.log_delete(
+                        [self._decode(c) for c in ref.lits]
+                    )
             else:
                 keep.append(ref)
         if not removed:
@@ -458,6 +579,7 @@ class SatSolver:
         conflict = self._propagate()
         if conflict is not None:
             self._ok = False
+            self._log_lemma([])
             return SatResult.UNSAT
         assumption_codes = []
         for lit in assumptions:
@@ -477,19 +599,29 @@ class SatSolver:
                     # Conflict under assumptions (or at root level).
                     if not self._trail_lim:
                         self._ok = False
+                        self._log_lemma([])
                     else:
-                        self._conflict_assumptions = [
-                            self._decode(c) for c in assumption_codes
-                        ]
-                        self._backtrack(0)
+                        self._finish_assumption_unsat(
+                            self._final_core_from_conflict(conflict)
+                        )
                     return SatResult.UNSAT
                 learnt, back_level = self._analyze(conflict)
+                if _consume_unsound():
+                    # Injected solver bug: the learned clause degenerates to
+                    # the empty clause, i.e. an unconditional UNSAT claim.
+                    learnt = []
+                self._log_lemma(learnt)
+                if not learnt:
+                    self._ok = False
+                    self._backtrack(0)
+                    return SatResult.UNSAT
                 back_level = max(back_level, 0)
                 self._backtrack(max(back_level, 0))
                 if len(learnt) == 1:
                     self._backtrack(0)
                     if not self._enqueue(learnt[0], None):
                         self._ok = False
+                        self._log_lemma([])
                         return SatResult.UNSAT
                 else:
                     ref = _ClauseRef(learnt, learned=True)
@@ -549,10 +681,9 @@ class SatSolver:
                     self._trail_lim.append(len(self._trail))
                     continue
                 if val == _FALSE:
-                    self._conflict_assumptions = [
-                        self._decode(c) for c in assumption_codes
-                    ]
-                    self._backtrack(0)
+                    self._finish_assumption_unsat(
+                        self._final_core_from_failed(code)
+                    )
                     return SatResult.UNSAT
                 self._trail_lim.append(len(self._trail))
                 self._enqueue(code, None)

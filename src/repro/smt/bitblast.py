@@ -10,6 +10,8 @@ restoring-divider circuit.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from typing import Dict, List, Tuple
 
 from repro.sat.solver import SatSolver
@@ -43,6 +45,29 @@ class BitBlaster:
     @property
     def num_blasted_terms(self) -> int:
         return len(self._bool_cache) + len(self._bv_cache)
+
+    def certificate_digest(self) -> str:
+        """Content hash of the CNF + variable map a certificate is about.
+
+        Hashes the name -> SAT-literal map and the input-clause stream of
+        the attached proof log (when one is active), so a certificate is
+        pinned to the exact CNF the UNSAT claim was made for — replaying
+        it against a different blast of "the same" query is detectable.
+        """
+        h = hashlib.sha256()
+        for name in sorted(self.var_bits):
+            bits = self.var_bits[name]
+            encoded = bits if isinstance(bits, int) else list(bits)
+            h.update(json.dumps([name, encoded]).encode("utf-8"))
+        h.update(str(self.solver.num_vars).encode("utf-8"))
+        proof = getattr(self.solver, "proof", None)
+        if proof is not None:
+            from repro.sat.proof import INPUT
+
+            for tag, lits in proof.events:
+                if tag == INPUT:
+                    h.update(json.dumps(list(lits)).encode("utf-8"))
+        return h.hexdigest()
 
     # -- primitive literals -------------------------------------------------
     @property

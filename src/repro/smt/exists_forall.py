@@ -30,6 +30,8 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, List, Optional, Sequence
 
+from repro.harness.faults import maybe_fault
+from repro.sat.proof import Certificate
 from repro.smt.solver import CheckResult, ResourceLimits, SmtSolver
 from repro.smt.terms import (
     Term,
@@ -59,6 +61,13 @@ class EFOutcome:
     result: EFResult
     model: Dict[str, object] = field(default_factory=dict)
     iterations: int = 0
+    # Certify mode: one certificate per UNSAT answer given by either the
+    # outer or the (persistent) inner solver, chronological.
+    certificates: List[Certificate] = field(default_factory=list)
+    # Names of the existential variables in the inner solver's unsat core
+    # when a candidate was confirmed (result SAT): which pinned values the
+    # "source cannot match this" proof actually depended on.
+    core_names: List[str] = field(default_factory=list)
 
 
 @dataclass(frozen=True)
@@ -84,6 +93,7 @@ def solve_exists_forall(
     limits: Optional[ResourceLimits] = None,
     max_iterations: int = 64,
     symbolic_seeds: Sequence[Dict[str, Term]] = (),
+    certify: bool = False,
 ) -> EFOutcome:
     """Solve ``exists O. phi(O) and forall N. not psi(O, N)``.
 
@@ -98,6 +108,10 @@ def solve_exists_forall(
     enumerating the value space (cf. the instantiation heuristics of
     §3.3/§3.7 of the Alive2 paper).
     """
+    # Fault-injection site for solver-level faults (kind="unsound" arms
+    # the learned-clause corruption in repro.sat.solver from here, so the
+    # plain SAT probes of the refinement sequence are unaffected).
+    maybe_fault("ef")
     deadline = None
     if limits is not None and limits.timeout_s is not None:
         deadline = time.monotonic() + limits.timeout_s
@@ -127,7 +141,7 @@ def solve_exists_forall(
     # Randomized initial polarity diversifies candidate models, avoiding
     # the pathological enumeration order (e.g. all-even sums first) that a
     # fixed false-polarity heuristic produces.
-    outer = SmtSolver(polarity_seed=0xA11CE)
+    outer = SmtSolver(polarity_seed=0xA11CE, certify=certify)
     outer.assert_term(phi)
     for inst in instantiations:
         outer.assert_term(
@@ -153,6 +167,13 @@ def solve_exists_forall(
 
     iterations = 0
     inner: Optional[SmtSolver] = None  # persistent across CEGAR rounds
+
+    def certs() -> List[Certificate]:
+        bundle = list(outer.certificates)
+        if inner is not None:
+            bundle.extend(inner.certificates)
+        return bundle
+
     while True:
         iterations += 1
         if deadline is not None and time.monotonic() > deadline:
@@ -167,7 +188,9 @@ def solve_exists_forall(
             outer.randomize_polarity()
         res = outer.check(remaining())
         if res is CheckResult.UNSAT:
-            return EFOutcome(EFResult.UNSAT, iterations=iterations)
+            return EFOutcome(
+                EFResult.UNSAT, iterations=iterations, certificates=certs()
+            )
         if res is CheckResult.TIMEOUT:
             return EFOutcome(EFResult.TIMEOUT, iterations=iterations)
         if res is CheckResult.MEMOUT:
@@ -180,7 +203,7 @@ def solve_exists_forall(
         # assumption literals pinning the existentials to the candidate, so
         # clauses learned refuting one candidate carry over to the next.
         if inner is None:
-            inner = SmtSolver()
+            inner = SmtSolver(certify=certify)
             inner.assert_term(psi)
         assumptions: List[Term] = []
         for name in psi_vars:
@@ -197,7 +220,20 @@ def solve_exists_forall(
                 )
         inner_res = inner.check(remaining(), assumptions=assumptions)
         if inner_res is CheckResult.UNSAT:
-            return EFOutcome(EFResult.SAT, model=candidate, iterations=iterations)
+            # The unsat core names which pinned existentials the "source
+            # cannot reproduce this candidate" proof actually used.
+            core_names: List[str] = []
+            for term in inner.last_core:
+                for name in sorted(term_vars(term)):
+                    if name not in core_names:
+                        core_names.append(name)
+            return EFOutcome(
+                EFResult.SAT,
+                model=candidate,
+                iterations=iterations,
+                certificates=certs(),
+                core_names=core_names,
+            )
         if inner_res is CheckResult.TIMEOUT:
             return EFOutcome(EFResult.TIMEOUT, iterations=iterations)
         if inner_res is CheckResult.MEMOUT:

@@ -12,6 +12,8 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, Iterable, List, Optional
 
+from repro.sat.checker import check_events
+from repro.sat.proof import Certificate, ProofLog
 from repro.sat.solver import Budget, SatResult, SatSolver
 from repro.smt.terms import Term, term_vars
 
@@ -36,6 +38,16 @@ class SolverTelemetry:
     sat: int = 0
     unsat: int = 0
     indefinite: int = 0  # timeout / memout
+    # Certification traffic (certify mode): UNSAT answers whose proof the
+    # independent checker accepted / rejected, UNSAT answers that went
+    # unchecked (certify off), core literals over all UNSAT answers, and
+    # proof sizes before/after backward trimming.
+    certified: int = 0
+    cert_failed: int = 0
+    unchecked_unsat: int = 0
+    core_lits: int = 0
+    proof_lemmas: int = 0
+    proof_checked: int = 0
 
     def snapshot(self) -> Dict[str, int]:
         return {
@@ -43,6 +55,12 @@ class SolverTelemetry:
             "sat": self.sat,
             "unsat": self.unsat,
             "indefinite": self.indefinite,
+            "certified": self.certified,
+            "cert_failed": self.cert_failed,
+            "unchecked_unsat": self.unchecked_unsat,
+            "core_lits": self.core_lits,
+            "proof_lemmas": self.proof_lemmas,
+            "proof_checked": self.proof_checked,
         }
 
 
@@ -52,6 +70,9 @@ TELEMETRY = SolverTelemetry()
 def reset_telemetry() -> None:
     TELEMETRY.checks = TELEMETRY.sat = TELEMETRY.unsat = 0
     TELEMETRY.indefinite = 0
+    TELEMETRY.certified = TELEMETRY.cert_failed = 0
+    TELEMETRY.unchecked_unsat = TELEMETRY.core_lits = 0
+    TELEMETRY.proof_lemmas = TELEMETRY.proof_checked = 0
 
 
 @dataclass(frozen=True)
@@ -83,12 +104,21 @@ class ResourceLimits:
 class SmtSolver:
     """A one-shot (but multi-check) SMT solver instance."""
 
-    def __init__(self, polarity_seed: Optional[int] = None) -> None:
+    def __init__(
+        self, polarity_seed: Optional[int] = None, certify: bool = False
+    ) -> None:
         from repro.smt.bitblast import BitBlaster
 
-        self.sat = SatSolver(polarity_seed)
+        self.certify = certify
+        self.proof: Optional[ProofLog] = ProofLog() if certify else None
+        self.sat = SatSolver(polarity_seed, proof=self.proof)
         self.blaster = BitBlaster(self.sat)
         self._assertions: List[Term] = []
+        #: One entry per UNSAT answer in certify mode, chronological.
+        self.certificates: List[Certificate] = []
+        #: Assumption terms the last UNSAT answer depended on.
+        self.last_core: List[Term] = []
+        self._check_count = 0
 
     def randomize_polarity(self) -> None:
         self.sat.randomize_polarity()
@@ -108,20 +138,59 @@ class SmtSolver:
         assumptions: Iterable[Term] = (),
     ) -> CheckResult:
         """Check satisfiability of the asserted formulas (plus assumptions)."""
-        assumption_lits = [self.blaster.blast_bool(t) for t in assumptions]
+        assumption_terms = list(assumptions)
+        assumption_lits = [self.blaster.blast_bool(t) for t in assumption_terms]
         budget = limits.to_budget() if limits is not None else None
         TELEMETRY.checks += 1
+        self._check_count += 1
         result = self.sat.solve(assumptions=assumption_lits, budget=budget)
         if result is SatResult.SAT:
             TELEMETRY.sat += 1
             return CheckResult.SAT
         if result is SatResult.UNSAT:
             TELEMETRY.unsat += 1
+            core_lits = self.sat.unsat_core()
+            TELEMETRY.core_lits += len(core_lits)
+            term_by_lit: Dict[int, Term] = {}
+            for lit, term in zip(assumption_lits, assumption_terms):
+                term_by_lit.setdefault(lit, term)
+            self.last_core = [
+                term_by_lit[lit] for lit in core_lits if lit in term_by_lit
+            ]
+            if self.certify:
+                self._certify_unsat(core_lits, assumption_lits)
+            else:
+                TELEMETRY.unchecked_unsat += 1
             return CheckResult.UNSAT
         TELEMETRY.indefinite += 1
         if self.sat.stats.unknown_reason == "memory":
             return CheckResult.MEMOUT
         return CheckResult.TIMEOUT
+
+    def _certify_unsat(
+        self, core_lits: List[int], assumption_lits: List[int]
+    ) -> None:
+        """Run the independent RUP checker over the proof so far and bundle
+        the verdict into a :class:`Certificate`."""
+        assert self.proof is not None
+        outcome = check_events(self.proof.events, assumptions=assumption_lits)
+        cert = Certificate(
+            query=f"check#{self._check_count}",
+            digest=self.blaster.certificate_digest(),
+            valid=outcome.valid,
+            reason=outcome.reason,
+            lemmas=self.proof.lemmas,
+            deletions=self.proof.deletions,
+            checked_lemmas=outcome.checked_lemmas,
+            core=tuple(core_lits),
+        )
+        self.certificates.append(cert)
+        TELEMETRY.proof_lemmas += self.proof.lemmas
+        TELEMETRY.proof_checked += outcome.checked_lemmas
+        if outcome.valid:
+            TELEMETRY.certified += 1
+        else:
+            TELEMETRY.cert_failed += 1
 
     def model_env(self) -> Dict[str, object]:
         """Extract {variable name: int | bool} from the last SAT model.

@@ -61,11 +61,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="disable the static-analysis prescreen that discharges "
              "refinement queries without the solver (ablation switch)",
     )
+    parser.add_argument(
+        "--certify", action="store_true",
+        help="log a RUP proof for every UNSAT solver answer and have the "
+             "independent checker validate it; a rejected proof downgrades "
+             "the verdict to SOLVER_UNSOUND instead of trusting the solver",
+    )
+    parser.add_argument(
+        "--inject-unsound", default=None, metavar="TEST",
+        help="fault injection: corrupt a learned clause in TEST's solver "
+             "so it claims a bogus UNSAT (demonstrates what --certify "
+             "catches; without --certify the bogus verdict goes unnoticed)",
+    )
     args = parser.parse_args(argv)
     options = VerifyOptions(
         timeout_s=args.timeout,
         unroll_factor=args.unroll,
         prescreen=not args.no_prescreen,
+        certify=args.certify,
     )
     ladder = None
     if args.retries > 0:
@@ -86,12 +99,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.query_cache is not None and not args.no_query_cache:
             cache = QueryCache(args.query_cache or None)
         tests = UNIT_TESTS[: args.limit] if args.limit is not None else UNIT_TESTS
+        fault_plan = None
+        if args.inject_unsound is not None:
+            from repro.harness.faults import FaultPlan, FaultSpec
+
+            fault_plan = FaultPlan(
+                {args.inject_unsound: FaultSpec(kind="unsound", site="ef")}
+            )
         outcome = run_suite(
             tests,
             options,
             inject_bugs=not args.clean,
             batch=args.batch,
             journal=args.journal,
+            fault_plan=fault_plan,
             ladder=ladder,
             jobs=jobs,
             query_cache=cache,
@@ -117,6 +138,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         if t.lint_errors or t.lint_warnings:
             print(
                 f"lint: {t.lint_errors} errors, {t.lint_warnings} warnings"
+            )
+        if t.certified_unsat or t.cert_failures:
+            print(
+                f"certified: {t.certified_unsat} UNSAT proofs accepted, "
+                f"{t.cert_failures} rejected, {t.core_lits} core lits"
             )
         by_worker: dict = {}
         for rec in outcome.records:
@@ -146,9 +172,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"  {row['category']}: {row['violations']}")
         if outcome.missed:
             print(f"missed injected bugs: {outcome.missed}")
+        if outcome.solver_unsound:
+            print(f"SOLVER UNSOUND (rejected certificates): "
+                  f"{outcome.solver_unsound}")
         if outcome.clean_failures:
             print(f"FALSE ALARMS: {outcome.clean_failures}")
-        return 1 if outcome.clean_failures else 0
+        return 1 if (outcome.clean_failures or outcome.solver_unsound) else 0
 
     if args.what == "apps":
         from repro.suite.apps import APP_SPECS, O3_PIPELINE, build_app

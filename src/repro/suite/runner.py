@@ -66,6 +66,13 @@ class TestRecord:
     prescreen_misses: int = 0
     lint_errors: int = 0
     lint_warnings: int = 0
+    # Certification statistics (certify mode): UNSAT proofs the checker
+    # accepted / rejected during this test, UNSAT answers left unchecked
+    # (certify off), and core literals over all UNSAT answers.
+    certified_unsat: int = 0
+    cert_failures: int = 0
+    unchecked_unsat: int = 0
+    core_lits: int = 0
 
     def count(self, verdict: Verdict) -> None:
         self.verdicts[verdict.value] = self.verdicts.get(verdict.value, 0) + 1
@@ -94,6 +101,10 @@ class TestRecord:
             prescreen_misses=int(data.get("prescreen_misses", 0)),
             lint_errors=int(data.get("lint_errors", 0)),
             lint_warnings=int(data.get("lint_warnings", 0)),
+            certified_unsat=int(data.get("certified_unsat", 0)),
+            cert_failures=int(data.get("cert_failures", 0)),
+            unchecked_unsat=int(data.get("unchecked_unsat", 0)),
+            core_lits=int(data.get("core_lits", 0)),
         )
 
 
@@ -105,6 +116,7 @@ class SuiteOutcome:
     missed: List[str] = field(default_factory=list)  # injected bugs not caught
     clean_failures: List[str] = field(default_factory=list)  # false alarms
     crashed: List[str] = field(default_factory=list)  # tests the harness contained
+    solver_unsound: List[str] = field(default_factory=list)  # rejected certificates
     records: List[TestRecord] = field(default_factory=list)
     resumed: int = 0  # tests replayed from the journal instead of re-run
 
@@ -214,6 +226,10 @@ def _run_one_test(
     hits0 = cache.hits if cache is not None else 0
     misses0 = cache.misses if cache is not None else 0
     checks0 = smt_solver.TELEMETRY.checks
+    certified0 = smt_solver.TELEMETRY.certified
+    cert_failed0 = smt_solver.TELEMETRY.cert_failed
+    unchecked0 = smt_solver.TELEMETRY.unchecked_unsat
+    core_lits0 = smt_solver.TELEMETRY.core_lits
     ps_hits0, ps_misses0 = prescreen.STATS.hits, prescreen.STATS.misses
     lint_errors0 = lint_verify.LINT_STATS.errors
     lint_warnings0 = lint_verify.LINT_STATS.warnings
@@ -237,6 +253,10 @@ def _run_one_test(
         record.qcache_hits = cache.hits - hits0
         record.qcache_misses = cache.misses - misses0
     record.solver_checks = smt_solver.TELEMETRY.checks - checks0
+    record.certified_unsat = smt_solver.TELEMETRY.certified - certified0
+    record.cert_failures = smt_solver.TELEMETRY.cert_failed - cert_failed0
+    record.unchecked_unsat = smt_solver.TELEMETRY.unchecked_unsat - unchecked0
+    record.core_lits = smt_solver.TELEMETRY.core_lits - core_lits0
     record.prescreen_hits = prescreen.STATS.hits - ps_hits0
     record.prescreen_misses = prescreen.STATS.misses - ps_misses0
     record.lint_errors = lint_verify.LINT_STATS.errors - lint_errors0
@@ -308,8 +328,13 @@ def _merge_record(outcome: SuiteOutcome, record: TestRecord) -> None:
     outcome.tally.prescreen_misses += record.prescreen_misses
     outcome.tally.lint_errors += record.lint_errors
     outcome.tally.lint_warnings += record.lint_warnings
+    outcome.tally.certified_unsat += record.certified_unsat
+    outcome.tally.cert_failures += record.cert_failures
+    outcome.tally.core_lits += record.core_lits
     if record.verdicts.get(Verdict.CRASH.value):
         outcome.crashed.append(record.test)
+    if record.verdicts.get(Verdict.SOLVER_UNSOUND.value):
+        outcome.solver_unsound.append(record.test)
     if record.detected:
         category = record.category or "uncategorized"
         outcome.violations_by_category[category] = (

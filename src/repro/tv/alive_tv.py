@@ -13,7 +13,7 @@ from typing import List, Optional
 
 from repro.ir.module import Module
 from repro.ir.parser import parse_module
-from repro.refinement.check import VerifyOptions, verify_refinement
+from repro.refinement.check import Verdict, VerifyOptions, verify_refinement
 from repro.tv.report import ValidationRecord, ValidationReport
 
 
@@ -60,6 +60,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--no-memory", action="store_true", help="skip the memory refinement check"
     )
+    parser.add_argument(
+        "--certify", action="store_true",
+        help="check a RUP proof for every UNSAT solver answer; a rejected "
+             "proof reports SOLVER UNSOUND instead of trusting the verdict",
+    )
     args = parser.parse_args(argv)
 
     with open(args.src) as handle:
@@ -70,6 +75,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         unroll_factor=args.unroll,
         timeout_s=args.timeout,
         check_memory=not args.no_memory,
+        certify=args.certify,
     )
     report = validate_texts(src_text, tgt_text, options)
     for record in report.records:
@@ -77,7 +83,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(record.result.describe())
         print()
     print(report.summary())
-    return 0 if not report.failures() else 1
+    unsound = any(
+        r.result.verdict is Verdict.SOLVER_UNSOUND for r in report.records
+    )
+    return 0 if not (report.failures() or unsound) else 1
 
 
 if __name__ == "__main__":

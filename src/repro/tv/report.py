@@ -28,6 +28,7 @@ class Tally:
     unsupported: int = 0
     approx: int = 0
     crash: int = 0  # validator failures contained by the harness
+    solver_unsound: int = 0  # UNSAT claims the proof checker rejected
     skipped_unchanged: int = 0
     total_time_s: float = 0.0
     # Query-cache traffic (engine layer); hits skipped the solver entirely.
@@ -40,9 +41,20 @@ class Tally:
     prescreen_misses: int = 0
     lint_errors: int = 0
     lint_warnings: int = 0
+    # Certification traffic (certify mode): UNSAT answers whose proofs the
+    # independent checker accepted vs rejected, and core literals seen.
+    certified_unsat: int = 0
+    cert_failures: int = 0
+    core_lits: int = 0
 
     def add(self, result: RefinementResult) -> None:
         self.add_verdict(result.verdict, result.elapsed_s)
+        for cert in getattr(result, "certificates", ()):
+            if cert.valid:
+                self.certified_unsat += 1
+            else:
+                self.cert_failures += 1
+            self.core_lits += len(cert.core)
 
     def add_verdict(self, verdict: Verdict, elapsed_s: float = 0.0) -> None:
         """Count one outcome; used directly when replaying journal entries."""
@@ -59,6 +71,8 @@ class Tally:
             self.approx += 1
         elif verdict is Verdict.CRASH:
             self.crash += 1
+        elif verdict is Verdict.SOLVER_UNSOUND:
+            self.solver_unsound += 1
         else:
             self.unsupported += 1
 
@@ -82,6 +96,7 @@ class Tally:
             + self.unsupported
             + self.approx
             + self.crash
+            + self.solver_unsound
         )
 
     def row(self) -> Dict[str, object]:
@@ -93,6 +108,7 @@ class Tally:
             "timeout": self.timeout,
             "oom": self.oom,
             "crash": self.crash,
+            "solver_unsound": self.solver_unsound,
             "unsupported": self.unsupported + self.approx,
             "time_s": round(self.total_time_s, 2),
         }
@@ -121,6 +137,13 @@ class ValidationReport:
             f"{t.unsupported + t.approx} unsupported/approx "
             f"[{t.total_time_s:.1f}s]"
         )
+        if t.solver_unsound:
+            text += f" [SOLVER UNSOUND: {t.solver_unsound}]"
+        if t.certified_unsat or t.cert_failures:
+            text += (
+                f" [certified: {t.certified_unsat} UNSAT proofs accepted, "
+                f"{t.cert_failures} rejected, {t.core_lits} core lits]"
+            )
         if t.qcache_hits or t.qcache_misses:
             text += (
                 f" [query cache: {t.qcache_hits} hits / "

@@ -154,9 +154,11 @@ def test_cache_poisoning_guard_never_caches_resource_exhaustion():
 
 
 def test_corrupted_disk_cache_is_ignored_not_fatal(tmp_path):
+    from repro.engine.qcache import CACHE_VERSION
+
     path = tmp_path / "qc.jsonl"
     good = {
-        "v": 2,
+        "v": CACHE_VERSION,
         "key": "k1",
         "result": "unsat",
         "model": {},
@@ -167,12 +169,13 @@ def test_corrupted_disk_cache_is_ignored_not_fatal(tmp_path):
         + json.dumps(good)
         + "\n"
         + '{"v": 99, "key": "k2", "result": "unsat"}\n'  # future version
-        + '{"v": 2, "key": "k3", "result": "banana"}\n'  # bad verdict
-        + '{"v": 2, "key": "k5", "result": "timeout"}\n'  # crafted exhaustion
+        + '{"v": 2, "key": "k2b", "result": "unsat"}\n'  # stale version
+        + f'{{"v": {CACHE_VERSION}, "key": "k3", "result": "banana"}}\n'
+        + f'{{"v": {CACHE_VERSION}, "key": "k5", "result": "timeout"}}\n'
         + "\x00\x01garbage\n"
     )
     cache = QueryCache(str(path))
-    assert cache.dropped_lines == 5
+    assert cache.dropped_lines == 6
     assert len(cache) == 1
     assert cache.lookup("k1")["result"] == "unsat"
     assert cache.lookup("k5") is None
