@@ -1,0 +1,165 @@
+"""E12 — serve: warm-server throughput vs batch CLI cost model.
+
+The service exists to amortize startup: a batch run pays interpreter
+boot, imports, and worker spawn on *every* invocation, while a warm
+`alive-serve` daemon pays them once and then answers a stream of
+requests from pre-warmed workers.  This benchmark starts a daemon,
+pushes the unit-test corpus through it twice (cold = first pass funds
+worker warm-up, warm = steady state), runs the same corpus through the
+in-process engine with a warm query cache as the batch baseline, and
+asserts (a) verdict parity between service and batch and (b) warm-server
+throughput at least matching the warm-cache batch baseline.  A chaos
+pass (one worker SIGKILLed mid-corpus) measures the price of a
+supervised recovery.  Raw numbers land in ``BENCH_serve.json``.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from conftest import print_table
+
+from repro.harness.faults import FaultPlan, FaultSpec
+from repro.refinement.check import VerifyOptions
+from repro.serve import ServeConfig, protocol
+from repro.serve.client import ServeClient
+from repro.serve.server import ServeServer
+from repro.suite.runner import outcome_from_records, run_suite
+from repro.suite.unittests import build_corpus
+
+OPTS = VerifyOptions(timeout_s=10.0)
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+
+def _stable(records):
+    return [
+        (r.test, tuple(sorted(r.verdicts.items())), r.detected, r.missed)
+        for r in records
+    ]
+
+
+def test_bench_serve_throughput(benchmark, tmp_path):
+    corpus = build_corpus()
+    cache_path = str(tmp_path / "qcache.jsonl")
+    spec = f"unix:{tmp_path / 'bench.sock'}"
+    workers = min(4, os.cpu_count() or 1)
+
+    def run():
+        results = {}
+        # Batch baseline: in-process, warm persistent query cache (the
+        # strongest non-service configuration; run once to warm).
+        run_suite(corpus, OPTS, inject_bugs=True, query_cache=cache_path)
+        start = time.monotonic()
+        batch = run_suite(corpus, OPTS, inject_bugs=True, query_cache=cache_path)
+        results["batch warm-cache"] = (time.monotonic() - start, batch.records)
+
+        config = ServeConfig(
+            workers=workers,
+            cache_enabled=True,
+            cache_path=cache_path,
+            default_options=OPTS.to_json(),
+        )
+        server = ServeServer(protocol.parse_address(spec), config).start()
+        try:
+            with ServeClient(spec) as client:
+                start = time.monotonic()
+                cold = client.submit_corpus(corpus, OPTS, inject_bugs=True)
+                results["serve cold"] = (time.monotonic() - start, cold)
+                start = time.monotonic()
+                warm = client.submit_corpus(corpus, OPTS, inject_bugs=True)
+                results["serve warm"] = (time.monotonic() - start, warm)
+        finally:
+            server.close(drain_timeout_s=10.0)
+
+        # Chaos pass: SIGKILL-grade worker death mid-corpus; the corpus
+        # must still complete with real verdicts, at a bounded premium.
+        plan = FaultPlan(
+            {corpus[5].name: FaultSpec(kind="die", site="solve")}
+        )
+        chaos_config = ServeConfig(
+            workers=workers,
+            cache_enabled=True,
+            cache_path=cache_path,
+            fault_plan=plan,
+            fault_attempts=(1,),
+            backoff_base_s=0.05,
+            default_options=OPTS.to_json(),
+        )
+        server = ServeServer(
+            protocol.parse_address(spec), chaos_config
+        ).start()
+        try:
+            with ServeClient(spec) as client:
+                start = time.monotonic()
+                chaos = client.submit_corpus(corpus, OPTS, inject_bugs=True)
+                results["serve chaos (1 kill)"] = (
+                    time.monotonic() - start,
+                    chaos,
+                )
+                results["chaos stats"] = client.health()["stats"]
+        finally:
+            server.close(drain_timeout_s=10.0)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    chaos_stats = results.pop("chaos stats")
+
+    rows = []
+    for label, (wall_s, records) in results.items():
+        tally = outcome_from_records(records).tally
+        rows.append(
+            {
+                "config": label,
+                "wall_s": round(wall_s, 3),
+                "tests/s": round(len(records) / wall_s, 1) if wall_s else None,
+                "correct": tally.correct,
+                "incorrect": tally.incorrect,
+                "crash": tally.crash,
+            }
+        )
+    print_table("E12: warm-server throughput vs batch", rows)
+    print(f"chaos stats: {chaos_stats}")
+
+    # Verdict parity: the service is the same verifier behind a socket.
+    baseline = _stable(results["batch warm-cache"][1])
+    for label in ("serve cold", "serve warm"):
+        assert _stable(results[label][1]) == baseline, label
+    # The chaos run still completes everything with real verdicts.
+    chaos_records = results["serve chaos (1 kill)"][1]
+    assert _stable(chaos_records) == baseline
+    assert chaos_stats["worker_deaths"] >= 1
+    # Acceptance: warm-server throughput >= warm-cache batch baseline
+    # (generous 1.2x slack for CI noise on loaded machines).
+    batch_s = results["batch warm-cache"][0]
+    warm_s = results["serve warm"][0]
+    assert warm_s <= batch_s * 1.2, (warm_s, batch_s)
+
+    OUT_PATH.write_text(
+        json.dumps(
+            {
+                "bench": "serve_throughput",
+                "corpus_tests": len(build_corpus()),
+                "workers": workers,
+                "cpu_count": os.cpu_count(),
+                "chaos_stats": chaos_stats,
+                "configs": {
+                    label: {
+                        "wall_s": round(wall_s, 3),
+                        "tests_per_s": round(len(records) / wall_s, 2)
+                        if wall_s
+                        else None,
+                        "speedup_vs_batch": round(
+                            results["batch warm-cache"][0] / wall_s, 2
+                        )
+                        if wall_s
+                        else None,
+                    }
+                    for label, (wall_s, records) in results.items()
+                },
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    print(f"wrote {OUT_PATH}")

@@ -20,6 +20,14 @@ pool of worker processes:
   complete, so ``--journal`` resume stays crash-safe under parallelism;
 * record ordering is deterministic: the caller merges results in corpus
   order regardless of completion order;
+* tests are **batched per worker task**: individual tests are
+  milliseconds of work, so per-test dispatch (pickle the test, ship it,
+  pickle the record back) used to dominate and made ``--jobs`` *slower*
+  than sequential.  The scheduler now submits contiguous chunks of
+  ``task_batch`` tests per task (default: enough for ~4 tasks per
+  worker), amortizing dispatch while keeping the pool load-balanced;
+  journal appends happen per completed chunk, so a crash re-runs at most
+  one chunk per worker;
 * workers reset the term intern table before every test, bounding
   memory across long runs, and each owns a private
   :class:`~repro.engine.qcache.QueryCache` (sharing the same on-disk
@@ -54,6 +62,16 @@ _MAX_HARD_ATTEMPTS = 2
 #: a fresh batched pool each time) before the scheduler switches to
 #: one-test-per-pool isolation to pin down the culprit.
 _MAX_POOL_BREAKS = 2
+
+#: Target number of chunks per worker when ``task_batch`` is not given:
+#: big enough to amortize dispatch, small enough to load-balance a
+#: corpus with a few slow outliers.
+_TASKS_PER_WORKER = 4
+
+
+def default_task_batch(n_tests: int, jobs: int) -> int:
+    """Chunk size giving ~``_TASKS_PER_WORKER`` tasks per worker."""
+    return max(1, n_tests // max(1, jobs * _TASKS_PER_WORKER))
 
 
 def default_jobs() -> int:
@@ -92,25 +110,34 @@ def _init_worker(
     )
 
 
-def _run_task(test: UnitTest) -> dict:
-    """Run one test in this worker; returns the journal-ready record."""
+def _run_chunk(tests: List[UnitTest]) -> List[dict]:
+    """Run a chunk of tests in this worker; returns journal-ready records.
+
+    Batching amortizes task dispatch; per-test state hygiene (intern
+    reset, fault scoping) is unchanged from one-test-per-task dispatch,
+    so records are independent of how tests were chunked.
+    """
     from repro.smt.terms import reset_interning
     from repro.suite.runner import _run_one_test
 
-    # Per-test intern reset bounds worker memory over long corpora (and
-    # makes results independent of which worker ran which tests).
-    reset_interning()
     cache = _worker_state["cache"]
+    out: List[dict] = []
     with faults.activate(_worker_state["fault_plan"]), qcache.activate(cache):
-        record = _run_one_test(
-            test,
-            _worker_state["options"],
-            _worker_state["inject_bugs"],
-            _worker_state["batch"],
-            _worker_state["ladder"],
-        )
-    record.worker = os.getpid()
-    return record.to_json()
+        for test in tests:
+            # Per-test intern reset bounds worker memory over long corpora
+            # (and makes results independent of which worker ran which
+            # tests).
+            reset_interning()
+            record = _run_one_test(
+                test,
+                _worker_state["options"],
+                _worker_state["inject_bugs"],
+                _worker_state["batch"],
+                _worker_state["ladder"],
+            )
+            record.worker = os.getpid()
+            out.append(record.to_json())
+    return out
 
 
 # -- parent side -------------------------------------------------------------
@@ -128,6 +155,7 @@ def run_parallel(
     ladder: Optional[DegradationLadder] = None,
     cache_enabled: bool = False,
     cache_path: Optional[str] = None,
+    task_batch: Optional[int] = None,
 ) -> List["TestRecord"]:
     """Run ``tests`` across ``jobs`` worker processes.
 
@@ -136,16 +164,22 @@ def run_parallel(
     journals each record as its worker reports it (single writer,
     crash-safe).
 
+    ``task_batch`` tests are shipped per worker task (default: enough
+    for ~4 tasks per worker) so dispatch overhead is amortized across a
+    chunk instead of being paid per millisecond-sized test.
+
     Hard worker deaths are handled in two stages.  A dead worker breaks
     the whole pool — every still-pending future raises
-    ``BrokenProcessPool`` regardless of whether its test ever ran — so
+    ``BrokenProcessPool`` regardless of whether its chunk ever ran — so
     the unfinished tests are retried in a fresh pool *without* being
-    charged an attempt.  After ``_MAX_POOL_BREAKS`` collapses the
-    scheduler runs each unfinished test in its own single-worker pool:
-    there a death is unambiguously that test's doing, attempts are
-    charged, and after ``_MAX_HARD_ATTEMPTS`` the test is recorded as a
-    CRASH.  One hard death thus loses (at most) one test, never the run,
-    and never mislabels tests that were merely queued behind it.
+    charged an attempt (and with chunking dropped to one test per task,
+    making the next failure attributable).  After ``_MAX_POOL_BREAKS``
+    collapses the scheduler runs each unfinished test in its own
+    single-worker pool: there a death is unambiguously that test's
+    doing, attempts are charged, and after ``_MAX_HARD_ATTEMPTS`` the
+    test is recorded as a CRASH.  One hard death thus loses (at most)
+    one test, never the run, and never mislabels tests that were merely
+    queued (or chunked) behind it.
     """
     from repro.suite.runner import TestRecord
 
@@ -168,49 +202,70 @@ def run_parallel(
             journal.record(record.to_json())
 
     def crash_record(test: UnitTest, exc: BaseException) -> TestRecord:
+        from repro.harness.isolation import worker_loss_diagnostic
+
         record = TestRecord(test=test.name, category=test.category)
         record.count(Verdict.CRASH)
-        record.diagnostic = {
-            "type": type(exc).__name__,
-            "message": f"worker process died: {exc}",
-            "frames": [],
-        }
+        record.diagnostic = worker_loss_diagnostic(
+            f"worker process died: {exc}", kind=type(exc).__name__
+        )
         return record
 
+    if task_batch is None:
+        task_batch = default_task_batch(len(tests), jobs)
+    chunk_size = max(1, task_batch)
     pending: List[int] = list(range(len(tests)))
     pool_breaks = 0
     while pending and pool_breaks < _MAX_POOL_BREAKS:
         survivors: List[int] = []
         broke = False
+        chunks = [
+            pending[i : i + chunk_size]
+            for i in range(0, len(pending), chunk_size)
+        ]
         with ProcessPoolExecutor(
-            max_workers=min(jobs, len(pending)),
+            max_workers=min(jobs, len(chunks)),
             mp_context=ctx,
             initializer=_init_worker,
             initargs=initargs,
         ) as pool:
-            futures = {pool.submit(_run_task, tests[i]): i for i in pending}
+            futures = {
+                pool.submit(_run_chunk, [tests[i] for i in chunk]): chunk
+                for chunk in chunks
+            }
             for future in as_completed(futures):
-                idx = futures[future]
+                chunk = futures[future]
                 try:
-                    finish(idx, TestRecord.from_json(future.result()))
+                    for idx, rec in zip(chunk, future.result()):
+                        finish(idx, TestRecord.from_json(rec))
                 except (KeyboardInterrupt, SystemExit):
                     raise
                 except BrokenProcessPool:
                     # Some worker died and took the pool with it; this
-                    # future may never have run at all.  No attempt is
+                    # chunk may never have run at all.  No attempt is
                     # charged — the culprit is found in isolation below.
                     broke = True
-                    survivors.append(idx)
+                    survivors.extend(chunk)
                 except BaseException as exc:  # noqa: BLE001
                     # The pool is still alive, so this failure (e.g. an
-                    # unpicklable result) is attributable to this test.
-                    attempts[idx] += 1
-                    if attempts[idx] < _MAX_HARD_ATTEMPTS:
-                        survivors.append(idx)
+                    # unpicklable result) came from this chunk.  With one
+                    # test per chunk it is attributable and charged; a
+                    # bigger chunk is retried one-test-per-task so the
+                    # next round can attribute it.
+                    if len(chunk) == 1:
+                        idx = chunk[0]
+                        attempts[idx] += 1
+                        if attempts[idx] < _MAX_HARD_ATTEMPTS:
+                            survivors.append(idx)
+                        else:
+                            finish(idx, crash_record(tests[idx], exc))
                     else:
-                        finish(idx, crash_record(tests[idx], exc))
+                        survivors.extend(chunk)
         pending = survivors
         pool_breaks = pool_breaks + 1 if broke else 0
+        # Any retry round runs one test per task: cheap (few tests are
+        # left) and it makes in-pool failures attributable.
+        chunk_size = 1
 
     # Repeated collapses: isolate each unfinished test in its own
     # single-worker pool, where a death names its test.
@@ -224,8 +279,8 @@ def run_parallel(
                     initializer=_init_worker,
                     initargs=initargs,
                 ) as pool:
-                    result = pool.submit(_run_task, test).result()
-                finish(idx, TestRecord.from_json(result))
+                    result = pool.submit(_run_chunk, [test]).result()
+                finish(idx, TestRecord.from_json(result[0]))
                 break
             except (KeyboardInterrupt, SystemExit):
                 raise

@@ -28,19 +28,28 @@ Soundness policy:
   never replays an unchecked claim (CACHE_VERSION 3).
 
 The optional on-disk layer is an append-only JSONL file in the same
-style as the run journal: corrupted or truncated lines are counted and
-dropped, never fatal, so a killed run leaves a usable cache behind.
+style as the run journal: each entry is written with a *single*
+``O_APPEND`` ``write`` syscall so concurrent single-line appends from
+many workers never interleave mid-line, and loading quarantines (counts,
+logs, and skips) corrupted or truncated lines instead of raising — a
+torn write or a crafted entry is never fatal.  :meth:`QueryCache.heal`
+self-heals the file: it atomically rewrites it (temp file + rename)
+with only the valid entries, discarding the quarantined ones.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
+import tempfile
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.smt.terms import Term
+
+logger = logging.getLogger("repro.engine.qcache")
 
 CACHE_VERSION = 3
 
@@ -114,44 +123,119 @@ class QueryCache:
             self._load()
 
     # -- persistence -----------------------------------------------------------
+    def _parse_entry(self, line: str) -> Optional[dict]:
+        """One validated cache entry, or None (quarantined: counted + logged)."""
+        try:
+            entry = json.loads(line)
+        except ValueError:
+            entry = None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("v") != CACHE_VERSION
+            or not isinstance(entry.get("key"), str)
+            or entry.get("result") not in _DEFINITIVE
+        ):
+            self.dropped_lines += 1
+            logger.warning(
+                "quarantined cache line in %s (%d so far): %.80r",
+                self.path,
+                self.dropped_lines,
+                line,
+            )
+            return None
+        return entry
+
     def _load(self) -> None:
         if not os.path.exists(self.path):
             return
         try:
-            with open(self.path, "r", encoding="utf-8", errors="replace") as fh:
-                raw = fh.read()
+            with open(self.path, "rb") as fh:
+                raw = fh.read().decode("utf-8", errors="replace")
         except OSError:
             return
         for line in raw.splitlines():
             line = line.strip()
             if not line:
                 continue
-            try:
-                entry = json.loads(line)
-            except ValueError:
-                self.dropped_lines += 1
-                continue
-            if (
-                not isinstance(entry, dict)
-                or entry.get("v") != CACHE_VERSION
-                or not isinstance(entry.get("key"), str)
-                or entry.get("result") not in _DEFINITIVE
-            ):
-                self.dropped_lines += 1
-                continue
-            self._mem[entry["key"]] = entry
+            entry = self._parse_entry(line)
+            if entry is not None:
+                self._mem[entry["key"]] = entry
 
     def _append(self, entry: dict) -> None:
+        # One O_APPEND write syscall per entry: the kernel serializes the
+        # append position, so concurrent workers sharing this file can
+        # never interleave *within* a line — the only torn write a crash
+        # can produce is a truncated final line, which loading (and
+        # heal()) quarantines.
+        line = (json.dumps(entry, sort_keys=True) + "\n").encode("utf-8")
         parent = os.path.dirname(self.path)
         try:
             if parent:
                 os.makedirs(parent, exist_ok=True)
-            with open(self.path, "a", encoding="utf-8") as fh:
-                fh.write(json.dumps(entry, sort_keys=True) + "\n")
-                fh.flush()
+            fd = os.open(
+                self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
+            )
+            try:
+                os.write(fd, line)
+            finally:
+                os.close(fd)
         except OSError:
             # A read-only or vanished cache file degrades to memory-only.
             pass
+
+    def heal(self) -> int:
+        """Self-heal the on-disk file: atomically rewrite it with only the
+        valid entries, discarding quarantined (corrupt/truncated) lines.
+
+        Entries appended by *other* writers since our load are preserved —
+        the file is re-scanned, not dumped from memory.  Returns the
+        number of lines discarded.  The rewrite is temp-file + ``rename``
+        in the same directory, so a crash mid-heal leaves either the old
+        file or the new one, never a half-written cache.
+        """
+        if self.path is None or not os.path.exists(self.path):
+            return 0
+        before = self.dropped_lines
+        try:
+            with open(self.path, "rb") as fh:
+                raw = fh.read().decode("utf-8", errors="replace")
+        except OSError:
+            return 0
+        kept: List[dict] = []
+        for line in raw.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            entry = self._parse_entry(line)
+            if entry is not None:
+                kept.append(entry)
+                self._mem.setdefault(entry["key"], entry)
+        discarded = self.dropped_lines - before
+        parent = os.path.dirname(self.path) or "."
+        try:
+            fd, tmp = tempfile.mkstemp(
+                prefix=".qcache-heal-", suffix=".jsonl", dir=parent
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    for entry in kept:
+                        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                os.replace(tmp, self.path)
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except OSError:
+            return 0
+        if discarded:
+            logger.warning(
+                "healed cache %s: discarded %d corrupt line(s), kept %d",
+                self.path,
+                discarded,
+                len(kept),
+            )
+        return discarded
 
     # -- lookup / store --------------------------------------------------------
     def lookup(
@@ -222,6 +306,7 @@ class QueryCache:
             "misses": self.misses,
             "stores": self.stores,
             "entries": len(self._mem),
+            "quarantined": self.dropped_lines,
             "hit_rate": round(self.hit_rate, 4),
         }
 

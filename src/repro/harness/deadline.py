@@ -59,6 +59,16 @@ class Deadline:
     def expired(self) -> bool:
         return self.expires_at is not None and time.monotonic() >= self.expires_at
 
+    def clamp(self, seconds: float) -> float:
+        """``seconds`` bounded by the remaining budget (for poll waits).
+
+        Supervision loops block in short slices; clamping each slice to
+        the deadline keeps a drain or join from overshooting its budget
+        by a whole poll interval.
+        """
+        remaining = self.remaining()
+        return seconds if remaining is None else min(seconds, remaining)
+
     def check(self, phase: str) -> None:
         """Raise :class:`DeadlineExceeded` if the budget is spent."""
         if self.expired():

@@ -27,6 +27,12 @@ from repro.harness.deadline import Deadline, DeadlineExceeded
 #: misconfigured test cannot wedge the pytest run forever.
 _HANG_CAP_S = 5.0
 
+#: Hard cap on an injected non-cooperative spin (``kind="spin"``).  A
+#: spin is *meant* to outlive every in-process deadline — only external
+#: supervision (the serve layer SIGKILLing the worker) clears it — but
+#: if supervision fails the spin must still end so the test run does.
+_SPIN_CAP_S = 30.0
+
 
 @dataclass(frozen=True)
 class FaultSpec:
@@ -35,7 +41,11 @@ class FaultSpec:
     ``kind``: ``"crash"`` raises :class:`RuntimeError`, ``"oom"`` raises
     :class:`MemoryError`, ``"hang"`` spins until the job deadline expires
     (cooperatively — it raises :class:`DeadlineExceeded` exactly like a
-    real slow phase hitting a checkpoint), ``"die"`` hard-kills the
+    real slow phase hitting a checkpoint), ``"spin"`` wedges the process
+    in a non-cooperative busy-wait that *ignores* the deadline — the
+    failure mode a stuck solver exhibits, which only external supervision
+    (:mod:`repro.serve.supervisor` killing the worker) can clear,
+    ``"die"`` hard-kills the
     interpreter via ``os._exit`` — no exception, no cleanup, simulating a
     segfault or OOM-kill.  Only process-level isolation (``jobs > 1``)
     survives ``"die"``; injecting it into a sequential in-process run
@@ -48,7 +58,10 @@ class FaultSpec:
     ``site``: the phase boundary to fire at (``parse`` / ``unroll`` /
     ``encode`` / ``solve`` / ``ef`` — the last fires inside
     :func:`repro.smt.exists_forall.solve_exists_forall`, past the plain
-    SAT probes).
+    SAT probes).  The verification service adds two protocol-stage sites
+    in its workers: ``serve-recv`` (task received, not yet executed) and
+    ``serve-send`` (result computed, not yet reported) — killing at the
+    latter proves a retry cannot duplicate a verdict.
 
     ``at_call``: fire on the Nth visit to the site (1-based).  Retries
     re-visit sites, so ``at_call=1`` makes a fault fire once and then let
@@ -107,6 +120,15 @@ def _detonate(spec: FaultSpec, site: str, deadline: Optional[Deadline]) -> None:
 
         sat_solver.arm_unsound()
         return
+    if spec.kind == "spin":
+        # Deliberately never calls deadline.check: a wedged worker is
+        # invisible to in-process timeouts.  The serve supervisor must
+        # notice the overdue task (heartbeats keep flowing — the process
+        # is alive, just stuck) and SIGKILL this process.
+        cap = time.monotonic() + _SPIN_CAP_S
+        while time.monotonic() < cap:
+            time.sleep(0.01)
+        raise RuntimeError(f"injected spin at {site} outlived supervision")
     if spec.kind == "hang":
         cap = time.monotonic() + _HANG_CAP_S
         while True:

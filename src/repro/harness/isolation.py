@@ -47,6 +47,17 @@ def diagnostic_from(exc: BaseException) -> Dict[str, object]:
     }
 
 
+def worker_loss_diagnostic(message: str, kind: str = "WorkerLost") -> Dict[str, object]:
+    """A crash diagnostic for a failure with no exception object.
+
+    When a worker process is SIGKILLed, OOM-killed, or declared hung by
+    the supervisor there is no traceback to harvest — the process is
+    simply gone.  The pool and the serve supervisor synthesize their
+    CRASH records through this so the shape matches :func:`diagnostic_from`.
+    """
+    return {"type": kind, "message": message, "frames": []}
+
+
 def run_contained(
     job: Callable[[], RefinementResult], phase: str = "verify"
 ) -> RefinementResult:

@@ -39,8 +39,17 @@ class RunJournal:
     def _load(self) -> None:
         if not os.path.exists(self.path):
             return
-        with open(self.path, "r", encoding="utf-8") as fh:
-            raw = fh.read()
+        # Read bytes and decode leniently: a writer killed mid-append can
+        # truncate the tail anywhere, including *inside* a multi-byte
+        # UTF-8 sequence — a strict text-mode read would raise
+        # UnicodeDecodeError and abort the resume before any line parsing
+        # even ran.  Replacement characters make the torn tail invalid
+        # JSON, so it is dropped below like any other truncated line.
+        try:
+            with open(self.path, "rb") as fh:
+                raw = fh.read().decode("utf-8", errors="replace")
+        except OSError:
+            return
         self._needs_newline = bool(raw) and not raw.endswith("\n")
         for line in raw.splitlines():
             line = line.strip()

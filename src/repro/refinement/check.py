@@ -111,6 +111,56 @@ class VerifyOptions:
             max_learned_lits=self.max_learned_lits,
         )
 
+    # -- wire format (repro.serve) ------------------------------------------
+    def to_json(self) -> dict:
+        """A JSON-serializable snapshot; the verification service ships
+        options over its line-delimited protocol with this."""
+        return {
+            "unroll_factor": self.unroll_factor,
+            "timeout_s": self.timeout_s,
+            "max_conflicts": self.max_conflicts,
+            "max_learned_lits": self.max_learned_lits,
+            "memory": {
+                "off_bits": self.memory.off_bits,
+                "arg_block_bytes": self.memory.arg_block_bytes,
+                "max_blocks": self.memory.max_blocks,
+            },
+            "check_memory": self.check_memory,
+            "max_ef_iterations": self.max_ef_iterations,
+            "prescreen": self.prescreen,
+            "certify": self.certify,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "VerifyOptions":
+        """Inverse of :meth:`to_json`; unknown keys are ignored and missing
+        keys take the dataclass defaults, so old clients keep working."""
+        defaults = cls()
+        mem_data = data.get("memory") or {}
+        memory = MemoryConfig(
+            off_bits=int(mem_data.get("off_bits", defaults.memory.off_bits)),
+            arg_block_bytes=int(
+                mem_data.get("arg_block_bytes", defaults.memory.arg_block_bytes)
+            ),
+            max_blocks=int(mem_data.get("max_blocks", defaults.memory.max_blocks)),
+        )
+        timeout_s = data.get("timeout_s", defaults.timeout_s)
+        max_conflicts = data.get("max_conflicts", defaults.max_conflicts)
+        max_learned = data.get("max_learned_lits", defaults.max_learned_lits)
+        return cls(
+            unroll_factor=int(data.get("unroll_factor", defaults.unroll_factor)),
+            timeout_s=None if timeout_s is None else float(timeout_s),
+            max_conflicts=None if max_conflicts is None else int(max_conflicts),
+            max_learned_lits=None if max_learned is None else int(max_learned),
+            memory=memory,
+            check_memory=bool(data.get("check_memory", defaults.check_memory)),
+            max_ef_iterations=int(
+                data.get("max_ef_iterations", defaults.max_ef_iterations)
+            ),
+            prescreen=bool(data.get("prescreen", defaults.prescreen)),
+            certify=bool(data.get("certify", defaults.certify)),
+        )
+
 
 @dataclass
 class RefinementResult:
@@ -133,6 +183,37 @@ class RefinementResult:
     @property
     def ok(self) -> bool:
         return self.verdict is Verdict.CORRECT
+
+    def to_json(self) -> dict:
+        """A JSON-serializable summary for the verification service.
+
+        Counterexample values may be rich objects (symbolic aggregates);
+        anything that is not already a JSON scalar is stringified.  Proof
+        certificates are summarized (validity + core size), not shipped —
+        replaying a full DRAT log over the wire would dwarf the verdict.
+        """
+
+        def scalar(v: object) -> object:
+            return v if isinstance(v, (int, float, str, bool, type(None))) else str(v)
+
+        return {
+            "verdict": self.verdict.value,
+            "failed_check": self.failed_check,
+            "counterexample": {k: scalar(v) for k, v in self.counterexample.items()},
+            "approx_features": list(self.approx_features),
+            "unsupported_feature": self.unsupported_feature,
+            "elapsed_s": self.elapsed_s,
+            "degradations": list(self.degradations),
+            "diagnostic": self.diagnostic,
+            "certificates": [
+                {
+                    "valid": bool(getattr(c, "valid", False)),
+                    "core_lits": len(getattr(c, "core", ()) or ()),
+                }
+                for c in self.certificates
+            ],
+            "notes": list(self.notes),
+        }
 
     def describe(self) -> str:
         if self.verdict is Verdict.CORRECT:

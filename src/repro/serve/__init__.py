@@ -1,0 +1,27 @@
+"""`alive-serve`: a supervised, fault-tolerant verification service.
+
+The batch CLI re-pays interpreter startup, corpus parse, and worker
+spawn on every invocation; the paper's deployment model (validating the
+whole LLVM test suite nightly, §8) and the superoptimizer / LLM-assisted
+workflows in PAPERS.md both assume a verifier you can hammer with an
+unbounded stream of queries.  This package turns the reproduction into
+that long-lived daemon:
+
+* :mod:`repro.serve.protocol` — the line-delimited JSON wire format and
+  socket address handling (Unix and TCP);
+* :mod:`repro.serve.supervisor` — the robustness core: a pool of
+  persistent, pre-warmed worker processes with heartbeats, hang
+  detection, SIGKILL recovery, per-request retry budgets, exponential
+  restart backoff, and a circuit breaker that sheds load instead of
+  queueing unboundedly;
+* :mod:`repro.serve.server` — the socket daemon (``alive-serve``):
+  accepts requests, streams verdicts back, handles SIGTERM/SIGHUP, and
+  drains in-flight work under a deadline on shutdown;
+* :mod:`repro.serve.client` — the client library (and a tiny
+  ``python -m repro.serve.client`` admin CLI) used by the suite CLI's
+  ``--server`` mode, the chaos tests, and the E12 benchmark.
+"""
+
+from repro.serve.supervisor import OverloadedError, ServeConfig, Supervisor
+
+__all__ = ["OverloadedError", "ServeConfig", "Supervisor"]

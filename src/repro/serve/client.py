@@ -1,0 +1,269 @@
+"""Client library for the ``alive-serve`` daemon.
+
+:class:`ServeClient` speaks the newline-framed JSON protocol over one
+socket.  Data replies stream back in *completion* order; the client
+matches them to requests by ``id`` and reassembles submission order, so
+callers never observe reordering.  :meth:`ServeClient.submit_corpus`
+keeps a bounded window of requests in flight and treats ``OVERLOADED`` /
+``DRAINING`` replies as a back-off-and-retry signal, so a corpus run
+rides out a shedding (circuit-breaker-open) server instead of failing.
+
+Also a tiny admin CLI::
+
+    python -m repro.serve.client ADDRESS health|drain|shutdown
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional, Union
+
+from repro.refinement.check import VerifyOptions
+from repro.serve import protocol
+from repro.suite.runner import TestRecord
+from repro.suite.unittests import UnitTest
+
+
+class ServeError(RuntimeError):
+    """A reply with ``ok: false`` that is not retryable."""
+
+    def __init__(self, code: str, detail: str = "") -> None:
+        super().__init__(f"{code}: {detail}" if detail else code)
+        self.code = code
+        self.detail = detail
+
+
+#: Error codes that mean "back off and resubmit", not "give up".
+RETRYABLE = (protocol.OVERLOADED, protocol.DRAINING)
+
+
+def unittest_to_json(test: UnitTest) -> dict:
+    """A :class:`UnitTest` as the wire-format ``test`` object."""
+    return {
+        "name": test.name,
+        "ir": test.ir,
+        "pipeline": list(test.pipeline),
+        "bug_option": test.bug_option,
+        "category": test.category,
+        "buggy_target": test.buggy_target,
+    }
+
+
+class ServeClient:
+    """One connection to an ``alive-serve`` daemon."""
+
+    def __init__(
+        self,
+        address: Union[str, protocol.Address],
+        connect_timeout: Optional[float] = 10.0,
+    ) -> None:
+        if isinstance(address, str):
+            address = protocol.parse_address(address)
+        self.address = address
+        self._sock = protocol.connect(address, timeout=connect_timeout)
+        self._reader = protocol.LineReader(self._sock)
+        self._next_id = 0
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- plumbing ----------------------------------------------------------
+    def _fresh_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    def _send(self, request: dict) -> None:
+        self._sock.sendall(protocol.encode_message(request))
+
+    def _recv(self) -> dict:
+        line = self._reader.readline()
+        if line is None:
+            raise ServeError(protocol.UNAVAILABLE, "server closed the connection")
+        return protocol.decode_message(line)
+
+    def call(self, request: dict) -> dict:
+        """One synchronous round-trip (admin ops, single requests).
+
+        Only valid when no other requests are outstanding on this
+        connection — replies are matched by arrival, not id, here.
+        """
+        request.setdefault("id", self._fresh_id())
+        self._send(request)
+        return self._recv()
+
+    # -- data ops ----------------------------------------------------------
+    def verify(
+        self,
+        src: str,
+        tgt: str,
+        options: Optional[VerifyOptions] = None,
+        name: Optional[str] = None,
+        retries: int = 0,
+        max_wait_s: Optional[float] = 30.0,
+    ) -> dict:
+        """Verify one IR pair; returns ``RefinementResult.to_json()``.
+
+        Retryable shedding replies are resubmitted with backoff for up to
+        ``max_wait_s`` seconds; other errors raise :class:`ServeError`.
+        """
+        request = {"op": "verify", "src": src, "tgt": tgt, "retries": retries}
+        if options is not None:
+            request["options"] = options.to_json()
+        if name is not None:
+            request["name"] = name
+        started = time.monotonic()
+        backoff = 0.05
+        while True:
+            reply = self.call(dict(request))
+            if reply.get("ok"):
+                return reply["result"]["result"]
+            code = reply.get("error", protocol.UNAVAILABLE)
+            if code not in RETRYABLE or (
+                max_wait_s is not None
+                and time.monotonic() - started > max_wait_s
+            ):
+                raise ServeError(code, reply.get("detail", ""))
+            time.sleep(backoff)
+            backoff = min(1.0, backoff * 2)
+
+    def submit_corpus(
+        self,
+        tests: List[UnitTest],
+        options: Optional[VerifyOptions] = None,
+        inject_bugs: bool = True,
+        batch: int = 1,
+        retries: int = 0,
+        window: int = 32,
+        overload_backoff_s: float = 0.05,
+    ) -> List[TestRecord]:
+        """Stream a whole corpus through the service.
+
+        Keeps up to ``window`` requests in flight, reassembles records in
+        corpus order, backs off on shedding replies, and converts an
+        ``UNAVAILABLE`` (drain expired under us) into a CRASH record so
+        the returned list always has one record per test.
+        """
+        options_json = (options or VerifyOptions()).to_json()
+        records: List[Optional[TestRecord]] = [None] * len(tests)
+        to_send: Deque[int] = deque(range(len(tests)))
+        pending: Dict[int, int] = {}  # wire id -> corpus index
+        done = 0
+        backoff = overload_backoff_s
+        while done < len(tests):
+            while to_send and len(pending) < max(1, window):
+                idx = to_send.popleft()
+                rid = self._fresh_id()
+                self._send(
+                    {
+                        "op": "test",
+                        "id": rid,
+                        "test": unittest_to_json(tests[idx]),
+                        "options": options_json,
+                        "inject_bugs": inject_bugs,
+                        "batch": batch,
+                        "retries": retries,
+                    }
+                )
+                pending[rid] = idx
+            if not pending:
+                time.sleep(backoff)
+                backoff = min(1.0, backoff * 2)
+                continue
+            reply = self._recv()
+            rid = reply.get("id")
+            if rid not in pending:
+                continue  # stray admin reply or duplicate; ignore
+            idx = pending.pop(rid)
+            if reply.get("ok"):
+                backoff = overload_backoff_s
+                records[idx] = TestRecord.from_json(reply["result"]["record"])
+                done += 1
+                continue
+            code = reply.get("error", protocol.UNAVAILABLE)
+            if code in RETRYABLE:
+                to_send.appendleft(idx)
+                time.sleep(backoff)
+                backoff = min(1.0, backoff * 2)
+                continue
+            # Terminal error (BAD_REQUEST, UNAVAILABLE): keep the corpus
+            # shape with a structured crash record.
+            records[idx] = TestRecord.from_json(
+                {
+                    "test": tests[idx].name,
+                    "category": tests[idx].category,
+                    "verdicts": {"crash": 1},
+                    "diagnostic": {
+                        "type": code,
+                        "message": reply.get("detail", ""),
+                        "frames": [],
+                    },
+                }
+            )
+            done += 1
+        return [r for r in records if r is not None]
+
+    # -- admin ops ---------------------------------------------------------
+    def health(self) -> dict:
+        reply = self.call({"op": "health"})
+        if not reply.get("ok"):
+            raise ServeError(
+                reply.get("error", protocol.UNAVAILABLE),
+                reply.get("detail", ""),
+            )
+        return reply["result"]
+
+    def drain(self, timeout_s: Optional[float] = None) -> bool:
+        request: dict = {"op": "drain"}
+        if timeout_s is not None:
+            request["timeout_s"] = timeout_s
+        reply = self.call(request)
+        return bool(reply.get("ok")) and bool(
+            (reply.get("result") or {}).get("drained")
+        )
+
+    def shutdown(self, timeout_s: Optional[float] = None) -> None:
+        request: dict = {"op": "shutdown"}
+        if timeout_s is not None:
+            request["timeout_s"] = timeout_s
+        try:
+            self.call(request)
+        except ServeError:
+            pass  # the server may close before the ack lands
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 2 or argv[1] not in ("health", "drain", "shutdown"):
+        print(
+            "usage: python -m repro.serve.client ADDRESS health|drain|shutdown",
+            file=sys.stderr,
+        )
+        return 2
+    address, op = argv
+    with ServeClient(address) as client:
+        if op == "health":
+            print(json.dumps(client.health(), indent=2, sort_keys=True))
+        elif op == "drain":
+            drained = client.drain()
+            print(json.dumps({"drained": drained}))
+            return 0 if drained else 1
+        else:
+            client.shutdown()
+            print(json.dumps({"stopping": True}))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

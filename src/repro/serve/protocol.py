@@ -1,0 +1,171 @@
+"""Wire protocol for the verification service: line-delimited JSON.
+
+One request or reply per ``\\n``-terminated UTF-8 JSON line.  The format
+is deliberately boring — any language with a socket and a JSON parser is
+a client — and deliberately defensive: a line over ``MAX_LINE_BYTES``,
+a non-JSON line, or a JSON line of the wrong shape produces a structured
+error *reply* (or a per-line quarantine), never a dead server.
+
+Requests (client -> server)::
+
+    {"op": "verify", "id": 1, "src": "<IR>", "tgt": "<IR>",
+     "options": {...VerifyOptions.to_json()...}, "name": "...", "retries": 0}
+    {"op": "test", "id": 2, "test": {...UnitTest fields...},
+     "options": {...}, "inject_bugs": true, "batch": 1, "retries": 0}
+    {"op": "health"}   {"op": "drain"}   {"op": "shutdown"}
+
+Replies (server -> client)::
+
+    {"id": 1, "ok": true, "result": {...}}
+    {"id": 1, "ok": false, "error": "OVERLOADED", "detail": "..."}
+
+Replies to ``verify``/``test`` stream back in *completion* order, matched
+to requests by ``id``; the client reassembles submission order.  Error
+codes: ``OVERLOADED`` (queue full or circuit breaker open — back off and
+retry), ``DRAINING`` (shutdown in progress), ``BAD_REQUEST`` (malformed
+line or unknown op), ``UNAVAILABLE`` (drain deadline expired with the
+request still in flight).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Iterator, Optional, Tuple, Union
+
+PROTOCOL_VERSION = 1
+
+#: Hard per-line cap (requests carry whole IR modules; 8 MiB is roomy
+#: for any sane module and small enough to bound a hostile client).
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+#: Error codes a reply may carry.
+OVERLOADED = "OVERLOADED"
+DRAINING = "DRAINING"
+BAD_REQUEST = "BAD_REQUEST"
+UNAVAILABLE = "UNAVAILABLE"
+
+
+class ProtocolError(Exception):
+    """A malformed frame (oversized, non-JSON, or wrong shape)."""
+
+
+def encode_message(message: dict) -> bytes:
+    """One JSON object as a wire frame (newline-terminated UTF-8)."""
+    data = json.dumps(message, sort_keys=True).encode("utf-8") + b"\n"
+    if len(data) > MAX_LINE_BYTES:
+        raise ProtocolError(f"frame of {len(data)} bytes exceeds MAX_LINE_BYTES")
+    return data
+
+
+def decode_message(line: bytes) -> dict:
+    """Parse one frame; raises :class:`ProtocolError`, never ValueError."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError("oversized frame")
+    try:
+        message = json.loads(line.decode("utf-8", errors="replace"))
+    except ValueError as exc:
+        raise ProtocolError(f"invalid JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("frame is not a JSON object")
+    return message
+
+
+class LineReader:
+    """Buffered newline-framed reader over a socket.
+
+    Yields raw lines (without the trailing newline).  An overlong line
+    raises :class:`ProtocolError` rather than buffering without bound.
+    """
+
+    def __init__(self, sock: socket.socket, chunk: int = 65536) -> None:
+        self._sock = sock
+        self._chunk = chunk
+        self._buf = b""
+
+    def readline(self) -> Optional[bytes]:
+        """The next frame, or None on orderly EOF."""
+        while True:
+            nl = self._buf.find(b"\n")
+            if nl >= 0:
+                line, self._buf = self._buf[:nl], self._buf[nl + 1 :]
+                return line
+            if len(self._buf) > MAX_LINE_BYTES:
+                raise ProtocolError("oversized frame")
+            data = self._sock.recv(self._chunk)
+            if not data:
+                if self._buf:
+                    # EOF mid-line: surface the torn tail as malformed.
+                    line, self._buf = self._buf, b""
+                    return line
+                return None
+            self._buf += data
+
+    def __iter__(self) -> Iterator[bytes]:
+        while True:
+            line = self.readline()
+            if line is None:
+                return
+            yield line
+
+
+# ---------------------------------------------------------------------------
+# Addresses: "unix:/path/to.sock", a bare filesystem path, or "host:port".
+# ---------------------------------------------------------------------------
+
+Address = Union[Tuple[str, str], Tuple[str, Tuple[str, int]]]
+
+
+def parse_address(spec: str) -> Address:
+    """``("unix", path)`` or ``("tcp", (host, port))`` from a spec string."""
+    if spec.startswith("unix:"):
+        return ("unix", spec[len("unix:") :])
+    if spec.startswith("tcp:"):
+        spec = spec[len("tcp:") :]
+    if spec.startswith("/") or spec.startswith("."):
+        return ("unix", spec)
+    host, sep, port = spec.rpartition(":")
+    if sep and port.isdigit():
+        return ("tcp", (host or "127.0.0.1", int(port)))
+    raise ValueError(
+        f"bad address {spec!r}: want unix:/path, /path, or host:port"
+    )
+
+
+def format_address(address: Address) -> str:
+    kind, where = address
+    if kind == "unix":
+        return f"unix:{where}"
+    host, port = where
+    return f"{host}:{port}"
+
+
+def create_server_socket(address: Address, backlog: int = 64) -> socket.socket:
+    kind, where = address
+    if kind == "unix":
+        import os
+
+        try:
+            os.unlink(where)
+        except FileNotFoundError:
+            pass
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.bind(where)
+    else:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind(where)
+    sock.listen(backlog)
+    return sock
+
+
+def connect(address: Address, timeout: Optional[float] = None) -> socket.socket:
+    kind, where = address
+    if kind == "unix":
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    else:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.settimeout(timeout)
+    sock.connect(where)
+    sock.settimeout(None)
+    return sock

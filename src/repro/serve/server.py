@@ -1,0 +1,402 @@
+"""The ``alive-serve`` daemon: a socket front-end over the supervisor.
+
+One thread accepts connections; each connection gets a reader thread
+that parses newline-framed JSON requests and submits them to the shared
+:class:`~repro.serve.supervisor.Supervisor`.  Replies are written from
+future callbacks as verdicts complete — out of submission order, matched
+by ``id`` — under a per-connection write lock, so one slow request never
+blocks the verdict stream behind it.
+
+Signals (when run as a main program):
+
+* ``SIGTERM`` / ``SIGINT`` — graceful shutdown: stop accepting, drain
+  in-flight requests under ``--drain-timeout``, then exit;
+* ``SIGHUP`` — log a health snapshot and re-scan (heal) the on-disk
+  query cache without restarting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import logging
+import signal
+import socket
+import sys
+import threading
+from typing import Optional, Set
+
+from repro.refinement.check import VerifyOptions
+from repro.serve import protocol
+from repro.serve.supervisor import OverloadedError, ServeConfig, Supervisor
+
+logger = logging.getLogger("repro.serve.server")
+
+_DATA_OPS = ("verify", "test")
+
+
+class ServeServer:
+    """Accept loop + per-connection request pumps over one supervisor."""
+
+    def __init__(
+        self, address: protocol.Address, config: Optional[ServeConfig] = None
+    ) -> None:
+        self.address = address
+        self.supervisor = Supervisor(config)
+        self._listener: Optional[socket.socket] = None
+        self._shutdown = threading.Event()
+        self._drain_timeout_s: Optional[float] = None
+        self._conns: Set[socket.socket] = set()
+        self._conns_lock = threading.Lock()
+        self._accept_thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> "ServeServer":
+        """Bind, start workers, and begin accepting in the background."""
+        self.supervisor.start()
+        self._listener = protocol.create_server_socket(self.address)
+        self._listener.settimeout(0.2)
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="serve-accept", daemon=True
+        )
+        self._accept_thread.start()
+        logger.info(
+            "alive-serve listening on %s (%d workers)",
+            protocol.format_address(self.address),
+            self.supervisor.config.workers,
+        )
+        return self
+
+    def wait(self) -> None:
+        """Block until :meth:`request_shutdown`, then tear down."""
+        self._shutdown.wait()
+        self._teardown()
+
+    def request_shutdown(self, drain_timeout_s: Optional[float] = None) -> None:
+        self._drain_timeout_s = drain_timeout_s
+        self._shutdown.set()
+
+    def close(self, drain_timeout_s: Optional[float] = None) -> None:
+        """Synchronous shutdown (for tests): drain, stop, unbind."""
+        self.request_shutdown(drain_timeout_s)
+        self._teardown()
+
+    def _teardown(self) -> None:
+        listener = self._listener
+        self._listener = None
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+            self._accept_thread = None
+        self.supervisor.shutdown(self._drain_timeout_s)
+        with self._conns_lock:
+            conns = list(self._conns)
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if self.address[0] == "unix":
+            import os
+
+            try:
+                os.unlink(self.address[1])
+            except OSError:
+                pass
+
+    # -- connections -------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._shutdown.is_set():
+            listener = self._listener
+            if listener is None:
+                return
+            try:
+                conn, _peer = listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            with self._conns_lock:
+                self._conns.add(conn)
+            threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            ).start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        write_lock = threading.Lock()
+
+        def reply(message: dict) -> None:
+            try:
+                frame = protocol.encode_message(message)
+            except protocol.ProtocolError as exc:
+                frame = protocol.encode_message(
+                    {
+                        "id": message.get("id"),
+                        "ok": False,
+                        "error": protocol.BAD_REQUEST,
+                        "detail": f"reply too large: {exc}",
+                    }
+                )
+            with write_lock:
+                try:
+                    conn.sendall(frame)
+                except OSError:
+                    pass  # client went away; verdict is already computed
+
+        try:
+            reader = protocol.LineReader(conn)
+            for line in reader:
+                if not line.strip():
+                    continue
+                try:
+                    request = protocol.decode_message(line)
+                except protocol.ProtocolError as exc:
+                    reply(
+                        {
+                            "id": None,
+                            "ok": False,
+                            "error": protocol.BAD_REQUEST,
+                            "detail": str(exc),
+                        }
+                    )
+                    continue
+                if not self._handle_request(request, reply):
+                    break
+        except protocol.ProtocolError as exc:
+            reply(
+                {
+                    "id": None,
+                    "ok": False,
+                    "error": protocol.BAD_REQUEST,
+                    "detail": str(exc),
+                }
+            )
+        except OSError:
+            pass
+        finally:
+            with self._conns_lock:
+                self._conns.discard(conn)
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    # -- request handling --------------------------------------------------
+    def _handle_request(self, request: dict, reply) -> bool:
+        """Dispatch one decoded request; False ends the connection."""
+        op = request.get("op")
+        rid = request.get("id")
+        if op in _DATA_OPS:
+            problem = _validate_data_request(op, rid, request)
+            if problem is not None:
+                reply(
+                    {
+                        "id": rid,
+                        "ok": False,
+                        "error": protocol.BAD_REQUEST,
+                        "detail": problem,
+                    }
+                )
+                return True
+            try:
+                future = self.supervisor.submit(request)
+            except OverloadedError as exc:
+                reply(
+                    {
+                        "id": rid,
+                        "ok": False,
+                        "error": exc.code,
+                        "detail": str(exc),
+                    }
+                )
+                return True
+
+            def deliver(fut, rid=rid) -> None:
+                payload = fut.result()
+                if payload.get("kind") == "error":
+                    reply(
+                        {
+                            "id": rid,
+                            "ok": False,
+                            "error": payload.get("error", protocol.UNAVAILABLE),
+                            "detail": payload.get("detail", ""),
+                        }
+                    )
+                else:
+                    reply({"id": rid, "ok": True, "result": payload})
+
+            future.add_done_callback(deliver)
+            return True
+        if op == "health":
+            health = self.supervisor.health()
+            health["protocol"] = protocol.PROTOCOL_VERSION
+            health["address"] = protocol.format_address(self.address)
+            reply({"id": rid, "ok": True, "result": health})
+            return True
+        if op == "drain":
+            drained = self.supervisor.drain(request.get("timeout_s"))
+            reply({"id": rid, "ok": True, "result": {"drained": drained}})
+            return True
+        if op == "shutdown":
+            reply({"id": rid, "ok": True, "result": {"stopping": True}})
+            self.request_shutdown(request.get("timeout_s"))
+            return False
+        reply(
+            {
+                "id": rid,
+                "ok": False,
+                "error": protocol.BAD_REQUEST,
+                "detail": f"unknown op {op!r}",
+            }
+        )
+        return True
+
+
+def _validate_data_request(op: str, rid, request: dict) -> Optional[str]:
+    """Shape check before anything reaches a worker; None when fine."""
+    if not isinstance(rid, int):
+        return "data requests need an integer 'id'"
+    if op == "verify":
+        for key in ("src", "tgt"):
+            if not isinstance(request.get(key), str):
+                return f"verify needs IR text in {key!r}"
+    else:
+        test = request.get("test")
+        if not isinstance(test, dict):
+            return "test op needs a 'test' object"
+        if not isinstance(test.get("name"), str) or not isinstance(
+            test.get("ir"), str
+        ):
+            return "test object needs 'name' and 'ir' strings"
+    options = request.get("options")
+    if options is not None and not isinstance(options, dict):
+        return "'options' must be an object (VerifyOptions.to_json())"
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Daemon entry point
+# ---------------------------------------------------------------------------
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="alive-serve",
+        description="Long-lived translation-validation service "
+        "(line-delimited JSON over a Unix or TCP socket).",
+    )
+    parser.add_argument(
+        "--listen",
+        default="unix:./alive-serve.sock",
+        metavar="ADDR",
+        help="unix:/path, /path, or host:port (default %(default)s)",
+    )
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--queue-limit",
+        type=int,
+        default=128,
+        help="outstanding requests before shedding with OVERLOADED",
+    )
+    parser.add_argument(
+        "--query-cache",
+        metavar="PATH",
+        default=None,
+        help="shared persistent solver-query cache (JSONL)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="default per-request verification timeout (seconds)",
+    )
+    parser.add_argument("--unroll", type=int, default=4)
+    parser.add_argument(
+        "--certify",
+        action="store_true",
+        help="require checkable UNSAT proofs (see --certify in alive-suite)",
+    )
+    parser.add_argument(
+        "--max-attempts",
+        type=int,
+        default=2,
+        help="dispatches per request before degrading to CRASH",
+    )
+    parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        help="seconds to wait for in-flight work on SIGTERM",
+    )
+    parser.add_argument("-v", "--verbose", action="store_true")
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    logging.basicConfig(
+        level=logging.DEBUG if args.verbose else logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+    options = VerifyOptions(
+        unroll_factor=args.unroll,
+        timeout_s=args.timeout,
+        certify=args.certify,
+    )
+    config = ServeConfig(
+        workers=max(1, args.workers),
+        queue_limit=max(1, args.queue_limit),
+        max_attempts=max(1, args.max_attempts),
+        drain_timeout_s=args.drain_timeout,
+        cache_enabled=args.query_cache is not None,
+        cache_path=args.query_cache,
+        default_options=options.to_json(),
+    )
+    try:
+        address = protocol.parse_address(args.listen)
+    except ValueError as exc:
+        print(f"alive-serve: {exc}", file=sys.stderr)
+        return 2
+
+    server = ServeServer(address, config).start()
+
+    def on_terminate(signum, _frame) -> None:
+        logger.info(
+            "signal %s: draining (timeout %.1fs) and shutting down",
+            signal.Signals(signum).name,
+            args.drain_timeout,
+        )
+        server.request_shutdown(args.drain_timeout)
+
+    def on_hup(_signum, _frame) -> None:
+        logger.info("health: %s", json.dumps(self_health(server)))
+        if args.query_cache is not None:
+            from repro.engine.qcache import QueryCache
+
+            discarded = QueryCache(args.query_cache).heal()
+            logger.info(
+                "query cache healed: %d corrupt entr%s discarded",
+                discarded,
+                "y" if discarded == 1 else "ies",
+            )
+
+    signal.signal(signal.SIGTERM, on_terminate)
+    signal.signal(signal.SIGINT, on_terminate)
+    if hasattr(signal, "SIGHUP"):
+        signal.signal(signal.SIGHUP, on_hup)
+
+    server.wait()
+    logger.info("alive-serve stopped")
+    return 0
+
+
+def self_health(server: ServeServer) -> dict:
+    return server.supervisor.health()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -73,6 +73,18 @@ def main(argv: Optional[List[str]] = None) -> int:
              "so it claims a bogus UNSAT (demonstrates what --certify "
              "catches; without --certify the bogus verdict goes unnoticed)",
     )
+    parser.add_argument(
+        "--server", default=None, metavar="ADDR",
+        help="unittests: route every test through a running alive-serve "
+             "daemon at ADDR (unix:/path or host:port) instead of running "
+             "locally; verdict accounting is identical to a local run",
+    )
+    parser.add_argument(
+        "--verdicts-out", default=None, metavar="PATH",
+        help="unittests: write one stable JSON line per test (name, "
+             "verdicts, classification) to PATH — timing-free, so local "
+             "and --server runs of the same corpus compare byte-for-byte",
+    )
     args = parser.parse_args(argv)
     options = VerifyOptions(
         timeout_s=args.timeout,
@@ -106,17 +118,51 @@ def main(argv: Optional[List[str]] = None) -> int:
             fault_plan = FaultPlan(
                 {args.inject_unsound: FaultSpec(kind="unsound", site="ef")}
             )
-        outcome = run_suite(
-            tests,
-            options,
-            inject_bugs=not args.clean,
-            batch=args.batch,
-            journal=args.journal,
-            fault_plan=fault_plan,
-            ladder=ladder,
-            jobs=jobs,
-            query_cache=cache,
-        )
+        if args.server is not None:
+            from repro.serve.client import ServeClient
+            from repro.suite.runner import outcome_from_records
+
+            with ServeClient(args.server) as client:
+                records = client.submit_corpus(
+                    tests,
+                    options,
+                    inject_bugs=not args.clean,
+                    batch=args.batch,
+                    retries=args.retries,
+                )
+            outcome = outcome_from_records(records)
+        else:
+            outcome = run_suite(
+                tests,
+                options,
+                inject_bugs=not args.clean,
+                batch=args.batch,
+                journal=args.journal,
+                fault_plan=fault_plan,
+                ladder=ladder,
+                jobs=jobs,
+                query_cache=cache,
+            )
+        if args.verdicts_out is not None:
+            import json
+
+            with open(args.verdicts_out, "w", encoding="utf-8") as fh:
+                for rec in outcome.records:
+                    fh.write(
+                        json.dumps(
+                            {
+                                "test": rec.test,
+                                "category": rec.category,
+                                "verdicts": rec.verdicts,
+                                "detected": rec.detected,
+                                "missed": rec.missed,
+                                "clean_failure": rec.clean_failure,
+                                "degradations": rec.degradations,
+                            },
+                            sort_keys=True,
+                        )
+                        + "\n"
+                    )
         print(f"analyzed: {outcome.tally.analyzed}")
         print(f"correct: {outcome.tally.correct}  incorrect: {outcome.tally.incorrect}")
         print(f"timeout: {outcome.tally.timeout}  oom: {outcome.tally.oom}  "

@@ -138,6 +138,7 @@ def run_suite(
     ladder: Optional[DegradationLadder] = None,
     jobs: int = 1,
     query_cache: Optional[Union[str, "qcache.QueryCache"]] = None,
+    task_batch: Optional[int] = None,
 ) -> SuiteOutcome:
     """Validate every test; returns outcome statistics.
 
@@ -152,7 +153,9 @@ def run_suite(
 
     ``jobs > 1`` fans unfinished tests out to a process pool (see
     :mod:`repro.engine.pool`); tallies, journal contents and record order
-    are identical to a sequential run.  ``query_cache`` (a path or a
+    are identical to a sequential run.  ``task_batch`` overrides how many
+    tests are shipped per worker task (default: pool-chosen, ~4 tasks per
+    worker).  ``query_cache`` (a path or a
     :class:`~repro.engine.qcache.QueryCache`) short-circuits structurally
     repeated solver queries; with ``jobs > 1`` each worker gets its own
     cache instance over the same on-disk file, if any.
@@ -184,6 +187,7 @@ def run_suite(
             ladder=ladder,
             cache_enabled=cache is not None,
             cache_path=cache.path if cache is not None else None,
+            task_batch=task_batch,
         )
         # ``fresh`` is in ``pending`` order; consume it positionally so
         # duplicate test names cannot collapse onto one record.
@@ -312,6 +316,19 @@ def _evaluate_test(
             record.category = None
     elif bug_injected:
         record.missed = True
+
+
+def outcome_from_records(records: List[TestRecord]) -> SuiteOutcome:
+    """Aggregate per-test records into a :class:`SuiteOutcome`.
+
+    This is how results that were produced *elsewhere* — by `alive-serve`
+    workers, a replayed journal, or any other record source — get the
+    same tallies and classification a local :func:`run_suite` produces.
+    """
+    outcome = SuiteOutcome()
+    for record in records:
+        _merge_record(outcome, record)
+    return outcome
 
 
 def _merge_record(outcome: SuiteOutcome, record: TestRecord) -> None:

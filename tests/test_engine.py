@@ -183,6 +183,53 @@ def test_corrupted_disk_cache_is_ignored_not_fatal(tmp_path):
     cache.store("k4", "sat", model={"v0": 3}, iterations=2)
     reloaded = QueryCache(str(path))
     assert reloaded.lookup("k4")["model"] == {"v0": 3}
+    # The quarantine count is part of the reported cache statistics.
+    assert reloaded.counters()["quarantined"] == 6
+
+
+def test_cache_heal_discards_corrupt_lines_atomically(tmp_path):
+    from repro.engine.qcache import CACHE_VERSION
+
+    path = tmp_path / "qc.jsonl"
+    good1 = {"v": CACHE_VERSION, "key": "k1", "result": "unsat", "model": {}}
+    good2 = {"v": CACHE_VERSION, "key": "k2", "result": "sat", "model": {"v0": 1}}
+    path.write_text(
+        json.dumps(good1)
+        + "\n{torn garbage\n"
+        + json.dumps(good2)
+        + "\n"
+        + '{"v": 99, "key": "kx", "result": "unsat"}\n'
+        + json.dumps(good2)[: len(json.dumps(good2)) // 2]  # truncated tail
+    )
+    cache = QueryCache(str(path))
+    discarded = cache.heal()
+    assert discarded == 3
+    # The healed file now loads with nothing to quarantine.
+    healed = QueryCache(str(path))
+    assert healed.dropped_lines == 0
+    assert len(healed) == 2
+    assert healed.lookup("k1")["result"] == "unsat"
+    assert healed.lookup("k2")["model"] == {"v0": 1}
+    # No temp droppings left behind by the atomic rewrite.
+    assert [p.name for p in tmp_path.iterdir()] == ["qc.jsonl"]
+
+
+def test_cache_tolerates_truncation_mid_multibyte_character(tmp_path):
+    from repro.engine.qcache import CACHE_VERSION
+
+    path = tmp_path / "qc.jsonl"
+    good = {"v": CACHE_VERSION, "key": "k1", "result": "unsat", "model": {}}
+    entry = json.dumps(
+        {"v": CACHE_VERSION, "key": "k✓", "result": "sat", "model": {}},
+        ensure_ascii=False,
+    ).encode("utf-8")
+    # Cut inside the 3-byte check-mark character: a naive text-mode read
+    # would raise UnicodeDecodeError before any quarantine logic runs.
+    cut = entry.index("✓".encode("utf-8")) + 1
+    path.write_bytes((json.dumps(good) + "\n").encode("utf-8") + entry[:cut])
+    cache = QueryCache(str(path))
+    assert cache.lookup("k1")["result"] == "unsat"
+    assert cache.dropped_lines == 1
 
 
 def test_disk_cache_shared_across_runs(tmp_path):

@@ -312,6 +312,34 @@ def test_journal_tolerates_truncated_tail(tmp_path):
     assert reloaded.pending(["a", "b", "c"]) == ["c"]
 
 
+def test_journal_resumes_at_every_truncation_offset(tmp_path):
+    """A crash can cut the journal at *any* byte — including mid-way
+    through a multi-byte UTF-8 character.  Whatever the cut point, resume
+    must keep every complete earlier record, drop at most the torn last
+    one, and stay appendable."""
+    good = json.dumps({"v": 1, "test": "a", "verdicts": {"correct": 1}})
+    # Non-ASCII test name: a torn tail can split the 3-byte character.
+    last = json.dumps(
+        {"v": 1, "test": "b✓", "verdicts": {"incorrect": 1}},
+        ensure_ascii=False,
+    )
+    prefix = (good + "\n").encode("utf-8")
+    tail = (last + "\n").encode("utf-8")
+    for cut in range(len(tail) + 1):
+        path = tmp_path / f"cut{cut}.jsonl"
+        path.write_bytes(prefix + tail[:cut])
+        journal = RunJournal(str(path))
+        assert journal.is_done("a"), f"cut={cut} lost a complete record"
+        # The record survives once its JSON is fully on disk; the
+        # trailing newline is framing, not payload.
+        complete = cut >= len(tail) - 1
+        assert journal.is_done("b✓") == complete, f"cut={cut}"
+        # The journal must remain usable: append and reload.
+        journal.record({"test": "c", "verdicts": {"timeout": 1}})
+        reloaded = RunJournal(str(path))
+        assert reloaded.is_done("a") and reloaded.is_done("c"), f"cut={cut}"
+
+
 # ---------------------------------------------------------------------------
 # Degradation ladder
 # ---------------------------------------------------------------------------
