@@ -1,0 +1,172 @@
+"""E13 — e-graph: equality-saturation rung ablation.
+
+The e-graph rung (``repro.egraph``) sits between the dataflow prescreen
+and the bit-blaster: bounded equality saturation under the certified
+rule set either discharges a refinement query outright (zero solver
+calls) or extracts a cheaper equivalent term that shrinks the Tseitin
+CNF.  This benchmark runs the 49-test corpus three ways:
+
+* ``baseline`` — the prescreen-only sequential pipeline exactly as it
+  was before this rung landed (``egraph=False, witness_pairing=False``;
+  the witness-pairing seed heuristic shipped with the rung, so the
+  honest before/after comparison turns both off).  Spends 419 solver
+  checks on this corpus.
+* ``egraph=on`` / ``egraph=off`` — the shipped pipeline with and
+  without the rung (prescreen and witness pairing stay on in both —
+  the rung's job is the residue the prescreen leaves behind).  These
+  two must agree verdict-for-verdict, plain and ``--certify`` alike.
+
+Acceptance bars: total solver checks with the e-graph on drop below
+the baseline's 419, and sequential wall-clock improves by >= 1.15x
+over the baseline.  Raw numbers land in ``BENCH_egraph.json``.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from conftest import print_table
+
+from repro.egraph import simplify as egraph_simplify
+from repro.refinement.check import VerifyOptions
+from repro.suite.runner import run_suite
+from repro.suite.unittests import build_corpus
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_egraph.json"
+
+#: Acceptance bar for total solver checks with the rung enabled: the
+#: prescreen-only sequential run of this 49-test corpus spends 419
+#: (the ``baseline`` config below re-measures this every run).
+MAX_SOLVER_CHECKS = 419
+
+#: Acceptance bar for sequential wall-clock vs the prescreen-only
+#: baseline.
+MIN_SPEEDUP = 1.15
+
+
+def _tally_key(outcome):
+    row = outcome.tally.row()
+    row.pop("time_s")
+    return row
+
+
+def _verdict_map(outcome):
+    return {r.test: dict(r.verdicts) for r in outcome.records}
+
+
+def test_bench_egraph(benchmark):
+    corpus = build_corpus(generated=12)
+    assert len(corpus) == 49
+
+    configs = [
+        ("baseline", dict(egraph=False, witness_pairing=False)),
+        ("egraph=on", dict(egraph=True)),
+        ("egraph=off", dict(egraph=False)),
+        ("egraph=on certify", dict(egraph=True, certify=True)),
+        ("egraph=off certify", dict(egraph=False, certify=True)),
+    ]
+
+    def run():
+        results = {}
+        for label, overrides in configs:
+            egraph_simplify.STATS.reset()
+            opts = VerifyOptions(timeout_s=10.0, **overrides)
+            start = time.monotonic()
+            outcome = run_suite(corpus, opts, inject_bugs=False)
+            stats = egraph_simplify.STATS
+            results[label] = (
+                time.monotonic() - start,
+                outcome,
+                stats.snapshot(),
+            )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for label, (wall_s, outcome, _snap) in results.items():
+        t = outcome.tally
+        rows.append(
+            {
+                "config": label,
+                "wall_s": round(wall_s, 3),
+                "correct": t.correct,
+                "incorrect": t.incorrect,
+                "checks": sum(r.solver_checks for r in outcome.records),
+                "eg_proved": t.egraph_proved,
+                "eg_shrunk": t.egraph_shrunk,
+                "eg_unchanged": t.egraph_misses,
+            }
+        )
+    print_table("E13: e-graph saturation ablation", rows)
+
+    base_wall, base, _ = results["baseline"]
+    on_wall, on, on_stats = results["egraph=on"]
+    off_wall, off, _ = results["egraph=off"]
+    # Soundness: identical verdicts with and without the rung, plain
+    # and certified alike (the simplifier may only prove, never flip).
+    assert _tally_key(on) == _tally_key(off)
+    assert _verdict_map(on) == _verdict_map(off)
+    assert _verdict_map(results["egraph=on certify"][1]) == _verdict_map(
+        results["egraph=off certify"][1]
+    )
+    assert _tally_key(results["egraph=on certify"][1]) == _tally_key(
+        results["egraph=off certify"][1]
+    )
+    # No inconsistencies: a bad rule merging two constants would show here.
+    assert on_stats[5] == 0, "EGraphInconsistent fallbacks must stay zero"
+
+    on_checks = sum(r.solver_checks for r in on.records)
+    off_checks = sum(r.solver_checks for r in off.records)
+    base_checks = sum(r.solver_checks for r in base.records)
+    assert on.tally.egraph_proved > 0
+    assert on_checks < off_checks
+    assert on_checks < base_checks
+    assert on_checks < MAX_SOLVER_CHECKS, (on_checks, MAX_SOLVER_CHECKS)
+    speedup = base_wall / on_wall if on_wall else None
+    assert speedup is not None and speedup >= MIN_SPEEDUP, (
+        f"egraph speedup {speedup:.2f}x < {MIN_SPEEDUP}x "
+        f"(on={on_wall:.2f}s baseline={base_wall:.2f}s)"
+    )
+    # The ablation really turned the rung off.
+    assert off.tally.egraph_proved == 0 and off.tally.egraph_shrunk == 0
+    assert base.tally.egraph_proved == 0 and base.tally.egraph_shrunk == 0
+
+    OUT_PATH.write_text(
+        json.dumps(
+            {
+                "bench": "egraph_saturation",
+                "corpus_tests": len(corpus),
+                "cpu_count": os.cpu_count(),
+                "tally": _tally_key(on),
+                "verdict_parity": True,
+                "verdict_parity_certify": True,
+                "baseline_solver_checks": base_checks,
+                "speedup_vs_baseline": round(speedup, 2),
+                "configs": {
+                    label: {
+                        "wall_s": round(wall_s, 3),
+                        "solver_checks": sum(
+                            r.solver_checks for r in outcome.records
+                        ),
+                        "egraph_proved": outcome.tally.egraph_proved,
+                        "egraph_shrunk": outcome.tally.egraph_shrunk,
+                        "egraph_unchanged": outcome.tally.egraph_misses,
+                        "egraph_budget_stops": snap[4],
+                        "egraph_nodes_removed": snap[6],
+                        "phase_time_s": {
+                            k: round(v, 3)
+                            for k, v in sorted(
+                                outcome.tally.phase_time_s.items()
+                            )
+                        },
+                    }
+                    for label, (wall_s, outcome, snap) in results.items()
+                },
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    print(f"wrote {OUT_PATH}")

@@ -118,6 +118,13 @@ def test_bench_parallel_scaling(benchmark, tmp_path):
         for r in results["large jobs=4 cache=off"][1].records
     )
 
+    # Flag configurations that requested more workers than the machine
+    # has cores: their scaling numbers measure oversubscription, not the
+    # scheduler, and should be read (and compared) accordingly.
+    cores = os.cpu_count() or 1
+    jobs_by_label = {
+        label: int(label.split("jobs=")[1].split()[0]) for label in results
+    }
     OUT_PATH.write_text(
         json.dumps(
             {
@@ -126,6 +133,11 @@ def test_bench_parallel_scaling(benchmark, tmp_path):
                     label: len(corpus) for label, corpus in corpora.items()
                 },
                 "cpu_count": os.cpu_count(),
+                "core_starved": sorted(
+                    label
+                    for label, jobs in jobs_by_label.items()
+                    if cores < jobs
+                ),
                 "tally": {
                     size: _tally_key(outcome)
                     for size, (_, outcome, _s) in baselines.items()
@@ -138,6 +150,7 @@ def test_bench_parallel_scaling(benchmark, tmp_path):
                         "speedup_vs_seq": round(baselines[size][0] / wall_s, 2)
                         if wall_s
                         else None,
+                        "core_starved": cores < jobs_by_label[label],
                     }
                     for label, (wall_s, outcome, size) in results.items()
                 },

@@ -1,0 +1,569 @@
+"""Certified rewrite rules and e-matching for the e-graph simplifier.
+
+Every :class:`Rule` carries its own Alive2 source/target IR pair
+(``cert_src``/``cert_tgt``).  The test suite verifies each pair in BOTH
+refinement directions under ``--certify`` (with the e-graph disabled, so
+a rule can never vouch for itself) — mutual refinement of flag-free IR
+is exactly term-level equivalence, so a rule that passes is a sound
+equality for every input.  The registry refuses rules without a
+certificate pair: nothing uncertified can reach the saturation loop.
+
+Certificates use one representative width (i8); the identities are
+width-polymorphic and the differential fuzz in ``tests/test_egraph.py``
+exercises them at 4 and 8 bits against the concrete term evaluator.
+
+Constant propagation (``EGraph.fold_constants``) is not expressed as
+rules here: it folds through the very smart constructors the bit-blaster
+and the rest of the verifier already trust, and the differential fuzz
+covers that path directly.
+
+Pattern language::
+
+    V("a")              match any class, bind it to ``a``
+    C("k")              match a class with a known constant, bind the Term
+    N("bvadd", p, q)    match an e-node by operator over sub-patterns
+
+Repeated binders force equality: ``N("bveq", V("a"), V("a"))`` only
+matches when both children are the *same* e-class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+from repro.smt.terms import FALSE, TRUE, bv_const
+from repro.egraph.core import EGraph
+
+# ---------------------------------------------------------------------------
+# Patterns
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Pattern:
+    op: Optional[str]  # None => class binder (variable or constant)
+    args: Tuple["Pattern", ...] = ()
+    bind: Optional[str] = None  # env name for V/C binders
+    want_const: bool = False  # C binder: class must have a known constant
+    payload_bind: Optional[str] = None  # N: capture the e-node payload
+
+
+def V(name: str) -> Pattern:
+    """Match any e-class and bind it (env value: canonical class id)."""
+    return Pattern(op=None, bind=name)
+
+
+def C(name: str) -> Pattern:
+    """Match a known-constant e-class and bind it (env value: const Term)."""
+    return Pattern(op=None, bind=name, want_const=True)
+
+
+def N(op: str, *args: Pattern, payload: Optional[str] = None) -> Pattern:
+    """Match an e-node with operator ``op`` over ``args`` sub-patterns."""
+    return Pattern(op=op, args=tuple(args), payload_bind=payload)
+
+
+def _ematch(graph: EGraph, pat: Pattern, cid: int, env: dict) -> Iterator[dict]:
+    cid = graph.find(cid)
+    if pat.op is None:
+        if pat.want_const:
+            const = graph.const_of(cid)
+            if const is None:
+                return
+            bound = env.get(pat.bind)
+            if bound is None:
+                out = dict(env)
+                out[pat.bind] = const
+                yield out
+            elif bound is const:  # constants are interned: identity == equality
+                yield env
+            return
+        bound = env.get(pat.bind)
+        if bound is None:
+            out = dict(env)
+            out[pat.bind] = cid
+            yield out
+        elif graph.find(bound) == cid:
+            yield env
+        return
+    for node in graph.nodes_of(cid):
+        if node.op != pat.op or len(node.children) != len(pat.args):
+            continue
+        base = env
+        if pat.payload_bind is not None:
+            base = dict(env)
+            base[pat.payload_bind] = node.payload
+        yield from _match_args(graph, pat.args, node.children, 0, base)
+
+
+def _match_args(
+    graph: EGraph,
+    pats: Tuple[Pattern, ...],
+    children: Tuple[int, ...],
+    i: int,
+    env: dict,
+) -> Iterator[dict]:
+    if i == len(pats):
+        yield env
+        return
+    for env2 in _ematch(graph, pats[i], children[i], env):
+        yield from _match_args(graph, pats, children, i + 1, env2)
+
+
+# ---------------------------------------------------------------------------
+# Rules
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A certified equality: LHS pattern + RHS class builder.
+
+    ``rhs(graph, env)`` returns the class id the matched class must merge
+    with, or ``None`` when a semantic guard rejects the match (guards
+    live in the RHS so a rule is self-contained).  ``cert_src`` /
+    ``cert_tgt`` is the IR pair whose two-way refinement proof certifies
+    the equality.
+    """
+
+    name: str
+    lhs: Pattern
+    rhs: Callable[[EGraph, dict], Optional[int]]
+    cert_src: str
+    cert_tgt: str
+
+    def matches(self, graph: EGraph, cid: int) -> Iterator[dict]:
+        yield from _ematch(graph, self.lhs, cid, {})
+
+    def build_rhs(self, graph: EGraph, env: dict) -> Optional[int]:
+        return self.rhs(graph, env)
+
+
+def _fn(body: str, sig: str = "i8 @f(i8 %a)") -> str:
+    return f"define {sig} {{\nentry:\n  {body}\n}}"
+
+
+def _is_pow2(v: int) -> bool:
+    return v > 0 and (v & (v - 1)) == 0
+
+
+def _w(graph: EGraph, env: dict, name: str) -> int:
+    return graph.width_of(env[name])
+
+
+_RULES: list = []
+
+
+def _rule(name: str, lhs: Pattern, rhs, cert_src: str, cert_tgt: str) -> None:
+    if not cert_src.strip() or not cert_tgt.strip():
+        raise ValueError(f"rule {name!r} lacks a certification pair")
+    _RULES.append(Rule(name, lhs, rhs, cert_src, cert_tgt))
+
+
+# -- commutativity -----------------------------------------------------------
+# The rules are width-generic (patterns bind any width); the cert pairs
+# are representative instances.  Multiplication certifies at i4: an
+# 8-bit multiplier-equivalence CNF is one of the classically hard SAT
+# instances (minutes of solver time), while i4 proves the same
+# width-generic claim in milliseconds.
+for _op, _ir in (
+    ("bvadd", "add"),
+    ("bvmul", "mul"),
+    ("bvand", "and"),
+    ("bvor", "or"),
+    ("bvxor", "xor"),
+):
+    _ty = "i4" if _ir == "mul" else "i8"
+    _rule(
+        f"{_ir}-comm",
+        N(_op, V("a"), V("b")),
+        (lambda op: lambda g, e: g.mk(op, (e["b"], e["a"]), _w(g, e, "a")))(_op),
+        _fn(
+            f"%r = {_ir} {_ty} %a, %b\n  ret {_ty} %r",
+            f"{_ty} @f({_ty} %a, {_ty} %b)",
+        ),
+        _fn(
+            f"%r = {_ir} {_ty} %b, %a\n  ret {_ty} %r",
+            f"{_ty} @f({_ty} %a, {_ty} %b)",
+        ),
+    )
+
+# -- associativity -----------------------------------------------------------
+for _op, _ir in (
+    ("bvadd", "add"),
+    ("bvmul", "mul"),
+    ("bvand", "and"),
+    ("bvor", "or"),
+    ("bvxor", "xor"),
+):
+    _ty = "i4" if _ir == "mul" else "i8"
+    _rule(
+        f"{_ir}-assoc",
+        N(_op, N(_op, V("a"), V("b")), V("c")),
+        (
+            lambda op: lambda g, e: g.mk(
+                op,
+                (e["a"], g.mk(op, (e["b"], e["c"]), _w(g, e, "a"))),
+                _w(g, e, "a"),
+            )
+        )(_op),
+        _fn(
+            f"%s = {_ir} {_ty} %a, %b\n  %r = {_ir} {_ty} %s, %c\n  ret {_ty} %r",
+            f"{_ty} @f({_ty} %a, {_ty} %b, {_ty} %c)",
+        ),
+        _fn(
+            f"%s = {_ir} {_ty} %b, %c\n  %r = {_ir} {_ty} %a, %s\n  ret {_ty} %r",
+            f"{_ty} @f({_ty} %a, {_ty} %b, {_ty} %c)",
+        ),
+    )
+
+
+# -- identity / annihilator folds -------------------------------------------
+def _ident(op_value: int):
+    def rhs(g: EGraph, e: dict) -> Optional[int]:
+        return e["a"] if e["k"].value == op_value else None
+
+    return rhs
+
+
+def _annihilate(trigger: int, result_of):
+    def rhs(g: EGraph, e: dict) -> Optional[int]:
+        width = _w(g, e, "a")
+        mask = (1 << width) - 1
+        want = trigger & mask
+        if e["k"].value != want:
+            return None
+        return g.add_const(bv_const(result_of(mask), width))
+
+    return rhs
+
+
+_rule(
+    "add-zero", N("bvadd", V("a"), C("k")), _ident(0),
+    _fn("%r = add i8 %a, 0\n  ret i8 %r"), _fn("ret i8 %a"),
+)
+_rule(
+    "mul-one", N("bvmul", V("a"), C("k")), _ident(1),
+    _fn("%r = mul i8 %a, 1\n  ret i8 %r"), _fn("ret i8 %a"),
+)
+_rule(
+    "mul-zero", N("bvmul", V("a"), C("k")), _annihilate(0, lambda m: 0),
+    # Freeze: poison propagates through `mul` in the IR (same as `and`).
+    _fn("%f = freeze i8 %a\n  %r = mul i8 %f, 0\n  ret i8 %r"),
+    _fn("ret i8 0"),
+)
+_rule(
+    "and-zero", N("bvand", V("a"), C("k")), _annihilate(0, lambda m: 0),
+    # Freeze: poison propagates through `and` in the IR, so the raw pair
+    # would not refine backward; the term-level claim is about values
+    # (the poison bit lives in a separate term the rule never touches).
+    _fn("%f = freeze i8 %a\n  %r = and i8 %f, 0\n  ret i8 %r"),
+    _fn("ret i8 0"),
+)
+_rule(
+    "and-ones",
+    N("bvand", V("a"), C("k")),
+    lambda g, e: e["a"] if e["k"].value == (1 << _w(g, e, "a")) - 1 else None,
+    _fn("%r = and i8 %a, -1\n  ret i8 %r"),
+    _fn("ret i8 %a"),
+)
+_rule(
+    "or-zero", N("bvor", V("a"), C("k")), _ident(0),
+    _fn("%r = or i8 %a, 0\n  ret i8 %r"), _fn("ret i8 %a"),
+)
+_rule(
+    "or-ones", N("bvor", V("a"), C("k")), _annihilate(-1, lambda m: m),
+    _fn("%f = freeze i8 %a\n  %r = or i8 %f, -1\n  ret i8 %r"),
+    _fn("ret i8 -1"),
+)
+_rule(
+    "xor-zero", N("bvxor", V("a"), C("k")), _ident(0),
+    _fn("%r = xor i8 %a, 0\n  ret i8 %r"), _fn("ret i8 %a"),
+)
+_rule(
+    "shl-zero", N("bvshl", V("a"), C("k")), _ident(0),
+    _fn("%r = shl i8 %a, 0\n  ret i8 %r"), _fn("ret i8 %a"),
+)
+_rule(
+    "lshr-zero", N("bvlshr", V("a"), C("k")), _ident(0),
+    _fn("%r = lshr i8 %a, 0\n  ret i8 %r"), _fn("ret i8 %a"),
+)
+
+# -- idempotence / self-inverse ---------------------------------------------
+# These certificates freeze the argument first: terms denote *values*,
+# but an IR register read twice can yield two different values when the
+# argument is undef, which is extra nondeterminism the rule never claims
+# to cover.  Freeze pins one value per read, making the certificate the
+# exact term-level statement — and certifiable in *both* directions.
+_rule(
+    "and-self", N("bvand", V("a"), V("a")), lambda g, e: e["a"],
+    _fn("%f = freeze i8 %a\n  %r = and i8 %f, %f\n  ret i8 %r"),
+    _fn("%f = freeze i8 %a\n  ret i8 %f"),
+)
+_rule(
+    "or-self", N("bvor", V("a"), V("a")), lambda g, e: e["a"],
+    _fn("%f = freeze i8 %a\n  %r = or i8 %f, %f\n  ret i8 %r"),
+    _fn("%f = freeze i8 %a\n  ret i8 %f"),
+)
+_rule(
+    "xor-self",
+    N("bvxor", V("a"), V("a")),
+    lambda g, e: g.add_const(bv_const(0, _w(g, e, "a"))),
+    _fn("%f = freeze i8 %a\n  %r = xor i8 %f, %f\n  ret i8 %r"),
+    _fn("ret i8 0"),
+)
+_rule(
+    "sub-self",
+    N("bvsub", V("a"), V("a")),
+    lambda g, e: g.add_const(bv_const(0, _w(g, e, "a"))),
+    _fn("%f = freeze i8 %a\n  %r = sub i8 %f, %f\n  ret i8 %r"),
+    _fn("ret i8 0"),
+)
+_rule(
+    "not-not",
+    N("bvnot", N("bvnot", V("a"))),
+    lambda g, e: e["a"],
+    _fn("%n = xor i8 %a, -1\n  %r = xor i8 %n, -1\n  ret i8 %r"),
+    _fn("ret i8 %a"),
+)
+
+# -- add/mul normalization (the instcombine family) --------------------------
+_rule(
+    "add-self-mul2",
+    N("bvadd", V("a"), V("a")),
+    lambda g, e: g.mk(
+        "bvmul",
+        (e["a"], g.add_const(bv_const(2 % (1 << _w(g, e, "a")), _w(g, e, "a")))),
+        _w(g, e, "a"),
+    ),
+    _fn("%f = freeze i8 %a\n  %r = add i8 %f, %f\n  ret i8 %r"),
+    _fn("%f = freeze i8 %a\n  %r = mul i8 %f, 2\n  ret i8 %r"),
+)
+
+
+def _shl_const_mul(g: EGraph, e: dict) -> Optional[int]:
+    width = _w(g, e, "a")
+    sh = e["k"].value
+    # Overshift (sh >= width) has different poison behavior in LLVM, so
+    # the rule deliberately refuses it; the smart constructors fold that
+    # case to 0 at the pure-term level anyway.
+    if not 0 < sh < width:
+        return None
+    return g.mk(
+        "bvmul", (e["a"], g.add_const(bv_const(1 << sh, width))), width
+    )
+
+
+_rule(
+    "shl-const-mul",
+    N("bvshl", V("a"), C("k")),
+    _shl_const_mul,
+    _fn("%r = shl i8 %a, 3\n  ret i8 %r"),
+    _fn("%r = mul i8 %a, 8\n  ret i8 %r"),
+)
+
+
+def _udiv_pow2(g: EGraph, e: dict) -> Optional[int]:
+    width = _w(g, e, "a")
+    k = e["k"].value
+    if not _is_pow2(k):
+        return None
+    return g.mk(
+        "bvlshr",
+        (e["a"], g.add_const(bv_const(k.bit_length() - 1, width))),
+        width,
+    )
+
+
+_rule(
+    "udiv-pow2-lshr",
+    N("bvudiv", V("a"), C("k")),
+    _udiv_pow2,
+    _fn("%r = udiv i8 %a, 4\n  ret i8 %r"),
+    _fn("%r = lshr i8 %a, 2\n  ret i8 %r"),
+)
+
+
+def _urem_pow2(g: EGraph, e: dict) -> Optional[int]:
+    width = _w(g, e, "a")
+    k = e["k"].value
+    if not _is_pow2(k):
+        return None
+    return g.mk(
+        "bvand", (e["a"], g.add_const(bv_const(k - 1, width))), width
+    )
+
+
+_rule(
+    "urem-pow2-mask",
+    N("bvurem", V("a"), C("k")),
+    _urem_pow2,
+    _fn("%r = urem i8 %a, 8\n  ret i8 %r"),
+    _fn("%r = and i8 %a, 7\n  ret i8 %r"),
+)
+
+
+def _zext_trunc_mask(g: EGraph, e: dict) -> Optional[int]:
+    # concat(0, extract[k-1..0](a)) == a & (2^k - 1), provided the widths
+    # line up so the result has a's width.
+    zeros = e["z"]
+    hi, lo = e["p"]
+    if zeros.value != 0 or lo != 0:
+        return None
+    width = _w(g, e, "a")
+    if zeros.width + (hi - lo + 1) != width:
+        return None
+    return g.mk(
+        "bvand",
+        (e["a"], g.add_const(bv_const((1 << (hi + 1)) - 1, width))),
+        width,
+    )
+
+
+_rule(
+    "zext-trunc-mask",
+    N("concat", C("z"), N("extract", V("a"), payload="p")),
+    _zext_trunc_mask,
+    _fn("%t = trunc i8 %a to i4\n  %r = zext i4 %t to i8\n  ret i8 %r"),
+    _fn("%r = and i8 %a, 15\n  ret i8 %r"),
+)
+
+_rule(
+    "extract-extract",
+    N("extract", N("extract", V("a"), payload="p1"), payload="p0"),
+    lambda g, e: g.mk(
+        "extract",
+        (e["a"],),
+        e["p0"][0] - e["p0"][1] + 1,
+        payload=(e["p1"][1] + e["p0"][0], e["p1"][1] + e["p0"][1]),
+    ),
+    _fn(
+        "%t = trunc i8 %a to i6\n  %r = trunc i6 %t to i4\n  ret i4 %r",
+        "i4 @f(i8 %a)",
+    ),
+    _fn("%r = trunc i8 %a to i4\n  ret i4 %r", "i4 @f(i8 %a)"),
+)
+
+# -- subtraction normalization ----------------------------------------------
+_rule(
+    "sub-add-neg",
+    N("bvsub", V("a"), V("b")),
+    lambda g, e: g.mk(
+        "bvadd",
+        (e["a"], g.mk("bvneg", (e["b"],), _w(g, e, "b"))),
+        _w(g, e, "a"),
+    ),
+    _fn("%r = sub i8 %a, %b\n  ret i8 %r", "i8 @f(i8 %a, i8 %b)"),
+    _fn(
+        "%n = sub i8 0, %b\n  %r = add i8 %a, %n\n  ret i8 %r",
+        "i8 @f(i8 %a, i8 %b)",
+    ),
+)
+_rule(
+    "neg-sub-zero",
+    N("bvneg", V("a")),
+    lambda g, e: g.mk(
+        "bvsub",
+        (g.add_const(bv_const(0, _w(g, e, "a"))), e["a"]),
+        _w(g, e, "a"),
+    ),
+    # Freeze: the target reads %a three times, which an undef input
+    # would decouple; the term-level claim is about one value.
+    _fn("%f = freeze i8 %a\n  %r = sub i8 0, %f\n  ret i8 %r"),
+    _fn(
+        "%f = freeze i8 %a\n  %z = sub i8 %f, %f\n"
+        "  %r = sub i8 %z, %f\n  ret i8 %r"
+    ),
+)
+
+# -- select (ite) ------------------------------------------------------------
+_rule(
+    "ite-same",
+    N("bvite", V("c"), V("a"), V("a")),
+    lambda g, e: e["a"],
+    _fn(
+        "%d = freeze i1 %c\n  %f = freeze i8 %a\n"
+        "  %r = select i1 %d, i8 %f, i8 %f\n  ret i8 %r",
+        "i8 @f(i1 %c, i8 %a)",
+    ),
+    _fn("%f = freeze i8 %a\n  ret i8 %f", "i8 @f(i1 %c, i8 %a)"),
+)
+_rule(
+    "ite-pushdown-add",
+    N("bvite", V("c"), N("bvadd", V("a"), V("x")), N("bvadd", V("a"), V("y"))),
+    lambda g, e: g.mk(
+        "bvadd",
+        (e["a"], g.mk("bvite", (e["c"], e["x"], e["y"]), _w(g, e, "x"))),
+        _w(g, e, "a"),
+    ),
+    _fn(
+        "%g = freeze i8 %a\n"
+        "  %p = add i8 %g, %x\n  %q = add i8 %g, %y\n"
+        "  %r = select i1 %c, i8 %p, i8 %q\n  ret i8 %r",
+        "i8 @f(i1 %c, i8 %a, i8 %x, i8 %y)",
+    ),
+    _fn(
+        "%g = freeze i8 %a\n"
+        "  %s = select i1 %c, i8 %x, i8 %y\n  %r = add i8 %g, %s\n  ret i8 %r",
+        "i8 @f(i1 %c, i8 %a, i8 %x, i8 %y)",
+    ),
+)
+
+# -- comparisons -------------------------------------------------------------
+_rule(
+    "eq-comm",
+    N("bveq", V("a"), V("b")),
+    lambda g, e: g.mk("bveq", (e["b"], e["a"]), 0),
+    _fn("%r = icmp eq i8 %a, %b\n  ret i1 %r", "i1 @f(i8 %a, i8 %b)"),
+    _fn("%r = icmp eq i8 %b, %a\n  ret i1 %r", "i1 @f(i8 %a, i8 %b)"),
+)
+_rule(
+    "eq-same",
+    N("bveq", V("a"), V("a")),
+    lambda g, e: g.add_const(TRUE),
+    _fn(
+        "%f = freeze i8 %a\n  %r = icmp eq i8 %f, %f\n  ret i1 %r",
+        "i1 @f(i8 %a)",
+    ),
+    _fn("ret i1 true", "i1 @f(i8 %a)"),
+)
+_rule(
+    "ult-same",
+    N("bvult", V("a"), V("a")),
+    lambda g, e: g.add_const(FALSE),
+    _fn(
+        "%f = freeze i8 %a\n  %r = icmp ult i8 %f, %f\n  ret i1 %r",
+        "i1 @f(i8 %a)",
+    ),
+    _fn("ret i1 false", "i1 @f(i8 %a)"),
+)
+
+# -- De Morgan ---------------------------------------------------------------
+_rule(
+    "demorgan-or",
+    N("bvor", N("bvnot", V("a")), N("bvnot", V("b"))),
+    lambda g, e: g.mk(
+        "bvnot",
+        (g.mk("bvand", (e["a"], e["b"]), _w(g, e, "a")),),
+        _w(g, e, "a"),
+    ),
+    _fn(
+        "%na = xor i8 %a, -1\n  %nb = xor i8 %b, -1\n"
+        "  %r = or i8 %na, %nb\n  ret i8 %r",
+        "i8 @f(i8 %a, i8 %b)",
+    ),
+    _fn(
+        "%x = and i8 %a, %b\n  %r = xor i8 %x, -1\n  ret i8 %r",
+        "i8 @f(i8 %a, i8 %b)",
+    ),
+)
+
+RULES: Tuple[Rule, ...] = tuple(_RULES)
+
+_BY_NAME: Dict[str, Rule] = {r.name: r for r in RULES}
+assert len(_BY_NAME) == len(RULES), "duplicate rule names"
+
+
+def rule_by_name(name: str) -> Rule:
+    return _BY_NAME[name]

@@ -51,7 +51,10 @@ from repro.smt.terms import Term
 
 logger = logging.getLogger("repro.engine.qcache")
 
-CACHE_VERSION = 3
+# Version 4: fingerprints are computed on post-extraction canonical terms
+# (the e-graph rung rewrites queries before hashing), so entries written
+# by earlier versions must not replay.
+CACHE_VERSION = 4
 
 #: The only verdicts the cache stores: sound to replay regardless of
 #: resource limits.  Exhaustion verdicts (timeout/memout) are never

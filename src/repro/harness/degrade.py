@@ -25,6 +25,10 @@ from repro.refinement.check import RefinementResult, Verdict, VerifyOptions
 #: make meaningful progress and further halving only burns retries.
 _MIN_CONFLICTS = 256
 
+#: Floor for the degraded e-graph node budget; below this saturation
+#: cannot represent even small queries and the rung is pure overhead.
+_MIN_EGRAPH_NODES = 64
+
 
 @dataclass(frozen=True)
 class DegradationLadder:
@@ -53,6 +57,12 @@ class DegradationLadder:
             new_conflicts = max(_MIN_CONFLICTS, options.max_conflicts // 2)
             changes["max_conflicts"] = new_conflicts
             steps.append(f"conflicts:{options.max_conflicts}->{new_conflicts}")
+        if options.egraph and options.egraph_max_nodes > _MIN_EGRAPH_NODES:
+            # Saturation time grows with the node budget, so a TIMEOUT
+            # retry cheapens the e-graph rung along with the solver.
+            new_nodes = max(_MIN_EGRAPH_NODES, options.egraph_max_nodes // 2)
+            changes["egraph_max_nodes"] = new_nodes
+            steps.append(f"egraph:{options.egraph_max_nodes}->{new_nodes}")
         if not steps and options.memory.arg_block_bytes > 1:
             new_bytes = max(1, options.memory.arg_block_bytes // 2)
             changes["memory"] = replace(options.memory, arg_block_bytes=new_bytes)

@@ -97,6 +97,25 @@ class VerifyOptions:
     # in the encoder before bit-blasting.  Sound both ways (it may only
     # prove, never refute); --no-prescreen ablates it.
     prescreen: bool = True
+    # E-graph equality saturation (repro.egraph): the solver-ladder rung
+    # between the prescreen and CEGAR.  Saturating the certified rewrite
+    # rules can prove a query outright (psi == TRUE / phi == FALSE, no
+    # SAT call) or shrink the terms fed to the bit-blaster.  Sound both
+    # ways for the same reason the prescreen is: rules are exact
+    # equivalences, so it may only prove, never refute.  --no-egraph
+    # ablates it; the degradation ladder halves egraph_max_nodes on
+    # TIMEOUT retries.
+    egraph: bool = True
+    egraph_max_nodes: int = 512
+    egraph_max_iterations: int = 8
+    # Witness pairing: when exactly one forall-variable is live in psi,
+    # try mapping it onto each same-width free variable as a symbolic
+    # witness candidate (both for the e-graph's seeded instantiations
+    # and the CEGAR solver's seeds).  Sound — any total substitution is
+    # a legitimate candidate, and failed candidates just fall through to
+    # CEGAR.  Off reproduces the pre-egraph prescreen-only pipeline,
+    # which is the baseline BENCH_egraph measures against.
+    witness_pairing: bool = True
     # Self-certifying mode (--certify): every UNSAT the solver stack
     # claims must carry a proof the independent RUP checker accepts; a
     # rejected proof downgrades the verdict to SOLVER_UNSOUND instead of
@@ -128,6 +147,10 @@ class VerifyOptions:
             "check_memory": self.check_memory,
             "max_ef_iterations": self.max_ef_iterations,
             "prescreen": self.prescreen,
+            "egraph": self.egraph,
+            "egraph_max_nodes": self.egraph_max_nodes,
+            "egraph_max_iterations": self.egraph_max_iterations,
+            "witness_pairing": self.witness_pairing,
             "certify": self.certify,
         }
 
@@ -158,6 +181,16 @@ class VerifyOptions:
                 data.get("max_ef_iterations", defaults.max_ef_iterations)
             ),
             prescreen=bool(data.get("prescreen", defaults.prescreen)),
+            egraph=bool(data.get("egraph", defaults.egraph)),
+            egraph_max_nodes=int(
+                data.get("egraph_max_nodes", defaults.egraph_max_nodes)
+            ),
+            egraph_max_iterations=int(
+                data.get("egraph_max_iterations", defaults.egraph_max_iterations)
+            ),
+            witness_pairing=bool(
+                data.get("witness_pairing", defaults.witness_pairing)
+            ),
             certify=bool(data.get("certify", defaults.certify)),
         )
 
@@ -179,22 +212,49 @@ class RefinementResult:
     # core classification of a confirmed counterexample.
     certificates: List[object] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
+    # Wall-clock seconds per pipeline phase (prescreen/egraph/encode/
+    # solve), for perf attribution; never part of --verdicts-out.
+    phase_times: Dict[str, float] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
         return self.verdict is Verdict.CORRECT
 
-    def to_json(self) -> dict:
+    def to_json(self, full_certificates: bool = False) -> dict:
         """A JSON-serializable summary for the verification service.
 
         Counterexample values may be rich objects (symbolic aggregates);
         anything that is not already a JSON scalar is stringified.  Proof
-        certificates are summarized (validity + core size), not shipped —
-        replaying a full DRAT log over the wire would dwarf the verdict.
+        certificates default to a summary (validity + core size): the
+        full record would dwarf the verdict.  ``full_certificates=True``
+        (the serve protocol's ``certificates=full`` request field) ships
+        every :class:`repro.sat.proof.Certificate` field — query name,
+        CNF digest, rejection reason, lemma/deletion/checked counts and
+        the unsat-core literals — so a client can audit which queries
+        were proof-checked and reconstruct core-based diagnostics.
         """
 
         def scalar(v: object) -> object:
             return v if isinstance(v, (int, float, str, bool, type(None))) else str(v)
+
+        def cert_json(c: object) -> dict:
+            out = {
+                "valid": bool(getattr(c, "valid", False)),
+                "core_lits": len(getattr(c, "core", ()) or ()),
+            }
+            if full_certificates:
+                out.update(
+                    {
+                        "query": getattr(c, "query", ""),
+                        "digest": getattr(c, "digest", ""),
+                        "reason": getattr(c, "reason", ""),
+                        "lemmas": int(getattr(c, "lemmas", 0)),
+                        "deletions": int(getattr(c, "deletions", 0)),
+                        "checked_lemmas": int(getattr(c, "checked_lemmas", 0)),
+                        "core": [int(l) for l in getattr(c, "core", ()) or ()],
+                    }
+                )
+            return out
 
         return {
             "verdict": self.verdict.value,
@@ -205,14 +265,9 @@ class RefinementResult:
             "elapsed_s": self.elapsed_s,
             "degradations": list(self.degradations),
             "diagnostic": self.diagnostic,
-            "certificates": [
-                {
-                    "valid": bool(getattr(c, "valid", False)),
-                    "core_lits": len(getattr(c, "core", ()) or ()),
-                }
-                for c in self.certificates
-            ],
+            "certificates": [cert_json(c) for c in self.certificates],
             "notes": list(self.notes),
+            "phase_times": {k: round(v, 6) for k, v in self.phase_times.items()},
         }
 
     def describe(self) -> str:
@@ -306,6 +361,9 @@ def _verify_with_deadline(
         )
 
     # Unroll copies up front so both functions share one memory layout.
+    # Everything from deepcopy through encoding counts as the "encode"
+    # phase for per-phase attribution.
+    encode_start = time.monotonic()
     try:
         maybe_fault("unroll", deadline=deadline, unroll_factor=options.unroll_factor)
         deadline.check("deepcopy")
@@ -362,6 +420,7 @@ def _verify_with_deadline(
     checker = _RefinementChecker(
         enc_src, enc_tgt, options, deadline=deadline, prescreener=prescreener
     )
+    checker.phase_times["encode"] = time.monotonic() - encode_start
     return done(checker.run())
 
 
@@ -402,10 +461,39 @@ class _RefinementChecker:
         # sequence, attached to whatever result ends the run.
         self._certs: List[object] = []
         self._notes: List[str] = []
+        # Per-phase wall clock; "encode" is filled in by the caller.
+        self.phase_times: Dict[str, float] = {
+            "prescreen": 0.0,
+            "egraph": 0.0,
+            "solve": 0.0,
+        }
+        # The e-graph rung: bounded equality saturation between the
+        # prescreen and CEGAR.  The deadline threads through so a slow
+        # saturation can never outlive the job budget.
+        self.simplifier = None
+        if options.egraph:
+            from repro.egraph.simplify import EgraphSimplifier
+
+            self.simplifier = EgraphSimplifier(
+                max_nodes=options.egraph_max_nodes,
+                max_iterations=options.egraph_max_iterations,
+                should_stop=self.deadline.expired,
+            )
 
     def _attach(self, result: RefinementResult) -> RefinementResult:
         result.certificates = list(self._certs)
-        result.notes = list(self._notes)
+        result.phase_times = {
+            k: v for k, v in self.phase_times.items() if v > 0.0
+        }
+        notes = list(self._notes)
+        if result.phase_times:
+            timing = " ".join(
+                f"{k}={result.phase_times[k] * 1000:.1f}ms"
+                for k in ("prescreen", "egraph", "encode", "solve")
+                if k in result.phase_times
+            )
+            notes.append(f"phase-times: {timing}")
+        result.notes = notes
         return result
 
     def _reject_unsound(
@@ -712,6 +800,74 @@ class _RefinementChecker:
         return self._attach(RefinementResult(Verdict.CORRECT))
 
     # -- helpers ----------------------------------------------------------------------
+    @staticmethod
+    def _collect_var_terms(term: Term) -> List[Term]:
+        """Every distinct variable term in ``term``, first-occurrence order."""
+        seen = set()
+        out: List[Term] = []
+        stack = [term]
+        while stack:
+            t = stack.pop()
+            if t in seen:
+                continue
+            seen.add(t)
+            if t.op == "var":
+                out.append(t)
+            else:
+                stack.extend(reversed(t.args))
+        return out
+
+    def _seeded_psis(self, psi: BoolTerm) -> List[BoolTerm]:
+        """ψ under each symbolic seed, universals completed with zeros.
+
+        Mirrors :func:`solve_exists_forall`'s seed handling: a seed is a
+        witness-function candidate N := f(O), so if any substituted ψ is
+        a tautology the ∀-obligation holds for every candidate O and the
+        e-graph rung may discharge the query without a solver.
+        """
+        names = term_vars(psi)
+        relevant = [qv for qv in self.forall_vars if qv.name in names]
+        if not relevant:
+            return []
+
+        def zero(qv: QuantVar) -> Term:
+            return FALSE if qv.width == 0 else bv_const(0, qv.width)
+
+        out: List[BoolTerm] = []
+        for seed in list(self.seeds) + self._pairing_seeds(psi):
+            if not any(qv.name in seed for qv in relevant):
+                continue
+            mapping = {qv.name: seed.get(qv.name, zero(qv)) for qv in relevant}
+            out.append(substitute(psi, mapping))
+        return out
+
+    def _pairing_seeds(self, psi: BoolTerm) -> List[Dict[str, Term]]:
+        """Witness candidates pairing a lone ∀-var with ψ's free variables.
+
+        A ∀ undef read usually matches the *other* side's nondet read,
+        but the CEGAR seeds pair reads positionally across the whole
+        function and can miss when only a few survive into ψ.  Mapping
+        the lone ∀-var onto each same-width free variable of ψ directly
+        is always a sound candidate (any total substitution of the
+        ∀-vars is), and on equivalence-shaped queries one of them makes
+        both sides the same interned term.  Shared by the e-graph rung
+        and the ∃∀ solver so both discharge the same queries.
+        """
+        if not self.options.witness_pairing:
+            return []
+        names = term_vars(psi)
+        relevant = [qv for qv in self.forall_vars if qv.name in names]
+        if len(relevant) != 1:
+            return []
+        qv = relevant[0]
+        forall_names = {q.name for q in self.forall_vars}
+        candidates = [
+            free
+            for free in self._collect_var_terms(psi)
+            if free.width == qv.width and free.payload not in forall_names
+        ]
+        return [{qv.name: free} for free in candidates[:8]]
+
     def _cache_items(self, phi: BoolTerm, psi: BoolTerm) -> list:
         """The tagged term sequence whose canonical hash keys this query.
 
@@ -740,52 +896,91 @@ class _RefinementChecker:
     def _is_satisfiable(self, formula: BoolTerm) -> Optional[RefinementResult]:
         # A concrete satisfying witness settles this plain SAT probe
         # without a solver (and without touching the query cache).
-        if self.prescreener is not None and self.prescreener.screen_sat(formula):
-            return None
-        cache = qcache.active()
-        certify = self.options.certify
-        digest = None
-        res = None
-        if cache is not None:
-            digest, _ = qcache.canonical_fingerprint([("satcheck", formula)])
-            hit = cache.lookup(digest, require_certified_unsat=certify)
-            if hit is not None:
-                res = CheckResult(hit["result"])
-        if res is None:
-            solver = SmtSolver(certify=certify)
-            solver.assert_term(formula)
-            res = solver.check(self._limits())
-            self._certs.extend(solver.certificates)
-            bad = [c for c in solver.certificates if not c.valid]
-            if bad:
-                return self._reject_unsound("precondition", bad)
+        if self.prescreener is not None:
+            t0 = time.monotonic()
+            hit = self.prescreener.screen_sat(formula)
+            self.phase_times["prescreen"] += time.monotonic() - t0
+            if hit:
+                return None
+        if self.simplifier is not None:
+            # Saturation can only rewrite to an equivalent formula, so a
+            # TRUE extraction is a satisfiability proof; anything else
+            # still feeds the (possibly smaller) formula to the solver.
+            t0 = time.monotonic()
+            formula = self.simplifier.simplify(formula)
+            self.phase_times["egraph"] += time.monotonic() - t0
+            if formula is TRUE:
+                return None
+        solve_start = time.monotonic()
+        try:
+            cache = qcache.active()
+            certify = self.options.certify
+            digest = None
+            res = None
             if cache is not None:
-                # Exhaustion verdicts are dropped by the cache itself:
-                # they reflect this test's remaining deadline, not the query.
-                cache.store(
-                    digest,
-                    res.value,
-                    certified=bool(solver.certificates)
-                    and all(c.valid for c in solver.certificates),
+                digest, _ = qcache.canonical_fingerprint([("satcheck", formula)])
+                hit = cache.lookup(digest, require_certified_unsat=certify)
+                if hit is not None:
+                    res = CheckResult(hit["result"])
+            if res is None:
+                solver = SmtSolver(certify=certify)
+                solver.assert_term(formula)
+                res = solver.check(self._limits())
+                self._certs.extend(solver.certificates)
+                bad = [c for c in solver.certificates if not c.valid]
+                if bad:
+                    return self._reject_unsound("precondition", bad)
+                if cache is not None:
+                    # Exhaustion verdicts are dropped by the cache itself:
+                    # they reflect this test's remaining deadline, not the query.
+                    cache.store(
+                        digest,
+                        res.value,
+                        certified=bool(solver.certificates)
+                        and all(c.valid for c in solver.certificates),
+                    )
+            if res is CheckResult.UNSAT:
+                return self._attach(
+                    RefinementResult(Verdict.EMPTY_PRE, failed_check="precondition")
                 )
-        if res is CheckResult.UNSAT:
-            return self._attach(
-                RefinementResult(Verdict.EMPTY_PRE, failed_check="precondition")
-            )
-        if res is CheckResult.TIMEOUT:
-            return RefinementResult(Verdict.TIMEOUT, failed_check="precondition")
-        if res is CheckResult.MEMOUT:
-            return RefinementResult(Verdict.OOM, failed_check="precondition")
-        return None
+            if res is CheckResult.TIMEOUT:
+                return self._attach(
+                    RefinementResult(Verdict.TIMEOUT, failed_check="precondition")
+                )
+            if res is CheckResult.MEMOUT:
+                return self._attach(
+                    RefinementResult(Verdict.OOM, failed_check="precondition")
+                )
+            return None
+        finally:
+            self.phase_times["solve"] += time.monotonic() - solve_start
 
     def _query(self, name: str, phi: BoolTerm, psi: BoolTerm) -> Optional[RefinementResult]:
         """Run one exists-forall query; None means the check passed."""
         psi = bool_and(self.env_consistency, psi)
-        if self.prescreener is not None and self.prescreener.screen_query(
-            name, phi, psi, self.src, self.tgt
-        ):
-            return None
+        if self.prescreener is not None:
+            t0 = time.monotonic()
+            hit = self.prescreener.screen_query(name, phi, psi, self.src, self.tgt)
+            self.phase_times["prescreen"] += time.monotonic() - t0
+            if hit:
+                return None
+        if self.simplifier is not None:
+            # E-graph rung: saturating the certified rules either proves
+            # the query outright (psi is a tautology / phi is vacuous —
+            # the forall obligation holds with no SAT call) or yields
+            # equivalent, usually smaller terms for the bit-blaster.  The
+            # query-cache fingerprint below hashes these post-extraction
+            # canonical terms, so semantically equal queries share entries.
+            t0 = time.monotonic()
+            proved, phi, psi = self.simplifier.screen_query(
+                phi, psi, seeded_psis=self._seeded_psis(psi)
+            )
+            self.phase_times["egraph"] += time.monotonic() - t0
+            if proved:
+                return None
+        solve_start = time.monotonic()
         outcome = self._solve_cached(phi, psi)
+        self.phase_times["solve"] += time.monotonic() - solve_start
         self._certs.extend(outcome.certificates)
         bad = [c for c in outcome.certificates if not getattr(c, "valid", True)]
         if bad:
@@ -793,9 +988,9 @@ class _RefinementChecker:
         if outcome.result is EFResult.UNSAT:
             return None
         if outcome.result is EFResult.TIMEOUT:
-            return RefinementResult(Verdict.TIMEOUT, failed_check=name)
+            return self._attach(RefinementResult(Verdict.TIMEOUT, failed_check=name))
         if outcome.result is EFResult.MEMOUT:
-            return RefinementResult(Verdict.OOM, failed_check=name)
+            return self._attach(RefinementResult(Verdict.OOM, failed_check=name))
         if outcome.core_names:
             self._notes.append(_describe_core(name, outcome.core_names))
         # Counterexample found; filter for over-approximation (§3.8).
@@ -831,6 +1026,12 @@ class _RefinementChecker:
         """
         cache = qcache.active()
         certify = self.options.certify
+        # phi/psi are already post-extraction canonical forms (the e-graph
+        # rung ran before this); re-saturating every CEGAR instantiation
+        # costs far more than the CNF it would save, so the per-clause
+        # simplify hook stays off.
+        simplify = None
+        seeds = list(self.seeds) + self._pairing_seeds(psi)
         if cache is None:
             return solve_exists_forall(
                 phi,
@@ -838,8 +1039,9 @@ class _RefinementChecker:
                 self.forall_vars,
                 limits=self._limits(),
                 max_iterations=self.options.max_ef_iterations,
-                symbolic_seeds=self.seeds,
+                symbolic_seeds=seeds,
                 certify=certify,
+                simplify=simplify,
             )
         digest, rename = qcache.canonical_fingerprint(self._cache_items(phi, psi))
         hit = cache.lookup(digest, require_certified_unsat=certify)
@@ -861,8 +1063,9 @@ class _RefinementChecker:
             self.forall_vars,
             limits=self._limits(),
             max_iterations=self.options.max_ef_iterations,
-            symbolic_seeds=self.seeds,
+            symbolic_seeds=seeds,
             certify=certify,
+            simplify=simplify,
         )
         canon_model = {
             rename[name]: value

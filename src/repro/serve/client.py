@@ -112,13 +112,20 @@ class ServeClient:
         name: Optional[str] = None,
         retries: int = 0,
         max_wait_s: Optional[float] = 30.0,
+        certificates: Optional[str] = None,
     ) -> dict:
         """Verify one IR pair; returns ``RefinementResult.to_json()``.
+
+        ``certificates="full"`` asks the server to ship every field of
+        each UNSAT proof certificate (query, digest, lemma/deletion
+        counts, full core) instead of the compact validity summary.
 
         Retryable shedding replies are resubmitted with backoff for up to
         ``max_wait_s`` seconds; other errors raise :class:`ServeError`.
         """
         request = {"op": "verify", "src": src, "tgt": tgt, "retries": retries}
+        if certificates is not None:
+            request["certificates"] = certificates
         if options is not None:
             request["options"] = options.to_json()
         if name is not None:

@@ -9,7 +9,15 @@ error *reply* (or a per-line quarantine), never a dead server.
 Requests (client -> server)::
 
     {"op": "verify", "id": 1, "src": "<IR>", "tgt": "<IR>",
-     "options": {...VerifyOptions.to_json()...}, "name": "...", "retries": 0}
+     "options": {...VerifyOptions.to_json()...}, "name": "...", "retries": 0,
+     "certificates": "full"}
+
+``certificates`` is optional.  ``"full"`` asks the server to ship every
+field of each UNSAT proof certificate (query, digest, reason, lemma and
+deletion counts, the full unsat core) in the reply's ``certificates``
+list, so an auditing client can archive or re-check proofs; omitted or
+any other value, the reply carries only the compact per-certificate
+summary (validity + core size).
     {"op": "test", "id": 2, "test": {...UnitTest fields...},
      "options": {...}, "inject_bugs": true, "batch": 1, "retries": 0}
     {"op": "health"}   {"op": "drain"}   {"op": "shutdown"}

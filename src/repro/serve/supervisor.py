@@ -176,7 +176,12 @@ def _execute_task(msg: dict, cfg: _WorkerConfig, cache) -> dict:
                 )
 
             result = run_contained(job, phase="serve")
-            payload = {"kind": "verify", "result": result.to_json()}
+            payload = {
+                "kind": "verify",
+                "result": result.to_json(
+                    full_certificates=request.get("certificates") == "full"
+                ),
+            }
         with faults.current_test(name):
             faults.maybe_fault("serve-send")
     return payload

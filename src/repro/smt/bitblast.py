@@ -46,6 +46,22 @@ class BitBlaster:
     def num_blasted_terms(self) -> int:
         return len(self._bool_cache) + len(self._bv_cache)
 
+    def cnf_stats(self) -> Dict[str, int]:
+        """Size of the Tseitin CNF built so far.
+
+        Benchmarks compare these across configurations (e.g. with and
+        without the e-graph simplifier) to attribute CNF shrinkage.
+        """
+        return {
+            "vars": int(getattr(self.solver, "num_vars", 0)),
+            "clauses": int(
+                getattr(self.solver, "num_clauses", 0)
+                or len(getattr(self.solver, "clauses", ()) or ())
+            ),
+            "gates": self.num_gates,
+            "terms": self.num_blasted_terms,
+        }
+
     def certificate_digest(self) -> str:
         """Content hash of the CNF + variable map a certificate is about.
 

@@ -578,6 +578,40 @@ _REBUILDERS = {
 }
 
 
+def rebuild_term(op: str, args: Tuple[Term, ...], payload, width: int) -> Term:
+    """Reconstruct a term through the smart constructors.
+
+    This is the public rebuilding entry used by DAG-walking rewriters
+    (substitution, the e-graph extractor): routing every node through the
+    constructors re-applies constant folding and light simplification, so
+    a rebuilt term is always in constructor-canonical form.
+    """
+    if op == "var":
+        return bool_var(payload) if width == 0 else bv_var(payload, width)
+    if op == "const":
+        return bool_const(payload) if width == 0 else bv_const(payload, width)
+    return _REBUILDERS[op](args, payload, width)
+
+
+def term_size(term: Term) -> int:
+    """Number of distinct DAG nodes in ``term`` (shared nodes counted once).
+
+    This is the cost metric budgeting the e-graph layer: Tseitin CNF size
+    tracks the number of distinct gates, which tracks distinct DAG nodes.
+    """
+    count = 0
+    stack = [term]
+    seen = set()
+    while stack:
+        t = stack.pop()
+        if t in seen:
+            continue
+        seen.add(t)
+        count += 1
+        stack.extend(t.args)
+    return count
+
+
 #: Memo for whole-call substitutions.  CEGAR re-substitutes the same
 #: (psi, instantiation) and priming maps many times per refinement job;
 #: interned terms make the (term, mapping) pair a usable dict key, so a

@@ -62,6 +62,11 @@ def main(argv: Optional[List[str]] = None) -> int:
              "refinement queries without the solver (ablation switch)",
     )
     parser.add_argument(
+        "--no-egraph", action="store_true",
+        help="disable the equality-saturation simplifier that discharges "
+             "or shrinks queries before the bit-blaster (ablation switch)",
+    )
+    parser.add_argument(
         "--certify", action="store_true",
         help="log a RUP proof for every UNSAT solver answer and have the "
              "independent checker validate it; a rejected proof downgrades "
@@ -90,6 +95,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         timeout_s=args.timeout,
         unroll_factor=args.unroll,
         prescreen=not args.no_prescreen,
+        egraph=not args.no_egraph,
         certify=args.certify,
     )
     ladder = None
@@ -184,6 +190,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         if t.lint_errors or t.lint_warnings:
             print(
                 f"lint: {t.lint_errors} errors, {t.lint_warnings} warnings"
+            )
+        if t.egraph_proved or t.egraph_shrunk or t.egraph_misses:
+            print(
+                f"egraph: {t.egraph_proved} proved without solver, "
+                f"{t.egraph_shrunk} shrunk, {t.egraph_misses} unchanged"
+            )
+        if t.phase_time_s:
+            print(
+                "phase times: "
+                + ", ".join(
+                    f"{k}={v:.2f}s" for k, v in sorted(t.phase_time_s.items())
+                )
             )
         if t.certified_unsat or t.cert_failures:
             print(

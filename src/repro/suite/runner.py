@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Union
 
 from repro.analysis import prescreen
 from repro.analysis import verify as lint_verify
+from repro.egraph import simplify as egraph_simplify
 from repro.engine import qcache
 from repro.harness import faults
 from repro.harness.deadline import DeadlineExceeded
@@ -73,6 +74,13 @@ class TestRecord:
     cert_failures: int = 0
     unchecked_unsat: int = 0
     core_lits: int = 0
+    # E-graph statistics: queries discharged outright by saturation,
+    # terms the extractor failed to improve, and terms it shrank —
+    # plus aggregate per-phase wall-clock (prescreen/egraph/encode/solve).
+    egraph_proved: int = 0
+    egraph_misses: int = 0
+    egraph_shrunk: int = 0
+    phase_times: Dict[str, float] = field(default_factory=dict)
 
     def count(self, verdict: Verdict) -> None:
         self.verdicts[verdict.value] = self.verdicts.get(verdict.value, 0) + 1
@@ -105,6 +113,13 @@ class TestRecord:
             cert_failures=int(data.get("cert_failures", 0)),
             unchecked_unsat=int(data.get("unchecked_unsat", 0)),
             core_lits=int(data.get("core_lits", 0)),
+            egraph_proved=int(data.get("egraph_proved", 0)),
+            egraph_misses=int(data.get("egraph_misses", 0)),
+            egraph_shrunk=int(data.get("egraph_shrunk", 0)),
+            phase_times={
+                str(k): float(v)
+                for k, v in dict(data.get("phase_times", {})).items()
+            },
         )
 
 
@@ -237,6 +252,9 @@ def _run_one_test(
     ps_hits0, ps_misses0 = prescreen.STATS.hits, prescreen.STATS.misses
     lint_errors0 = lint_verify.LINT_STATS.errors
     lint_warnings0 = lint_verify.LINT_STATS.warnings
+    eg0 = egraph_simplify.STATS
+    eg_proved0, eg_shrunk0 = eg0.proved, eg0.shrunk
+    eg_misses0 = eg0.unchanged
     start = time.monotonic()
     try:
         with faults.current_test(test.name):
@@ -265,6 +283,10 @@ def _run_one_test(
     record.prescreen_misses = prescreen.STATS.misses - ps_misses0
     record.lint_errors = lint_verify.LINT_STATS.errors - lint_errors0
     record.lint_warnings = lint_verify.LINT_STATS.warnings - lint_warnings0
+    eg = egraph_simplify.STATS
+    record.egraph_proved = eg.proved - eg_proved0
+    record.egraph_misses = eg.unchanged - eg_misses0
+    record.egraph_shrunk = eg.shrunk - eg_shrunk0
     return record
 
 
@@ -288,6 +310,7 @@ def _evaluate_test(
             sm.definitions()[0], tm.definitions()[0], sm, tm, options, ladder=ladder
         )
         record.count(result.verdict)
+        _add_phase_times(record, result.phase_times)
         record.degradations.extend(result.degradations)
         if result.diagnostic is not None:
             record.diagnostic = result.diagnostic
@@ -302,6 +325,7 @@ def _evaluate_test(
     )
     for rec in report.records:
         record.count(rec.result.verdict)
+        _add_phase_times(record, rec.result.phase_times)
         record.degradations.extend(rec.result.degradations)
         if rec.result.verdict is Verdict.CRASH and record.diagnostic is None:
             record.diagnostic = rec.result.diagnostic
@@ -316,6 +340,11 @@ def _evaluate_test(
             record.category = None
     elif bug_injected:
         record.missed = True
+
+
+def _add_phase_times(record: TestRecord, phase_times: Dict[str, float]) -> None:
+    for phase, seconds in (phase_times or {}).items():
+        record.phase_times[phase] = record.phase_times.get(phase, 0.0) + seconds
 
 
 def outcome_from_records(records: List[TestRecord]) -> SuiteOutcome:
@@ -348,6 +377,13 @@ def _merge_record(outcome: SuiteOutcome, record: TestRecord) -> None:
     outcome.tally.certified_unsat += record.certified_unsat
     outcome.tally.cert_failures += record.cert_failures
     outcome.tally.core_lits += record.core_lits
+    outcome.tally.egraph_proved += record.egraph_proved
+    outcome.tally.egraph_shrunk += record.egraph_shrunk
+    outcome.tally.egraph_misses += record.egraph_misses
+    for phase, seconds in record.phase_times.items():
+        outcome.tally.phase_time_s[phase] = (
+            outcome.tally.phase_time_s.get(phase, 0.0) + seconds
+        )
     if record.verdicts.get(Verdict.CRASH.value):
         outcome.crashed.append(record.test)
     if record.verdicts.get(Verdict.SOLVER_UNSOUND.value):

@@ -46,9 +46,18 @@ class Tally:
     certified_unsat: int = 0
     cert_failures: int = 0
     core_lits: int = 0
+    # E-graph traffic (equality-saturation rung): queries the simplifier
+    # discharged with zero solver calls, terms it shrank, terms it left
+    # unchanged — plus aggregate per-phase wall-clock across all jobs.
+    egraph_proved: int = 0
+    egraph_shrunk: int = 0
+    egraph_misses: int = 0
+    phase_time_s: Dict[str, float] = field(default_factory=dict)
 
     def add(self, result: RefinementResult) -> None:
         self.add_verdict(result.verdict, result.elapsed_s)
+        for phase, seconds in getattr(result, "phase_times", {}).items():
+            self.phase_time_s[phase] = self.phase_time_s.get(phase, 0.0) + seconds
         for cert in getattr(result, "certificates", ()):
             if cert.valid:
                 self.certified_unsat += 1
@@ -154,6 +163,17 @@ class ValidationReport:
                 f" [prescreen: {t.prescreen_hits} discharged / "
                 f"{t.prescreen_misses} passed on, {t.prescreen_hit_rate:.0%}]"
             )
+        if t.egraph_proved or t.egraph_shrunk or t.egraph_misses:
+            text += (
+                f" [egraph: {t.egraph_proved} proved, "
+                f"{t.egraph_shrunk} shrunk, {t.egraph_misses} unchanged]"
+            )
+        if t.phase_time_s:
+            phases = ", ".join(
+                f"{k}={v:.2f}s"
+                for k, v in sorted(t.phase_time_s.items())
+            )
+            text += f" [phases: {phases}]"
         if t.lint_errors or t.lint_warnings:
             text += (
                 f" [lint: {t.lint_errors} errors, {t.lint_warnings} warnings]"

@@ -147,8 +147,10 @@ def test_timeout_phase_is_reported():
 
 def test_conflict_budget_exhaustion_reports_timeout():
     src, tgt, sm, tm = _pair(MUL_SRC, MUL_TGT_COMM)
+    # egraph off: saturation proves this pair outright, and the point
+    # here is to exhaust the *solver's* conflict budget.
     result = verify_refinement(
-        src, tgt, sm, tm, VerifyOptions(timeout_s=10.0, max_conflicts=1)
+        src, tgt, sm, tm, VerifyOptions(timeout_s=10.0, max_conflicts=1, egraph=False)
     )
     assert result.verdict is Verdict.TIMEOUT
     assert result.elapsed_s > 0.0
@@ -349,13 +351,18 @@ def test_ladder_rungs_halve_unroll_then_shrink_memory():
     ladder = DegradationLadder(max_retries=8)
     options = VerifyOptions(unroll_factor=4)
     steps1, opts1 = ladder.next_rung(options)
-    assert steps1 == ["unroll:4->2"]
+    assert steps1 == ["unroll:4->2", "egraph:512->256"]
     assert opts1.unroll_factor == 2
+    assert opts1.egraph_max_nodes == 256
     steps2, opts2 = ladder.next_rung(opts1)
-    assert steps2 == ["unroll:2->1"]
+    assert steps2 == ["unroll:2->1", "egraph:256->128"]
+    # Unroll has bottomed out; the e-graph budget keeps halving until
+    # its floor, and only then does the memory model start shrinking.
     steps3, opts3 = ladder.next_rung(opts2)
-    assert any(s.startswith("argbytes:") for s in steps3)
-    assert opts3.memory.arg_block_bytes < opts2.memory.arg_block_bytes
+    assert steps3 == ["egraph:128->64"]
+    steps4, opts4 = ladder.next_rung(opts3)
+    assert any(s.startswith("argbytes:") for s in steps4)
+    assert opts4.memory.arg_block_bytes < opts3.memory.arg_block_bytes
 
 
 def test_run_with_degradation_retries_until_verdict():
@@ -372,7 +379,12 @@ def test_run_with_degradation_retries_until_verdict():
     )
     assert result.verdict is Verdict.CORRECT
     assert calls == [4, 2, 1]
-    assert result.degradations == ["unroll:4->2", "unroll:2->1"]
+    assert result.degradations == [
+        "unroll:4->2",
+        "egraph:512->256",
+        "unroll:2->1",
+        "egraph:256->128",
+    ]
 
 
 def test_run_with_degradation_gives_up_after_max_retries():
@@ -383,7 +395,12 @@ def test_run_with_degradation_gives_up_after_max_retries():
         attempt, VerifyOptions(unroll_factor=16), DegradationLadder(max_retries=2)
     )
     assert result.verdict is Verdict.TIMEOUT
-    assert result.degradations == ["unroll:16->8", "unroll:8->4"]
+    assert result.degradations == [
+        "unroll:16->8",
+        "egraph:512->256",
+        "unroll:8->4",
+        "egraph:256->128",
+    ]
 
 
 def test_suite_test_times_out_at_unroll4_then_verifies_degraded():
@@ -426,7 +443,7 @@ def test_run_verification_job_degrades_injected_hang():
             ladder=DegradationLadder(max_retries=1),
         )
     assert result.verdict is Verdict.CORRECT
-    assert result.degradations == ["unroll:4->2"]
+    assert result.degradations == ["unroll:4->2", "egraph:512->256"]
 
 
 # ---------------------------------------------------------------------------

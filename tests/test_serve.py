@@ -178,6 +178,41 @@ def test_verify_op_round_trip(serve):
         assert wrong["counterexample"]  # model shipped over the wire
 
 
+def test_verify_full_certificates_round_trip(serve):
+    """``certificates="full"`` ships every Certificate field over the wire;
+    the default reply carries only the compact validity summary."""
+    _server, spec = serve(fast_config(workers=1))
+    src = (
+        "define i32 @f(i32 %x) {\nentry:\n"
+        "  %y = add i32 %x, 0\n  ret i32 %y\n}"
+    )
+    tgt = "define i32 @f(i32 %x) {\nentry:\n  ret i32 %x\n}"
+    # Certify mode with the bypass rungs off, so the solver actually runs
+    # and every UNSAT answer carries a checked proof certificate.
+    opts = VerifyOptions(
+        timeout_s=10.0, certify=True, prescreen=False, egraph=False
+    )
+    with ServeClient(spec) as client:
+        compact = client.verify(src, tgt, opts)
+        assert compact["verdict"] == "correct"
+        assert compact["certificates"], "certify mode must ship certificates"
+        for cert in compact["certificates"]:
+            assert set(cert) == {"valid", "core_lits"}
+
+        full = client.verify(src, tgt, opts, certificates="full")
+        assert full["verdict"] == "correct"
+        assert len(full["certificates"]) == len(compact["certificates"])
+        for cert, summary in zip(full["certificates"], compact["certificates"]):
+            assert cert["valid"] is True and summary["valid"] is True
+            assert cert["query"] and isinstance(cert["query"], str)
+            assert cert["digest"] and isinstance(cert["digest"], str)
+            assert isinstance(cert["lemmas"], int)
+            assert isinstance(cert["deletions"], int)
+            assert isinstance(cert["checked_lemmas"], int)
+            assert isinstance(cert["core"], list)
+            assert len(cert["core"]) == summary["core_lits"]
+
+
 def test_bad_requests_get_errors_not_a_dead_server(serve):
     _server, spec = serve(fast_config(workers=1))
     with ServeClient(spec) as client:
