@@ -41,7 +41,7 @@ import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.engine import qcache
 from repro.harness import faults
@@ -99,19 +99,59 @@ def _init_worker(
     fault_plan: Optional[FaultPlan],
     cache_enabled: bool,
     cache_path: Optional[str],
+    cache_shards: int = 1,
+    jobs: int = 1,
 ) -> None:
     _worker_state["options"] = options
     _worker_state["inject_bugs"] = inject_bugs
     _worker_state["batch"] = batch
     _worker_state["ladder"] = ladder
     _worker_state["fault_plan"] = fault_plan
+    _worker_state["cache_enabled"] = cache_enabled
+    _worker_state["cache_path"] = cache_path
+    _worker_state["cache_shards"] = max(1, cache_shards)
+    _worker_state["jobs"] = max(1, jobs)
+    # Unsharded caches load eagerly at fork time, exactly as before.
+    # Sharded caches are created lazily by the first chunk, which
+    # carries the owner hint this worker's shard slice is derived from
+    # (ProcessPoolExecutor has no per-worker initargs to carry it here).
     _worker_state["cache"] = (
-        qcache.QueryCache(cache_path) if cache_enabled else None
+        qcache.QueryCache(cache_path)
+        if cache_enabled and cache_shards <= 1
+        else None
     )
 
 
-def _run_chunk(tests: List[UnitTest]) -> List[dict]:
-    """Run a chunk of tests in this worker; returns journal-ready records.
+def _chunk_cache(owner_hint: Optional[int]) -> Optional["qcache.QueryCache"]:
+    """This worker's cache, creating the sharded tier on first use.
+
+    ``owner_hint`` (the chunk's sequence number modulo ``jobs``) picks
+    which shard slice this worker loads and appends; two workers landing
+    on the same hint is harmless — shard appends are line-atomic and
+    reads of unowned shards just miss to the solver.
+    """
+    if not _worker_state.get("cache_enabled"):
+        return None
+    cache = _worker_state.get("cache")
+    if cache is None:
+        shards = _worker_state["cache_shards"]
+        jobs = _worker_state["jobs"]
+        owned = None
+        if shards > 1 and owner_hint is not None:
+            owned = tuple(
+                k for k in range(shards) if k % jobs == owner_hint % jobs
+            )
+        cache = qcache.QueryCache(
+            _worker_state["cache_path"], shards=shards, owned=owned
+        )
+        _worker_state["cache"] = cache
+    return cache
+
+
+def _run_chunk(tests: List[UnitTest], owner_hint: Optional[int] = None) -> dict:
+    """Run a chunk of tests in this worker; returns journal-ready records
+    plus this worker's cache counters (pid-keyed by the parent so the
+    suite summary can report per-worker load bytes).
 
     Batching amortizes task dispatch; per-test state hygiene (intern
     reset, fault scoping) is unchanged from one-test-per-task dispatch,
@@ -120,7 +160,7 @@ def _run_chunk(tests: List[UnitTest]) -> List[dict]:
     from repro.smt.terms import reset_interning
     from repro.suite.runner import _run_one_test
 
-    cache = _worker_state["cache"]
+    cache = _chunk_cache(owner_hint)
     out: List[dict] = []
     with faults.activate(_worker_state["fault_plan"]), qcache.activate(cache):
         for test in tests:
@@ -137,7 +177,11 @@ def _run_chunk(tests: List[UnitTest]) -> List[dict]:
             )
             record.worker = os.getpid()
             out.append(record.to_json())
-    return out
+    return {
+        "records": out,
+        "pid": os.getpid(),
+        "cache": cache.counters() if cache is not None else None,
+    }
 
 
 # -- parent side -------------------------------------------------------------
@@ -155,12 +199,15 @@ def run_parallel(
     ladder: Optional[DegradationLadder] = None,
     cache_enabled: bool = False,
     cache_path: Optional[str] = None,
+    cache_shards: int = 1,
     task_batch: Optional[int] = None,
-) -> List["TestRecord"]:
+) -> Tuple[List["TestRecord"], Dict[int, dict]]:
     """Run ``tests`` across ``jobs`` worker processes.
 
-    Returns records in **corpus order** (tests are keyed by corpus index
-    internally, so duplicate test names get one record each).  The parent
+    Returns ``(records, worker_cache)``: records in **corpus order**
+    (tests are keyed by corpus index internally, so duplicate test names
+    get one record each) and a worker-pid-keyed map of each worker's
+    final cache counters (empty when no cache is configured).  The parent
     journals each record as its worker reports it (single writer,
     crash-safe).
 
@@ -192,9 +239,18 @@ def run_parallel(
         fault_plan,
         cache_enabled,
         cache_path,
+        cache_shards,
+        jobs,
     )
     attempts: List[int] = [0] * len(tests)
     records: Dict[int, TestRecord] = {}
+    worker_cache: Dict[int, dict] = {}
+
+    def absorb(result: dict) -> List[dict]:
+        pid = result.get("pid")
+        if pid is not None and result.get("cache"):
+            worker_cache[pid] = result["cache"]
+        return result.get("records", [])
 
     def finish(idx: int, record: TestRecord) -> None:
         records[idx] = record
@@ -230,13 +286,15 @@ def run_parallel(
             initargs=initargs,
         ) as pool:
             futures = {
-                pool.submit(_run_chunk, [tests[i] for i in chunk]): chunk
-                for chunk in chunks
+                pool.submit(
+                    _run_chunk, [tests[i] for i in chunk], seq % max(1, jobs)
+                ): chunk
+                for seq, chunk in enumerate(chunks)
             }
             for future in as_completed(futures):
                 chunk = futures[future]
                 try:
-                    for idx, rec in zip(chunk, future.result()):
+                    for idx, rec in zip(chunk, absorb(future.result())):
                         finish(idx, TestRecord.from_json(rec))
                 except (KeyboardInterrupt, SystemExit):
                     raise
@@ -279,8 +337,10 @@ def run_parallel(
                     initializer=_init_worker,
                     initargs=initargs,
                 ) as pool:
-                    result = pool.submit(_run_chunk, [test]).result()
-                finish(idx, TestRecord.from_json(result[0]))
+                    result = pool.submit(
+                        _run_chunk, [test], idx % max(1, jobs)
+                    ).result()
+                finish(idx, TestRecord.from_json(absorb(result)[0]))
                 break
             except (KeyboardInterrupt, SystemExit):
                 raise
@@ -289,4 +349,4 @@ def run_parallel(
                 if attempts[idx] >= _MAX_HARD_ATTEMPTS:
                     finish(idx, crash_record(test, exc))
                     break
-    return [records[i] for i in range(len(tests))]
+    return [records[i] for i in range(len(tests))], worker_cache

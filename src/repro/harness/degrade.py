@@ -44,11 +44,28 @@ class DegradationLadder:
     min_unroll: int = 1
 
     def next_rung(
-        self, options: VerifyOptions
+        self, options: VerifyOptions, memout: bool = False
     ) -> Optional[Tuple[List[str], VerifyOptions]]:
-        """The next cheaper configuration, or None when fully degraded."""
+        """The next cheaper configuration, or None when fully degraded.
+
+        With ``memout`` the rung also halves the active query cache's
+        in-memory LRU bounds (``lru-shrink``): under memory pressure the
+        warm cache tier is ballast, and shrinking it is a step the
+        options alone cannot express (it acts on process state, so it
+        happens here, exactly once per rung, and is recorded like any
+        other step).
+        """
         steps: List[str] = []
         changes: dict = {}
+        if memout:
+            from repro.engine import qcache
+
+            cache = qcache.active()
+            if cache is not None:
+                shrunk = cache.shrink()
+                if shrunk is not None:
+                    old, new = shrunk
+                    steps.append(f"lru-shrink:{old}->{new}")
         if options.unroll_factor > self.min_unroll:
             new_unroll = max(self.min_unroll, options.unroll_factor // 2)
             changes["unroll_factor"] = new_unroll
@@ -94,7 +111,7 @@ def run_with_degradation(
         result.verdict in (Verdict.TIMEOUT, Verdict.OOM)
         and retries < ladder.max_retries
     ):
-        rung = ladder.next_rung(current)
+        rung = ladder.next_rung(current, memout=result.verdict is Verdict.OOM)
         if rung is None:
             break
         steps, current = rung

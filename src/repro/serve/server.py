@@ -1,11 +1,20 @@
 """The ``alive-serve`` daemon: a socket front-end over the supervisor.
 
-One thread accepts connections; each connection gets a reader thread
-that parses newline-framed JSON requests and submits them to the shared
-:class:`~repro.serve.supervisor.Supervisor`.  Replies are written from
-future callbacks as verdicts complete — out of submission order, matched
-by ``id`` — under a per-connection write lock, so one slow request never
-blocks the verdict stream behind it.
+The connection layer is readiness-driven, not thread-per-connection:
+one IO thread owns a :mod:`selectors` selector watching the listener and
+every live connection, so a thousand idle clients cost a thousand file
+descriptors and zero threads.  Readable connections have their bytes
+pulled into per-connection buffers, split into newline frames, and the
+frames fanned out to a small **bounded pool of handler threads** that
+parse and dispatch requests (per-connection in order — frames from one
+socket are never handled concurrently).  ``max_connections`` caps the
+accepted set; clients over the cap get an ``OVERLOADED`` reply and an
+immediate close, the same shed-don't-queue policy the supervisor applies
+to requests.
+
+Replies are written from future callbacks as verdicts complete — out of
+submission order, matched by ``id`` — under a per-connection write lock,
+so one slow request never blocks the verdict stream behind it.
 
 Signals (when run as a main program):
 
@@ -20,11 +29,14 @@ from __future__ import annotations
 import argparse
 import json
 import logging
+import queue
+import selectors
 import signal
 import socket
 import sys
 import threading
-from typing import Optional, Set
+from collections import deque
+from typing import Deque, Optional, Set
 
 from repro.refinement.check import VerifyOptions
 from repro.serve import protocol
@@ -35,35 +47,92 @@ logger = logging.getLogger("repro.serve.server")
 _DATA_OPS = ("verify", "test")
 
 
+class _Conn:
+    """One accepted connection: its socket, read buffer, frame queue."""
+
+    __slots__ = ("sock", "buf", "write_lock", "frames", "queued", "closed")
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.buf = b""
+        self.write_lock = threading.Lock()
+        self.frames: Deque[bytes] = deque()  # parsed, unhandled frames
+        self.queued = False  # sitting in the handler work queue?
+        self.closed = False
+
+    def reply(self, message: dict) -> None:
+        try:
+            frame = protocol.encode_message(message)
+        except protocol.ProtocolError as exc:
+            frame = protocol.encode_message(
+                {
+                    "id": message.get("id"),
+                    "ok": False,
+                    "error": protocol.BAD_REQUEST,
+                    "detail": f"reply too large: {exc}",
+                }
+            )
+        with self.write_lock:
+            try:
+                self.sock.sendall(frame)
+            except OSError:
+                pass  # client went away; verdict is already computed
+
+
 class ServeServer:
-    """Accept loop + per-connection request pumps over one supervisor."""
+    """Selector-driven accept/read loop + handler pool over one supervisor."""
 
     def __init__(
-        self, address: protocol.Address, config: Optional[ServeConfig] = None
+        self,
+        address: protocol.Address,
+        config: Optional[ServeConfig] = None,
+        *,
+        conn_threads: int = 4,
+        max_connections: int = 256,
     ) -> None:
         self.address = address
         self.supervisor = Supervisor(config)
+        self.conn_threads = max(1, conn_threads)
+        self.max_connections = max(1, max_connections)
         self._listener: Optional[socket.socket] = None
+        self._selector: Optional[selectors.BaseSelector] = None
         self._shutdown = threading.Event()
         self._drain_timeout_s: Optional[float] = None
-        self._conns: Set[socket.socket] = set()
+        self._conns: Set[_Conn] = set()
         self._conns_lock = threading.Lock()
-        self._accept_thread: Optional[threading.Thread] = None
+        self._io_thread: Optional[threading.Thread] = None
+        self._handlers: list = []
+        self._work: "queue.Queue[Optional[_Conn]]" = queue.Queue()
 
     # -- lifecycle ---------------------------------------------------------
     def start(self) -> "ServeServer":
         """Bind, start workers, and begin accepting in the background."""
         self.supervisor.start()
         self._listener = protocol.create_server_socket(self.address)
-        self._listener.settimeout(0.2)
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, name="serve-accept", daemon=True
+        # Non-blocking listener: accept() is only called on readiness,
+        # and a raced-away connection must not stall the IO loop.
+        self._listener.setblocking(False)
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(self._listener, selectors.EVENT_READ, None)
+        self._io_thread = threading.Thread(
+            target=self._io_loop, name="serve-io", daemon=True
         )
-        self._accept_thread.start()
+        self._io_thread.start()
+        self._handlers = [
+            threading.Thread(
+                target=self._handler_loop, name=f"serve-handler-{i}", daemon=True
+            )
+            for i in range(self.conn_threads)
+        ]
+        for thread in self._handlers:
+            thread.start()
         logger.info(
-            "alive-serve listening on %s (%d workers)",
+            "alive-serve listening on %s (%d workers, %d handler threads, "
+            "%d connection cap)",
             protocol.format_address(self.address),
             self.supervisor.config.workers,
+            self.conn_threads,
+            self.max_connections,
         )
         return self
 
@@ -84,22 +153,27 @@ class ServeServer:
     def _teardown(self) -> None:
         listener = self._listener
         self._listener = None
+        if self._io_thread is not None:
+            self._io_thread.join(timeout=2.0)
+            self._io_thread = None
         if listener is not None:
             try:
                 listener.close()
             except OSError:
                 pass
-        if self._accept_thread is not None:
-            self._accept_thread.join(timeout=2.0)
-            self._accept_thread = None
+        for _ in self._handlers:
+            self._work.put(None)
+        for thread in self._handlers:
+            thread.join(timeout=2.0)
+        self._handlers = []
         self.supervisor.shutdown(self._drain_timeout_s)
         with self._conns_lock:
             conns = list(self._conns)
         for conn in conns:
-            try:
-                conn.close()
-            except OSError:
-                pass
+            self._drop_conn(conn)
+        if self._selector is not None:
+            self._selector.close()
+            self._selector = None
         if self.address[0] == "unix":
             import os
 
@@ -108,82 +182,155 @@ class ServeServer:
             except OSError:
                 pass
 
-    # -- connections -------------------------------------------------------
-    def _accept_loop(self) -> None:
+    # -- the IO loop -------------------------------------------------------
+    def _io_loop(self) -> None:
+        """Accept + read readiness for every socket, one thread total."""
+        selector = self._selector
         while not self._shutdown.is_set():
-            listener = self._listener
-            if listener is None:
-                return
             try:
-                conn, _peer = listener.accept()
-            except socket.timeout:
-                continue
+                events = selector.select(timeout=0.2)
+            except OSError:
+                return
+            for key, _mask in events:
+                if key.data is None:
+                    self._accept_ready()
+                else:
+                    self._read_ready(key.data)
+
+    def _accept_ready(self) -> None:
+        listener = self._listener
+        if listener is None:
+            return
+        while True:
+            try:
+                sock, _peer = listener.accept()
+            except (BlockingIOError, InterruptedError):
+                return
             except OSError:
                 return
             with self._conns_lock:
-                self._conns.add(conn)
-            threading.Thread(
-                target=self._serve_connection, args=(conn,), daemon=True
-            ).start()
-
-    def _serve_connection(self, conn: socket.socket) -> None:
-        write_lock = threading.Lock()
-
-        def reply(message: dict) -> None:
-            try:
-                frame = protocol.encode_message(message)
-            except protocol.ProtocolError as exc:
-                frame = protocol.encode_message(
+                over = len(self._conns) >= self.max_connections
+                conn = _Conn(sock)
+                if not over:
+                    self._conns.add(conn)
+            if over:
+                # Shed, don't queue: same policy as the supervisor.
+                conn.reply(
                     {
-                        "id": message.get("id"),
+                        "id": None,
                         "ok": False,
-                        "error": protocol.BAD_REQUEST,
-                        "detail": f"reply too large: {exc}",
+                        "error": protocol.OVERLOADED,
+                        "detail": f"connection cap ({self.max_connections})",
                     }
                 )
-            with write_lock:
                 try:
-                    conn.sendall(frame)
+                    sock.close()
                 except OSError:
-                    pass  # client went away; verdict is already computed
+                    pass
+                continue
+            # The socket stays *blocking*: reads happen only on readiness
+            # (never stalling the IO thread past one buffered chunk) and
+            # replies may use plain sendall from handler/callback threads.
+            try:
+                self._selector.register(sock, selectors.EVENT_READ, conn)
+            except (KeyError, ValueError, OSError):
+                self._drop_conn(conn)
 
+    def _read_ready(self, conn: _Conn) -> None:
         try:
-            reader = protocol.LineReader(conn)
-            for line in reader:
-                if not line.strip():
-                    continue
-                try:
-                    request = protocol.decode_message(line)
-                except protocol.ProtocolError as exc:
-                    reply(
-                        {
-                            "id": None,
-                            "ok": False,
-                            "error": protocol.BAD_REQUEST,
-                            "detail": str(exc),
-                        }
-                    )
-                    continue
-                if not self._handle_request(request, reply):
-                    break
-        except protocol.ProtocolError as exc:
-            reply(
+            data = conn.sock.recv(65536)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self._drop_conn(conn)
+            return
+        if not data:
+            self._drop_conn(conn)
+            return
+        conn.buf += data
+        frames = []
+        while True:
+            nl = conn.buf.find(b"\n")
+            if nl < 0:
+                break
+            frames.append(conn.buf[:nl])
+            conn.buf = conn.buf[nl + 1 :]
+        if len(conn.buf) > protocol.MAX_LINE_BYTES:
+            # A frame that never ends: answer once and cut the cord
+            # instead of buffering without bound.
+            conn.reply(
                 {
                     "id": None,
                     "ok": False,
                     "error": protocol.BAD_REQUEST,
-                    "detail": str(exc),
+                    "detail": "oversized frame",
                 }
             )
+            self._drop_conn(conn)
+            return
+        if frames:
+            self._enqueue(conn, frames)
+
+    def _enqueue(self, conn: _Conn, frames: list) -> None:
+        """Hand parsed frames to the handler pool, one queue entry per
+        connection at a time so a connection's requests stay ordered."""
+        with self._conns_lock:
+            if conn.closed:
+                return
+            conn.frames.extend(frames)
+            if conn.queued:
+                return
+            conn.queued = True
+        self._work.put(conn)
+
+    def _drop_conn(self, conn: _Conn) -> None:
+        with self._conns_lock:
+            conn.closed = True
+            self._conns.discard(conn)
+        selector = self._selector
+        if selector is not None:
+            try:
+                selector.unregister(conn.sock)
+            except (KeyError, ValueError, OSError):
+                pass
+        try:
+            conn.sock.close()
         except OSError:
             pass
-        finally:
+
+    # -- handler pool ------------------------------------------------------
+    def _handler_loop(self) -> None:
+        while True:
+            conn = self._work.get()
+            if conn is None:
+                return
+            self._process_conn(conn)
+
+    def _process_conn(self, conn: _Conn) -> None:
+        """Drain one connection's pending frames, in order."""
+        while True:
             with self._conns_lock:
-                self._conns.discard(conn)
+                if conn.closed or not conn.frames:
+                    conn.queued = False
+                    return
+                line = conn.frames.popleft()
+            if not line.strip():
+                continue
             try:
-                conn.close()
-            except OSError:
-                pass
+                request = protocol.decode_message(line)
+            except protocol.ProtocolError as exc:
+                conn.reply(
+                    {
+                        "id": None,
+                        "ok": False,
+                        "error": protocol.BAD_REQUEST,
+                        "detail": str(exc),
+                    }
+                )
+                continue
+            if not self._handle_request(request, conn.reply):
+                self._drop_conn(conn)
+                return
 
     # -- request handling --------------------------------------------------
     def _handle_request(self, request: dict, reply) -> bool:
@@ -309,6 +456,30 @@ def _build_parser() -> argparse.ArgumentParser:
         help="shared persistent solver-query cache (JSONL)",
     )
     parser.add_argument(
+        "--cache-shards",
+        type=int,
+        default=8,
+        metavar="N",
+        help="split the query cache into N digest-routed shard files; "
+        "each worker slot loads/appends only the shards it owns "
+        "(1 = legacy single-file layout; existing files migrate "
+        "automatically)",
+    )
+    parser.add_argument(
+        "--conn-threads",
+        type=int,
+        default=4,
+        help="bounded pool of request-handler threads shared by all "
+        "connections (the IO loop itself is a single selector thread)",
+    )
+    parser.add_argument(
+        "--max-connections",
+        type=int,
+        default=256,
+        help="accepted-connection cap; clients over it are shed with "
+        "OVERLOADED instead of exhausting descriptors/threads",
+    )
+    parser.add_argument(
         "--timeout",
         type=float,
         default=30.0,
@@ -354,6 +525,7 @@ def main(argv: Optional[list] = None) -> int:
         drain_timeout_s=args.drain_timeout,
         cache_enabled=args.query_cache is not None,
         cache_path=args.query_cache,
+        cache_shards=max(1, args.cache_shards),
         default_options=options.to_json(),
     )
     try:
@@ -362,7 +534,12 @@ def main(argv: Optional[list] = None) -> int:
         print(f"alive-serve: {exc}", file=sys.stderr)
         return 2
 
-    server = ServeServer(address, config).start()
+    server = ServeServer(
+        address,
+        config,
+        conn_threads=max(1, args.conn_threads),
+        max_connections=max(1, args.max_connections),
+    ).start()
 
     def on_terminate(signum, _frame) -> None:
         logger.info(
@@ -377,7 +554,9 @@ def main(argv: Optional[list] = None) -> int:
         if args.query_cache is not None:
             from repro.engine.qcache import QueryCache
 
-            discarded = QueryCache(args.query_cache).heal()
+            discarded = QueryCache(
+                args.query_cache, shards=max(1, args.cache_shards)
+            ).heal()
             logger.info(
                 "query cache healed: %d corrupt entr%s discarded",
                 discarded,

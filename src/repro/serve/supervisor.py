@@ -94,6 +94,16 @@ class ServeConfig:
     drain_timeout_s: float = 10.0
     cache_enabled: bool = False
     cache_path: Optional[str] = None
+    #: Shard count for the two-tier query cache.  With ``shards > 1``
+    #: each worker slot owns the shard indices congruent to its slot
+    #: index, so it loads and appends only its slice of the disk tier
+    #: (see :mod:`repro.engine.qcache`); slot indices are stable across
+    #: restarts, so a respawned worker re-adopts the same shards.
+    cache_shards: int = 1
+    #: Interned-term high-water mark: a worker whose intern table grows
+    #: past this resets it between tasks (warm-universe hygiene — the
+    #: warm pool's answer to the cold pool's per-test reset).
+    intern_limit: int = 400_000
     fault_plan: Optional[FaultPlan] = None
     fault_attempts: Tuple[int, ...] = (1,)
     default_options: Optional[dict] = None  # VerifyOptions.to_json()
@@ -111,9 +121,38 @@ class _WorkerConfig:
     heartbeat_interval_s: float
     cache_enabled: bool
     cache_path: Optional[str]
+    cache_shards: int
+    cache_owned: Optional[Tuple[int, ...]]
+    intern_limit: int
     fault_plan: Optional[FaultPlan]
     fault_attempts: Tuple[int, ...]
     default_options: Optional[dict]
+
+
+def _unittest_from_json(t: dict):
+    from repro.suite.unittests import UnitTest
+
+    return UnitTest(
+        name=t["name"],
+        ir=t["ir"],
+        pipeline=tuple(t.get("pipeline") or ()),
+        bug_option=t.get("bug_option"),
+        category=t.get("category"),
+        buggy_target=t.get("buggy_target"),
+    )
+
+
+def _trim_interning(limit: int) -> None:
+    """Reset the interned-term universe once it crosses ``limit``.
+
+    Between-test resets are exactly what the cold pool does every test,
+    so triggering one here can only restore the cold-start state — the
+    warm pool keeps the universe as long as memory allows and no longer.
+    """
+    from repro.smt.terms import intern_size, reset_interning
+
+    if limit > 0 and intern_size() > limit:
+        reset_interning()
 
 
 def _execute_task(msg: dict, cfg: _WorkerConfig, cache) -> dict:
@@ -121,7 +160,6 @@ def _execute_task(msg: dict, cfg: _WorkerConfig, cache) -> dict:
     from repro.engine import qcache
     from repro.ir.parser import parse_module
     from repro.suite.runner import _run_one_test
-    from repro.suite.unittests import UnitTest
 
     request = msg["request"]
     attempt = int(msg.get("attempt", 1))
@@ -142,18 +180,34 @@ def _execute_task(msg: dict, cfg: _WorkerConfig, cache) -> dict:
     with faults.activate(plan), qcache.activate(cache):
         with faults.current_test(name):
             faults.maybe_fault("serve-recv")
-        if request["op"] == "test":
-            t = request["test"]
-            test = UnitTest(
-                name=t["name"],
-                ir=t["ir"],
-                pipeline=tuple(t.get("pipeline") or ()),
-                bug_option=t.get("bug_option"),
-                category=t.get("category"),
-                buggy_target=t.get("buggy_target"),
-            )
+        if request["op"] == "chunk":
+            # A batch-engine task: many tests per dispatch, amortizing
+            # the per-request pipe round-trip the same way engine.pool
+            # batches tests per pool task.  The interned term universe
+            # stays warm across tests (that is the warm pool's point);
+            # _trim_interning bounds it at the configured high-water
+            # mark, which a cold pool resets to after *every* test.
+            records = []
+            for t in request["tests"]:
+                _trim_interning(cfg.intern_limit)
+                record = _run_one_test(
+                    _unittest_from_json(t),
+                    options,
+                    bool(request.get("inject_bugs", True)),
+                    int(request.get("batch", 1)),
+                    ladder,
+                )
+                record.worker = os.getpid()
+                records.append(record.to_json())
+            payload = {
+                "kind": "chunk",
+                "records": records,
+                "pid": os.getpid(),
+                "cache": cache.counters() if cache is not None else None,
+            }
+        elif request["op"] == "test":
             record = _run_one_test(
-                test,
+                _unittest_from_json(request["test"]),
                 options,
                 bool(request.get("inject_bugs", True)),
                 int(request.get("batch", 1)),
@@ -205,7 +259,11 @@ def _worker_main(conn, cfg: _WorkerConfig) -> None:
     from repro.tv import plugin as _plugin  # noqa: F401
 
     cache = (
-        QueryCache(cfg.cache_path)
+        QueryCache(
+            cfg.cache_path,
+            shards=cfg.cache_shards,
+            owned=cfg.cache_owned,
+        )
         if (cfg.cache_enabled or cfg.cache_path is not None)
         else None
     )
@@ -269,6 +327,10 @@ def _worker_main(conn, cfg: _WorkerConfig) -> None:
             }
         state["task"] = None
         send({"type": "result", "id": rid, "payload": payload})
+        # Warm-universe hygiene between requests: keep interned terms
+        # (and every term-keyed memo) alive while they fit, reset once
+        # past the high-water mark.
+        _trim_interning(cfg.intern_limit)
     stop_event.set()
 
 
@@ -278,16 +340,30 @@ def _worker_main(conn, cfg: _WorkerConfig) -> None:
 
 
 class _Pending:
-    """One submitted request: its future, attempt count, and deadline."""
+    """One submitted request: its future, attempt budget, and deadline."""
 
-    __slots__ = ("rid", "request", "future", "attempts", "task_timeout_s")
+    __slots__ = (
+        "rid",
+        "request",
+        "future",
+        "attempts",
+        "task_timeout_s",
+        "max_attempts",
+    )
 
-    def __init__(self, rid: int, request: dict, task_timeout_s: float) -> None:
+    def __init__(
+        self,
+        rid: int,
+        request: dict,
+        task_timeout_s: float,
+        max_attempts: int,
+    ) -> None:
         self.rid = rid
         self.request = request
         self.future: Future = Future()
         self.attempts = 0  # dispatches so far
         self.task_timeout_s = task_timeout_s
+        self.max_attempts = max(1, max_attempts)
 
 
 @dataclass
@@ -433,10 +509,20 @@ class Supervisor:
             self._next_rid += 1
             rid = self._next_rid
             options = request.get("options") or self.config.default_options or {}
-            base = options.get("timeout_s")
+            # A request may carry its own hang deadline (a chunk of N
+            # tests legitimately runs ~N times longer than one test) and
+            # its own attempt budget (a chunk is dispatched once — its
+            # tests are retried individually for attribution, the same
+            # split engine.pool performs after a pool collapse).
+            base = request.get("timeout_s")
+            if base is None:
+                base = options.get("timeout_s")
             if base is None:
                 base = self.config.default_task_s
-            pending = _Pending(rid, request, float(base) + self.config.task_grace_s)
+            budget = int(request.get("max_attempts") or self.config.max_attempts)
+            pending = _Pending(
+                rid, request, float(base) + self.config.task_grace_s, budget
+            )
             self._queue.append(pending)
             self.stats["submitted"] += 1
             return pending.future
@@ -471,10 +557,24 @@ class Supervisor:
     # -- worker management -------------------------------------------------
     def _spawn(self, slot: _Slot) -> None:
         cfg = self.config
+        owned = None
+        if cfg.cache_shards > 1:
+            # Slot indices are stable across restarts, so ownership is a
+            # fixed partition: slot i owns the shard indices congruent
+            # to i modulo the pool size.  Every shard has exactly one
+            # owner when shards >= workers; a replacement worker re-loads
+            # exactly the slice its predecessor owned.
+            n = max(1, len(self._slots))
+            owned = tuple(
+                k for k in range(cfg.cache_shards) if k % n == slot.idx % n
+            )
         wcfg = _WorkerConfig(
             heartbeat_interval_s=cfg.heartbeat_interval_s,
             cache_enabled=cfg.cache_enabled,
             cache_path=cfg.cache_path,
+            cache_shards=cfg.cache_shards,
+            cache_owned=owned,
+            intern_limit=cfg.intern_limit,
             fault_plan=cfg.fault_plan,
             fault_attempts=tuple(cfg.fault_attempts),
             default_options=cfg.default_options,
@@ -558,7 +658,7 @@ class Supervisor:
         self._kill_slot_proc(slot)
         if pending is None:
             return
-        if pending.attempts < self.config.max_attempts:
+        if pending.attempts < pending.max_attempts:
             with self._lock:
                 self.stats["retries"] += 1
                 self._queue.appendleft(pending)  # retries jump the line
@@ -571,10 +671,22 @@ class Supervisor:
         """The degraded verdict for a request whose budget is exhausted."""
         message = (
             f"worker lost ({reason}) on every attempt "
-            f"({pending.attempts}/{self.config.max_attempts})"
+            f"({pending.attempts}/{pending.max_attempts})"
         )
         diagnostic = worker_loss_diagnostic(message)
         request = pending.request
+        if request.get("op") == "chunk":
+            # The warm pool resubmits each member as a singleton "test"
+            # request, where a repeat failure is attributable to one test.
+            return {
+                "kind": "chunk_crash",
+                "tests": [
+                    t.get("name", "<unnamed>")
+                    for t in request.get("tests", [])
+                ],
+                "detail": message,
+                "diagnostic": diagnostic,
+            }
         if request.get("op") == "test":
             test = request.get("test") or {}
             return {

@@ -40,6 +40,17 @@ def fresh_name(prefix: str = "tmp") -> str:
     return f"{prefix}!{next(_FRESH_COUNTER)}"
 
 
+def intern_size() -> int:
+    """Number of live interned terms (the warm pool's memory gauge).
+
+    Warm-pool workers keep the interned universe alive across tests to
+    amortize re-interning, but reset it once this count crosses their
+    high-water mark — the same :func:`reset_interning` a cold pool runs
+    per test, just triggered by memory pressure instead of test count.
+    """
+    return len(_INTERN)
+
+
 def reset_interning() -> None:
     """Clear the intern table (mainly to bound memory in long test runs).
 

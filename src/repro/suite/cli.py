@@ -57,6 +57,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="force the query-result cache off (overrides --query-cache)",
     )
     parser.add_argument(
+        "--cache-shards", type=int, default=8, metavar="N",
+        help="split the persistent query cache into N digest-routed shard "
+             "files so each worker loads/appends only its owned slice; 1 "
+             "keeps the legacy single-file layout (existing files are "
+             "migrated automatically on first sharded open)",
+    )
+    parser.add_argument(
+        "--warm-pool", action="store_true",
+        help="unittests: run --jobs workers as a persistent pre-forked "
+             "pool (serve-supervised: heartbeats, hang SIGKILL, restart "
+             "backoff) instead of a fresh process pool; interned terms "
+             "and the in-memory cache tier stay warm across tests",
+    )
+    parser.add_argument(
         "--no-prescreen", action="store_true",
         help="disable the static-analysis prescreen that discharges "
              "refinement queries without the solver (ablation switch)",
@@ -106,16 +120,18 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.what == "unittests":
         from repro.engine.pool import default_jobs
-        from repro.engine.qcache import QueryCache
         from repro.suite.runner import run_suite
         from repro.suite.unittests import UNIT_TESTS
 
         jobs = args.jobs if args.jobs is not None else default_jobs()
         # Opt-in: verdicts only replay across tests/runs when asked for,
         # keeping default runs comparable with earlier sequential ones.
+        # The raw path (not a loaded QueryCache) goes to run_suite so
+        # pooled runs never parse the cache file in the parent.
         cache = None
+        cache_shards = max(1, args.cache_shards)
         if args.query_cache is not None and not args.no_query_cache:
-            cache = QueryCache(args.query_cache or None)
+            cache = args.query_cache
         tests = UNIT_TESTS[: args.limit] if args.limit is not None else UNIT_TESTS
         fault_plan = None
         if args.inject_unsound is not None:
@@ -138,17 +154,33 @@ def main(argv: Optional[List[str]] = None) -> int:
                 )
             outcome = outcome_from_records(records)
         else:
-            outcome = run_suite(
-                tests,
-                options,
-                inject_bugs=not args.clean,
-                batch=args.batch,
-                journal=args.journal,
-                fault_plan=fault_plan,
-                ladder=ladder,
-                jobs=jobs,
-                query_cache=cache,
-            )
+            warm_pool = None
+            if args.warm_pool:
+                from repro.engine.warmpool import WarmPool
+
+                warm_pool = WarmPool(
+                    jobs=jobs,
+                    cache_enabled=cache is not None,
+                    cache_path=cache or None,
+                    cache_shards=cache_shards,
+                )
+            try:
+                outcome = run_suite(
+                    tests,
+                    options,
+                    inject_bugs=not args.clean,
+                    batch=args.batch,
+                    journal=args.journal,
+                    fault_plan=fault_plan,
+                    ladder=ladder,
+                    jobs=jobs,
+                    query_cache=cache,
+                    cache_shards=cache_shards,
+                    warm_pool=warm_pool,
+                )
+            finally:
+                if warm_pool is not None:
+                    warm_pool.close()
         if args.verdicts_out is not None:
             import json
 
@@ -181,6 +213,22 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"query cache: {t.qcache_hits} hits / {t.qcache_misses} misses "
                 f"({t.qcache_hit_rate:.0%} hit rate)"
             )
+        if t.qcache_load_entries or t.qcache_load_bytes or t.qcache_evictions:
+            print(
+                f"cache tier: {t.qcache_load_entries} entries / "
+                f"{t.qcache_load_bytes} bytes loaded across workers, "
+                f"{t.qcache_evictions} LRU evictions"
+            )
+        if outcome.worker_cache:
+            for pid in sorted(outcome.worker_cache):
+                c = outcome.worker_cache[pid]
+                print(
+                    f"  pid {pid}: owned {c.get('owned_shards')}/"
+                    f"{c.get('shards')} shards, loaded "
+                    f"{c.get('load_entries', 0)} entries / "
+                    f"{c.get('load_bytes', 0)} bytes, "
+                    f"{c.get('hits', 0)} hits / {c.get('misses', 0)} misses"
+                )
         if t.prescreen_hits or t.prescreen_misses:
             print(
                 f"prescreen: {t.prescreen_hits} discharged / "

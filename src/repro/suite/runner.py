@@ -134,6 +134,10 @@ class SuiteOutcome:
     solver_unsound: List[str] = field(default_factory=list)  # rejected certificates
     records: List[TestRecord] = field(default_factory=list)
     resumed: int = 0  # tests replayed from the journal instead of re-run
+    # Parallel runs: worker pid -> that worker's final query-cache
+    # counters (per-shard load bytes/entries, LRU evictions, hit rate),
+    # so cache-tier wins are measurable per worker, not inferred.
+    worker_cache: Dict[int, dict] = field(default_factory=dict)
 
     def summary_rows(self) -> List[Dict[str, object]]:
         return [
@@ -153,7 +157,9 @@ def run_suite(
     ladder: Optional[DegradationLadder] = None,
     jobs: int = 1,
     query_cache: Optional[Union[str, "qcache.QueryCache"]] = None,
+    cache_shards: int = 1,
     task_batch: Optional[int] = None,
+    warm_pool: Optional["object"] = None,
 ) -> SuiteOutcome:
     """Validate every test; returns outcome statistics.
 
@@ -173,37 +179,62 @@ def run_suite(
     worker).  ``query_cache`` (a path or a
     :class:`~repro.engine.qcache.QueryCache`) short-circuits structurally
     repeated solver queries; with ``jobs > 1`` each worker gets its own
-    cache instance over the same on-disk file, if any.
+    cache instance over the same on-disk file, if any.  ``cache_shards``
+    splits that file into digest-routed shard files so each worker loads
+    and appends only its owned slice (see :mod:`repro.engine.qcache`).
+    ``warm_pool`` (a started :class:`repro.engine.warmpool.WarmPool`)
+    replaces the per-run process pool with persistent pre-forked workers
+    whose interned term universe and in-memory cache tier stay warm
+    across runs; verdicts are identical either way.
     """
     options = options or VerifyOptions(timeout_s=30.0)
     if isinstance(journal, (str, bytes)) or hasattr(journal, "__fspath__"):
         journal = RunJournal(journal)
+    # The parent only loads the cache file(s) when it will run tests
+    # itself: for pooled runs it needs the path, not the entries.
     cache: Optional[qcache.QueryCache] = None
+    cache_path: Optional[str] = None
+    cache_configured = query_cache is not None
     if isinstance(query_cache, qcache.QueryCache):
         cache = query_cache
+        cache_path = cache.path
     elif query_cache is not None:
-        cache = qcache.QueryCache(os.fspath(query_cache))
+        cache_path = os.fspath(query_cache) or None
     outcome = SuiteOutcome()
 
     pending = [
         t for t in tests if journal is None or not journal.is_done(t.name)
     ]
-    if jobs > 1 and len(pending) > 1:
-        from repro.engine.pool import run_parallel
+    pooled = warm_pool is not None or (jobs > 1 and len(pending) > 1)
+    if pooled and pending:
+        if warm_pool is not None:
+            fresh = warm_pool.run(
+                pending,
+                options,
+                inject_bugs,
+                batch,
+                journal=journal,
+                ladder=ladder,
+                task_batch=task_batch,
+            )
+            outcome.worker_cache = dict(warm_pool.worker_cache)
+        else:
+            from repro.engine.pool import run_parallel
 
-        fresh = run_parallel(
-            pending,
-            options,
-            inject_bugs,
-            batch,
-            jobs=jobs,
-            journal=journal,
-            fault_plan=fault_plan,
-            ladder=ladder,
-            cache_enabled=cache is not None,
-            cache_path=cache.path if cache is not None else None,
-            task_batch=task_batch,
-        )
+            fresh, outcome.worker_cache = run_parallel(
+                pending,
+                options,
+                inject_bugs,
+                batch,
+                jobs=jobs,
+                journal=journal,
+                fault_plan=fault_plan,
+                ladder=ladder,
+                cache_enabled=cache_configured,
+                cache_path=cache_path,
+                cache_shards=cache_shards,
+                task_batch=task_batch,
+            )
         # ``fresh`` is in ``pending`` order; consume it positionally so
         # duplicate test names cannot collapse onto one record.
         k = 0
@@ -215,8 +246,11 @@ def run_suite(
                 record = TestRecord.from_json(journal.get(test.name))
                 outcome.resumed += 1
             _merge_record(outcome, record)
+        _merge_worker_cache(outcome)
         return outcome
 
+    if cache is None and cache_configured:
+        cache = qcache.QueryCache(cache_path, shards=cache_shards)
     with faults.activate(fault_plan), qcache.activate(cache):
         for test in tests:
             if journal is not None and journal.is_done(test.name):
@@ -227,6 +261,9 @@ def run_suite(
                 if journal is not None:
                     journal.record(record.to_json())
             _merge_record(outcome, record)
+    if cache is not None:
+        outcome.worker_cache = {os.getpid(): cache.counters()}
+        _merge_worker_cache(outcome)
     return outcome
 
 
@@ -358,6 +395,14 @@ def outcome_from_records(records: List[TestRecord]) -> SuiteOutcome:
     for record in records:
         _merge_record(outcome, record)
     return outcome
+
+
+def _merge_worker_cache(outcome: SuiteOutcome) -> None:
+    """Fold per-worker cache counters into the tally's load totals."""
+    for counters in outcome.worker_cache.values():
+        outcome.tally.qcache_load_entries += int(counters.get("load_entries", 0))
+        outcome.tally.qcache_load_bytes += int(counters.get("load_bytes", 0))
+        outcome.tally.qcache_evictions += int(counters.get("evictions", 0))
 
 
 def _merge_record(outcome: SuiteOutcome, record: TestRecord) -> None:

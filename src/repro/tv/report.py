@@ -34,6 +34,13 @@ class Tally:
     # Query-cache traffic (engine layer); hits skipped the solver entirely.
     qcache_hits: int = 0
     qcache_misses: int = 0
+    # Cache-tier load cost (sharded two-tier cache): JSONL entries/bytes
+    # parsed by workers at cache open — what shard ownership shrinks —
+    # and in-memory LRU evictions under the bounds.  Deliberately not
+    # part of row(): load cost is an engine property, not a verdict.
+    qcache_load_entries: int = 0
+    qcache_load_bytes: int = 0
+    qcache_evictions: int = 0
     # Static prescreen traffic (analysis layer): queries discharged by
     # dataflow facts before ever reaching the cache or the solver, plus
     # lint diagnostics from the pre-verification gate.
@@ -157,6 +164,12 @@ class ValidationReport:
             text += (
                 f" [query cache: {t.qcache_hits} hits / "
                 f"{t.qcache_misses} misses, {t.qcache_hit_rate:.0%}]"
+            )
+        if t.qcache_load_entries or t.qcache_load_bytes or t.qcache_evictions:
+            text += (
+                f" [cache tier: {t.qcache_load_entries} entries / "
+                f"{t.qcache_load_bytes} bytes loaded, "
+                f"{t.qcache_evictions} evicted]"
             )
         if t.prescreen_hits or t.prescreen_misses:
             text += (

@@ -464,3 +464,79 @@ def test_verdicts_out_is_stable_between_local_and_serve(tmp_path, serve):
     assert local_path.read_bytes() == serve_path.read_bytes()
     for line in local_path.read_text().splitlines():
         json.loads(line)  # every line is one valid JSON record
+
+
+# ---------------------------------------------------------------------------
+# Concurrent clients against the bounded connection pool
+# ---------------------------------------------------------------------------
+
+
+def test_concurrent_clients_no_drops_or_reorder(serve):
+    """Multiple simultaneous ServeClients each get their full corpus back
+    in order with verdicts matching a sequential local run — the bounded
+    connection thread pool must not drop, duplicate, or interleave frames
+    across connections."""
+    import threading
+
+    _server, spec = serve(fast_config(workers=2, queue_limit=1024))
+    baseline = [
+        stable(r)
+        for r in run_suite(CORPUS, OPTS, inject_bugs=True, jobs=1).records
+    ]
+    n_clients = 5
+    results: dict = {}
+    errors: list = []
+
+    def one_client(k: int) -> None:
+        try:
+            with ServeClient(spec) as client:
+                results[k] = client.submit_corpus(CORPUS, OPTS, inject_bugs=True)
+        except Exception as exc:  # pragma: no cover - failure detail
+            errors.append((k, exc))
+
+    threads = [
+        threading.Thread(target=one_client, args=(k,), name=f"client-{k}")
+        for k in range(n_clients)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120.0)
+    assert not errors
+    assert sorted(results) == list(range(n_clients))
+    for k in range(n_clients):
+        records = results[k]
+        assert [r.test for r in records] == [t.name for t in CORPUS]
+        assert [stable(r) for r in records] == baseline
+
+
+def test_connection_cap_sheds_with_overloaded(tmp_path):
+    """Connections beyond max_connections get a single OVERLOADED error
+    frame and a close, not a silent hang."""
+    spec = f"unix:{tmp_path / 'capped.sock'}"
+    server = ServeServer(
+        protocol.parse_address(spec),
+        fast_config(workers=1),
+        max_connections=1,
+    ).start()
+    try:
+        first = protocol.connect(protocol.parse_address(spec))
+        try:
+            # The first connection holds the only slot; prove it works.
+            first.sendall(protocol.encode_message({"op": "health"}))
+            reader = protocol.LineReader(first)
+            assert protocol.decode_message(reader.readline())["ok"] is True
+
+            second = protocol.connect(protocol.parse_address(spec))
+            try:
+                shed = protocol.decode_message(
+                    protocol.LineReader(second).readline()
+                )
+                assert shed["ok"] is False
+                assert shed["error"] == protocol.OVERLOADED
+            finally:
+                second.close()
+        finally:
+            first.close()
+    finally:
+        server.close(drain_timeout_s=5.0)
