@@ -1,0 +1,127 @@
+"""E15 — memory-aware static analysis: points-to/memdf ablation.
+
+The memdf layer (``repro.analysis.pointsto`` / ``repro.analysis.memdf``)
+adds three consumers on top of the PR 3 prescreen: the alias/forwarding/
+OOB prescreen rules, the encoder's aliasing-case-split pruning, and the
+memory-refinement block skip.  This benchmark runs the unit-test corpus
+with memdf on and off, checks the two configurations produce identical
+verdicts (memdf facts may only *prove*, never refute), asserts that at
+least one memory-touching query is discharged by a memdf rule and at
+least one access encoding was narrowed, and records wall-clock plus the
+per-rule hit counters in ``BENCH_memdf.json``.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from conftest import print_table
+
+from repro.analysis import memdf, prescreen
+from repro.refinement.check import VerifyOptions
+from repro.suite.runner import run_suite
+from repro.suite.unittests import build_corpus
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_memdf.json"
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def _tally_key(outcome):
+    row = outcome.tally.row()
+    row.pop("time_s")
+    return row
+
+
+def test_bench_memdf(benchmark):
+    corpus = build_corpus(generated=12)
+
+    def run():
+        results = {}
+        for label, enabled in [("memdf=on", True), ("memdf=off", False)]:
+            prescreen.STATS.reset()
+            memdf.STATS.reset()
+            opts = VerifyOptions(timeout_s=10.0, memdf=enabled)
+            start = time.monotonic()
+            outcome = run_suite(corpus, opts, inject_bugs=False)
+            results[label] = (
+                time.monotonic() - start,
+                outcome,
+                dict(prescreen.STATS.by_rule),
+            )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for label, (wall_s, outcome, by_rule) in results.items():
+        t = outcome.tally
+        rows.append(
+            {
+                "config": label,
+                "wall_s": round(wall_s, 3),
+                "correct": t.correct,
+                "rule_hits": t.memdf_rule_hits,
+                "narrowed": t.memdf_narrowed,
+                "block_skips": t.memdf_block_skips,
+                "load_fwd": by_rule.get("load-forward", 0),
+                "alias_disj": by_rule.get("alias-disjoint", 0),
+                "oob_ub": by_rule.get("oob-ub", 0),
+            }
+        )
+    print_table("E15: memdf ablation", rows)
+
+    on_wall, on, on_rules = results["memdf=on"]
+    off_wall, off, off_rules = results["memdf=off"]
+    # Soundness: identical verdicts with and without the memdf layer.
+    assert _tally_key(on) == _tally_key(off)
+    for a, b in zip(on.records, off.records):
+        assert a.test == b.test and a.verdicts == b.verdicts, a.test
+    # Acceptance bar: the memory rules discharge real corpus queries and
+    # the encoder drops real aliasing case-splits; off runs stay silent.
+    assert on.tally.memdf_rule_hits >= 1
+    assert on.tally.memdf_narrowed >= 1
+    assert on.tally.memdf_block_skips >= 1
+    assert sum(off_rules.get(r, 0) for r in prescreen.MEMDF_RULES) == 0
+    assert off.tally.memdf_rule_hits == 0
+    assert off.tally.memdf_narrowed == 0
+
+    baseline_wall = None
+    if BASELINE_PATH.exists():
+        engine = json.loads(BASELINE_PATH.read_text())
+        baseline_wall = (
+            engine.get("configs", {}).get("jobs=1 cache=off", {}).get("wall_s")
+        )
+
+    OUT_PATH.write_text(
+        json.dumps(
+            {
+                "bench": "memdf",
+                "corpus_tests": len(corpus),
+                "cpu_count": os.cpu_count(),
+                "tally": _tally_key(on),
+                "configs": {
+                    label: {
+                        "wall_s": round(wall_s, 3),
+                        "memdf_rule_hits": outcome.tally.memdf_rule_hits,
+                        "memdf_narrowed": outcome.tally.memdf_narrowed,
+                        "memdf_block_skips": outcome.tally.memdf_block_skips,
+                        "by_rule": {
+                            r: by_rule.get(r, 0) for r in prescreen.MEMDF_RULES
+                        },
+                        "solver_checks": sum(
+                            r.solver_checks for r in outcome.records
+                        ),
+                    }
+                    for label, (wall_s, outcome, by_rule) in results.items()
+                },
+                "speedup_on_vs_off": round(off_wall / on_wall, 2)
+                if on_wall
+                else None,
+                "pr2_sequential_baseline_wall_s": baseline_wall,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    print(f"wrote {OUT_PATH}")

@@ -9,7 +9,12 @@ The package has three layers (see DESIGN.md):
   ``alive-lint`` console script and the harness's pre-verification gate;
 * :mod:`repro.analysis.termfacts` / :mod:`repro.analysis.prescreen` —
   abstract evaluation of SMT terms and the solver-bypass rules used by
-  :mod:`repro.refinement.check`.
+  :mod:`repro.refinement.check`;
+* :mod:`repro.analysis.pointsto` / :mod:`repro.analysis.memdf` — the
+  memory-aware layer: block-provenance facts for every pointer SSA
+  value and the store/load dataflow (forwarding, clobber sets, access
+  classification) feeding the memory prescreen rules and the encoder's
+  aliasing-case-split pruning.
 """
 
 from repro.analysis.framework import (
@@ -20,9 +25,16 @@ from repro.analysis.framework import (
     solve,
 )
 from repro.analysis.knownbits import KnownBits, analyze_known_bits
+from repro.analysis.memdf import STATS as MEMDF_STATS
+from repro.analysis.memdf import MemDF, analyze_memdf
+from repro.analysis.pointsto import (
+    PointsToFact,
+    analyze_pointsto,
+    assign_alloca_bids,
+)
 from repro.analysis.poison import analyze_poison, returns_poison_free
 from repro.analysis.prescreen import STATS as PRESCREEN_STATS
-from repro.analysis.prescreen import Prescreener
+from repro.analysis.prescreen import Prescreener, memdf_rule_hits
 from repro.analysis.range import IntRange, analyze_ranges
 from repro.analysis.verify import (
     LINT_STATS,
@@ -43,8 +55,15 @@ __all__ = [
     "analyze_ranges",
     "analyze_poison",
     "returns_poison_free",
+    "PointsToFact",
+    "analyze_pointsto",
+    "assign_alloca_bids",
+    "MemDF",
+    "analyze_memdf",
+    "MEMDF_STATS",
     "Prescreener",
     "PRESCREEN_STATS",
+    "memdf_rule_hits",
     "LINT_STATS",
     "LintDiagnostic",
     "lint_function",

@@ -27,6 +27,28 @@ of them without bit-blasting:
   under an all-zeros or all-ones assignment yields True: the formula is
   satisfiable by witness, so the preconditions are not vacuous.
 
+Three rules consume :mod:`repro.analysis.memdf` facts (gated behind
+``VerifyOptions.memdf``; the facts are absent when it is off):
+
+* **R-oob-ub** — the source's entry block contains a load/store that is
+  provably out of bounds for *every* candidate (bid, offset), so with no
+  calls the source is UB on every input: ``ub_src'`` is valid under φ's
+  precondition and ψ's ``ub'`` disjunct discharges any exists-forall
+  check.
+* **R-load-forward** — both sides' (unique) return value resolves to the
+  same constant or the same argument reading through store-to-load
+  forwarding chains, reducing the *return-value* memory query to a value
+  fact: choosing the primed undef reading equal to the target's makes
+  the refinement clause valid (UB-free executions read the forwarded
+  bytes; all failure paths land in ψ's ``ub'`` disjunct).
+* **R-alias-disjoint** — for the *memory* check: neither side's stores
+  can touch a caller-visible writable block (their clobber sets are
+  disjoint from the shared blocks — e.g. all stores hit local allocas),
+  so both final memories equal the initial one and the per-byte
+  refinement clauses are valid; the witness that passed the
+  return-domain check (which always precedes the memory check in the
+  query sequence) satisfies ψ.
+
 Every rule may only *prove* (discharge a query the solver would have
 answered UNSAT, or witness SAT for the satcheck); none may refute, so a
 prescreen hit can never flip a FAIL verdict to a pass.
@@ -68,6 +90,15 @@ class PrescreenStats:
 
 STATS = PrescreenStats()
 
+#: The rules driven by memory-dataflow facts (PR 9); the suite tracks
+#: their hits separately so the CLI summary can show memdf leverage.
+MEMDF_RULES = ("oob-ub", "load-forward", "alias-disjoint")
+
+
+def memdf_rule_hits() -> int:
+    """Total hits of the memdf-driven rules since the last reset."""
+    return sum(STATS.by_rule.get(rule, 0) for rule in MEMDF_RULES)
+
 
 def _all_ones_env(term: Term) -> Dict[str, int]:
     """name → all-ones/True for every variable of ``term``.
@@ -97,9 +128,19 @@ class Prescreener:
     were encoded), at most once per verification job.
     """
 
-    def __init__(self, src_unrolled: Function, tgt_unrolled: Function) -> None:
+    def __init__(
+        self,
+        src_unrolled: Function,
+        tgt_unrolled: Function,
+        memdf_src=None,
+        memdf_tgt=None,
+    ) -> None:
         self.src = src_unrolled
         self.tgt = tgt_unrolled
+        # Memory-dataflow facts (repro.analysis.memdf.MemDF) for the same
+        # unrolled functions; None when VerifyOptions.memdf is off.
+        self.memdf_src = memdf_src
+        self.memdf_tgt = memdf_tgt
         self._tgt_ret_poison_free: Optional[bool] = None
         self._const_rets: Optional[tuple] = None  # (src_const, tgt_const)
 
@@ -172,6 +213,9 @@ class Prescreener:
             if phi is FALSE or termfacts.must_false(phi):
                 STATS.hit("phi-false")
                 return True
+            if self._screen_oob_ub(src_enc, tgt_enc):
+                STATS.hit("oob-ub")
+                return True
             if psi is TRUE or termfacts.must_true(psi):
                 STATS.hit("psi-true")
                 return True
@@ -182,6 +226,11 @@ class Prescreener:
                 src_enc, tgt_enc
             ):
                 STATS.hit("const-ret")
+                return True
+            if name == "return-value" and self._screen_load_forward(
+                src_enc, tgt_enc
+            ):
+                STATS.hit("load-forward")
                 return True
         except (RecursionError, OverflowError):
             pass
@@ -209,3 +258,96 @@ class Prescreener:
         if src_const is None or src_const != tgt_const:
             return False
         return self.tgt_returns_poison_free()
+
+    # -- memdf-driven rules (PR 9) -------------------------------------------
+    def _no_calls(self, src_enc, tgt_enc) -> bool:
+        """No calls on either side: call pairing and the environment
+        consistency axioms are the literal TRUE, so ψ reduces to
+        ``pre' ∧ ¬sink' ∧ (ub' ∨ ...)`` over shared and primed vars."""
+        if src_enc is None or tgt_enc is None:
+            return False
+        if src_enc.calls or tgt_enc.calls:
+            return False
+        return not (
+            self.memdf_src is None
+            or self.memdf_tgt is None
+            or self.memdf_src.has_calls
+            or self.memdf_tgt.has_calls
+        )
+
+    def _screen_oob_ub(self, src_enc, tgt_enc) -> bool:
+        """R-oob-ub; see the module docstring.
+
+        Guards: an entry-block access of the source is provably OOB for
+        every candidate block (its UB term is valid: a poison/undef
+        pointer trips the access's own UB disjunct, and a defined pointer
+        lands in the abstract location, every member of which rejects the
+        access), no calls (entry instructions then execute on every
+        path), and no unroll sinks (``¬sink'`` is the literal TRUE).
+        φ of every check implies the shared-variable precondition that
+        the points-to facts rely on, so ψ's ``ub'`` disjunct is valid.
+        """
+        if not self._no_calls(src_enc, tgt_enc):
+            return False
+        if src_enc.sink is not FALSE:
+            return False
+        return bool(self.memdf_src.entry_oob)
+
+    def _screen_load_forward(self, src_enc, tgt_enc) -> bool:
+        """R-load-forward; see the module docstring.
+
+        Guards: no calls, trivial source sink/return-domain (the primed
+        domain conjunct of ψ is the literal TRUE), and both sides resolve
+        their unique return to the *same* symbol — a constant, or the
+        same integer argument — through must-alias store-to-load
+        forwarding chains.  For an argument symbol the primed undef
+        reading is set equal to the target's reading (a legal witness:
+        the primed reading variables occur existentially); forwarded
+        bytes equal the stored reading in every UB-free execution, so
+        the value-refinement clause holds, and executions where any
+        involved access misbehaves satisfy ψ through ``ub'``.
+        """
+        if not self._no_calls(src_enc, tgt_enc):
+            return False
+        if src_enc.sink is not FALSE or src_enc.ret_domain is not TRUE:
+            return False
+        src_sym = self.memdf_src.resolve_return()
+        if src_sym is None:
+            return False
+        return src_sym == self.memdf_tgt.resolve_return()
+
+    def screen_memory(self, src_enc, tgt_enc) -> bool:
+        """Discharge the whole memory check before ``mem_ref`` is built.
+
+        Invoked by the refinement checker ahead of the per-byte clause
+        construction: when it fires, the memory check is proven without
+        encoding a single byte comparison.  Only hits are counted — a
+        miss falls through to the normal query path, which does its own
+        hit/miss accounting.
+        """
+        if self._screen_alias_disjoint(src_enc, tgt_enc):
+            STATS.hit("alias-disjoint")
+            return True
+        return False
+
+    def _screen_alias_disjoint(self, src_enc, tgt_enc) -> bool:
+        """R-alias-disjoint; see the module docstring.
+
+        Guards: no calls, and both sides' abstract clobber sets are
+        disjoint from the caller-visible writable blocks.  Then every
+        store in an UB-free execution hits a local (or null ⇒ UB) block,
+        final shared memory equals initial shared memory on both sides,
+        and the per-byte refinement clauses compare a shared variable
+        with itself.  The memory check runs only after the return-domain
+        check passed, whose witness supplies ψ's ``pre' ∧ (ub' ∨ dom')``
+        prefix for every φ model.
+        """
+        if not self._no_calls(src_enc, tgt_enc):
+            return False
+        if not (self.memdf_src.clobbered or self.memdf_tgt.clobbered):
+            # No stores anywhere: ψ is trivial for cheaper reasons, and
+            # crediting this rule would just inflate its counter.
+            return False
+        src_clobber = self.memdf_src.clobbered_shared_writable()
+        tgt_clobber = self.memdf_tgt.clobbered_shared_writable()
+        return src_clobber == frozenset() and tgt_clobber == frozenset()

@@ -82,8 +82,9 @@ LINT_STATS = LintStats()
 
 
 class _FunctionLinter:
-    def __init__(self, fn: Function):
+    def __init__(self, fn: Function, module: Optional[Module] = None):
         self.fn = fn
+        self.module = module
         self.diags: List[LintDiagnostic] = []
 
     def report(
@@ -290,6 +291,22 @@ class _FunctionLinter:
     def _operand_type(self, value: Value):
         return getattr(value, "type", None)
 
+    def _def_type(self, value: Value):
+        """The type ``value``'s definition carries (None if untracked)."""
+        if not isinstance(value, Register):
+            return None
+        cached = getattr(self, "_def_types", None)
+        if cached is None:
+            cached = {a.name: a.type for a in self.fn.args}
+            for block in self.fn.blocks.values():
+                for inst in block.instructions:
+                    name = getattr(inst, "name", None)
+                    ty = getattr(inst, "type", None)
+                    if name is not None and ty is not None:
+                        cached.setdefault(name, ty)
+            self._def_types = cached
+        return cached.get(value.name)
+
     def _type_mismatch(
         self,
         label: str,
@@ -410,9 +427,24 @@ class _FunctionLinter:
             return
         if isinstance(inst, (Load, Store, Gep)):
             ptr = inst.pointer
-            ty = self._operand_type(ptr)
+            # The parser annotates the use site as ptr regardless of the
+            # operand's definition, so resolve the defined type first.
+            ty = self._def_type(ptr) or self._operand_type(ptr)
             if ty is not None and not isinstance(ty, PointerType):
-                self._type_mismatch(label, inst, "pointer operand", "ptr", ty)
+                if isinstance(inst, Gep):
+                    # Dedicated memory-rule code: pointer arithmetic on a
+                    # non-pointer has no block provenance at all.
+                    self.report(
+                        ERROR,
+                        "gep-non-pointer",
+                        f"gep pointer operand has type {ty}, expected ptr",
+                        block=label,
+                        inst=inst,
+                    )
+                else:
+                    self._type_mismatch(
+                        label, inst, "pointer operand", "ptr", ty
+                    )
             if isinstance(inst, Gep):
                 for i, idx in enumerate(inst.indices):
                     ity = self._operand_type(idx)
@@ -505,18 +537,102 @@ class _FunctionLinter:
                         inst=inst,
                     )
 
+    # -- memory rules (points-to backed) -------------------------------------
+    def check_memory(self) -> None:
+        """Provenance-based rules over :mod:`repro.analysis.pointsto` facts.
+
+        * ``access-oob`` (ERROR): a load/store whose width exceeds the
+          declared size of *every* candidate pointee block — certain UB
+          if executed.  Only reported for alloca/global provenance:
+          pointer-argument blocks have a model-chosen size
+          (``MemoryConfig.arg_block_bytes``), so an overflow there is a
+          model artifact, not an IR defect.
+        * ``dangling-local`` (WARNING): returning a pointer that can only
+          point into the function's own allocas — the blocks' lifetime
+          ends at the return, so the caller receives a dangling pointer.
+          A warning, not an error: the IR is encodable (the paper's §8.5
+          escaped-local scenarios rely on it).
+        """
+        from repro.analysis.memdf import analyze_memdf
+        from repro.semantics.memory import MemoryConfig, build_layout
+        from repro.ir.instructions import Alloca
+
+        fn = self.fn
+        try:
+            pointer_args = [
+                a.name for a in fn.args if isinstance(a.type, PointerType)
+            ]
+            num_allocas = sum(
+                1 for i in fn.instructions() if isinstance(i, Alloca)
+            )
+            globals_ = dict(self.module.globals) if self.module else {}
+            layout = build_layout(
+                globals_, pointer_args, num_allocas, MemoryConfig()
+            )
+            mdf = analyze_memdf(fn, layout)
+        except Exception:  # noqa: BLE001 — lint must not crash on odd IR
+            return
+        arg_bids = {
+            info.bid
+            for info in layout.shared_blocks
+            if info.name.startswith("%")
+        }
+        first_local = layout.first_local_bid()
+        for label, block in fn.blocks.items():
+            for inst in block.instructions:
+                if isinstance(inst, (Load, Store)):
+                    fact = mdf.access.get(id(inst))
+                    if (
+                        fact is not None
+                        and fact.oob
+                        and fact.pts.bids is not None
+                        and not (fact.pts.bids & arg_bids)
+                    ):
+                        self.report(
+                            ERROR,
+                            "access-oob",
+                            f"{fact.nbytes}-byte access exceeds the "
+                            "declared size of every block the pointer "
+                            "can reference",
+                            block=label,
+                            inst=inst,
+                        )
+                elif isinstance(inst, Ret) and inst.value is not None:
+                    fact = mdf.pointer_fact(inst.value)
+                    if (
+                        isinstance(
+                            self._operand_type(inst.value), PointerType
+                        )
+                        and fact.bids is not None
+                        and fact.bids
+                        and all(b >= first_local for b in fact.bids)
+                    ):
+                        self.report(
+                            WARNING,
+                            "dangling-local",
+                            "returned pointer can only reference this "
+                            "function's own allocas, whose lifetime ends "
+                            "at the return",
+                            block=label,
+                            inst=inst,
+                        )
+
 
 def lint_function(fn: Function, module: Optional[Module] = None) -> List[LintDiagnostic]:
     """All diagnostics for one function (empty for declarations)."""
     LINT_STATS.functions += 1
     if fn.is_declaration:
         return []
-    linter = _FunctionLinter(fn)
+    linter = _FunctionLinter(fn, module)
     cfg_ok = linter.check_cfg()
     if cfg_ok:
         linter.check_ssa()
     linter.check_types()
     linter.check_warnings()
+    if cfg_ok and not any(d.level == ERROR for d in linter.diags):
+        # The provenance rules run the dataflow solver; only meaningful
+        # (and safe) on IR that already passed the structural checks.
+        linter.check_memory()
     LINT_STATS.errors += sum(1 for d in linter.diags if d.level == ERROR)
     LINT_STATS.warnings += sum(1 for d in linter.diags if d.level == WARNING)
     return linter.diags

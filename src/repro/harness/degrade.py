@@ -66,6 +66,12 @@ class DegradationLadder:
                 if shrunk is not None:
                     old, new = shrunk
                     steps.append(f"lru-shrink:{old}->{new}")
+            if options.memdf:
+                # The points-to/memdf memo tables and the extra analysis
+                # pass cost memory; under MEMOUT the facts are ballast
+                # (they only make encodings smaller, never correctness).
+                changes["memdf"] = False
+                steps.append("memdf-off")
         if options.unroll_factor > self.min_unroll:
             new_unroll = max(self.min_unroll, options.unroll_factor // 2)
             changes["unroll_factor"] = new_unroll

@@ -71,6 +71,22 @@ BUG_REGISTRY: List[BugSpec] = [
         "GVN merges instructions that differ only in poison flags, keeping "
         "the flagged one",
     ),
+    BugSpec(
+        "bug:gvn-alias-forward",
+        "gvn",
+        "memory",
+        "redundant-load elimination keeps earlier loads available across a "
+        "store through a different SSA pointer, forwarding across a "
+        "may-alias store (§8.2 'memory optimizations' class)",
+    ),
+    BugSpec(
+        "bug:gvn-dse-alias",
+        "gvn",
+        "memory",
+        "dead-store elimination treats loads through a syntactically "
+        "different pointer as non-aliasing, deleting a store still live "
+        "through a second provenance of the same bytes",
+    ),
 ]
 
 BUGS_BY_OPTION: Dict[str, BugSpec] = {b.option: b for b in BUG_REGISTRY}

@@ -9,6 +9,17 @@ The buggy variant ``bug:gvn-flags`` treats instructions that differ only
 in their poison flags as equal and keeps the *flagged* one — a classic
 §8.2 "incorrect arithmetic" defect (the surviving instruction claims
 ``nsw`` on paths where the eliminated one did not).
+
+Two further variants model the §8.2 "memory optimizations" class, both
+rooted in over-strong alias assumptions:
+
+* ``bug:gvn-alias-forward`` — load elimination keeps prior loads
+  available across a store through a *different* SSA pointer, illegally
+  forwarding across a may-alias store;
+* ``bug:gvn-dse-alias`` — dead-store elimination lets only loads through
+  the *same* SSA pointer keep a store alive, deleting stores still live
+  through a second provenance of the same bytes (a zero-offset gep, a
+  select of the pointer, ...).
 """
 
 from __future__ import annotations
@@ -94,23 +105,34 @@ def gvn(fn: Function, module: Module, options: dict) -> bool:
             seen[key] = (inst.name, label)
             keep.append(inst)
         block.instructions = keep
-    if _eliminate_redundant_loads(fn):
+    if _eliminate_redundant_loads(
+        fn, options.get("bug:gvn-alias-forward", False)
+    ):
+        changed = True
+    if _eliminate_dead_stores(fn, options.get("bug:gvn-dse-alias", False)):
         changed = True
     return changed
 
 
-def _eliminate_redundant_loads(fn: Function) -> bool:
+def _eliminate_redundant_loads(
+    fn: Function, forward_across_aliases: bool = False
+) -> bool:
     changed = False
     for block in fn.blocks.values():
         available: Dict[Tuple, Value] = {}  # (ptr key, type) -> value
         keep: List = []
         for inst in block.instructions:
             if isinstance(inst, Store):
-                # A store may alias anything: invalidate, then record the
-                # stored value for its own pointer.
-                available = {
-                    (_operand_key(inst.pointer), str(inst.value.type)): inst.value
-                }
+                key = (_operand_key(inst.pointer), str(inst.value.type))
+                if forward_across_aliases:
+                    # BUG: assumes syntactically distinct pointers never
+                    # alias, so loads recorded before this store stay
+                    # available — illegal forwarding when they do alias.
+                    available[key] = inst.value
+                else:
+                    # A store may alias anything: invalidate, then record
+                    # the stored value for its own pointer.
+                    available = {key: inst.value}
                 keep.append(inst)
             elif isinstance(inst, Load):
                 key = (_operand_key(inst.pointer), str(inst.type))
@@ -127,4 +149,45 @@ def _eliminate_redundant_loads(fn: Function) -> bool:
             else:
                 keep.append(inst)
         block.instructions = keep
+    return changed
+
+
+def _eliminate_dead_stores(
+    fn: Function, ignore_other_provenance: bool = False
+) -> bool:
+    """In-block dead-store elimination.
+
+    A store is dead when a later store through the same pointer with the
+    same width overwrites it before anything can observe the bytes.
+    Loads and calls observe memory, so either one kills every pending
+    candidate; stores still pending at block exit are kept (successors
+    and the caller can observe them).  The buggy variant only lets a
+    load through the *same* SSA pointer keep a store alive, so a load
+    through a second provenance of the same bytes no longer protects it.
+    """
+    changed = False
+    for block in fn.blocks.values():
+        pending: Dict[Tuple, Store] = {}  # (ptr key, type) -> store
+        dead: set = set()
+        for inst in block.instructions:
+            if isinstance(inst, Store):
+                key = (_operand_key(inst.pointer), str(inst.value.type))
+                prev = pending.get(key)
+                if prev is not None:
+                    dead.add(id(prev))
+                pending[key] = inst
+            elif isinstance(inst, Load):
+                if ignore_other_provenance:
+                    # BUG: a load through a different pointer is assumed
+                    # not to alias any pending store.
+                    pending.pop((_operand_key(inst.pointer), str(inst.type)), None)
+                else:
+                    pending.clear()
+            elif isinstance(inst, Call):
+                pending.clear()
+        if dead:
+            block.instructions = [
+                i for i in block.instructions if id(i) not in dead
+            ]
+            changed = True
     return changed

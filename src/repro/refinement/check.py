@@ -25,8 +25,9 @@ import copy as _copy
 import time
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
+from repro.analysis.memdf import STATS as MEMDF_STATS, analyze_memdf
 from repro.analysis.prescreen import Prescreener
 from repro.engine import qcache
 from repro.harness.deadline import Deadline, DeadlineExceeded
@@ -116,6 +117,14 @@ class VerifyOptions:
     # CEGAR.  Off reproduces the pre-egraph prescreen-only pipeline,
     # which is the baseline BENCH_egraph measures against.
     witness_pairing: bool = True
+    # Memory-aware static analysis (repro.analysis.pointsto/memdf):
+    # points-to provenance + store/load dataflow facts feeding the
+    # R-alias-disjoint / R-load-forward / R-oob-ub prescreen rules, the
+    # encoder's aliasing-case-split pruning, and the memory-refinement
+    # block skip.  Prove-only and encoding-shrinking — never changes a
+    # verdict; --no-memdf ablates it and the degradation ladder turns it
+    # off under MEMOUT (the memo tables cost memory).
+    memdf: bool = True
     # Self-certifying mode (--certify): every UNSAT the solver stack
     # claims must carry a proof the independent RUP checker accepts; a
     # rejected proof downgrades the verdict to SOLVER_UNSOUND instead of
@@ -151,6 +160,7 @@ class VerifyOptions:
             "egraph_max_nodes": self.egraph_max_nodes,
             "egraph_max_iterations": self.egraph_max_iterations,
             "witness_pairing": self.witness_pairing,
+            "memdf": self.memdf,
             "certify": self.certify,
         }
 
@@ -191,6 +201,7 @@ class VerifyOptions:
             witness_pairing=bool(
                 data.get("witness_pairing", defaults.witness_pairing)
             ),
+            memdf=bool(data.get("memdf", defaults.memdf)),
             certify=bool(data.get("certify", defaults.certify)),
         )
 
@@ -387,6 +398,11 @@ def _verify_with_deadline(
         maybe_fault("encode", deadline=deadline, unroll_factor=options.unroll_factor)
         deadline.check("layout")
         layout = build_layout(globals_, pointer_args, num_allocas, options.memory)
+        memdf_src = memdf_tgt = None
+        if options.memdf:
+            deadline.check("memdf")
+            memdf_src = analyze_memdf(src_unrolled, layout)
+            memdf_tgt = analyze_memdf(tgt_unrolled, layout)
         enc_src = _Encoder(
             src_unrolled,
             module_src,
@@ -394,6 +410,7 @@ def _verify_with_deadline(
             layout,
             deadline=deadline,
             fold_known_bits=options.prescreen,
+            memdf=memdf_src,
         ).encode()
         enc_tgt = _Encoder(
             tgt_unrolled,
@@ -402,6 +419,7 @@ def _verify_with_deadline(
             layout,
             deadline=deadline,
             fold_known_bits=options.prescreen,
+            memdf=memdf_tgt,
         ).encode()
     except EncodeError as exc:
         return done(
@@ -415,10 +433,18 @@ def _verify_with_deadline(
     maybe_fault("solve", deadline=deadline, unroll_factor=options.unroll_factor)
     deadline.check("solve")
     prescreener = (
-        Prescreener(src_unrolled, tgt_unrolled) if options.prescreen else None
+        Prescreener(src_unrolled, tgt_unrolled, memdf_src, memdf_tgt)
+        if options.prescreen
+        else None
     )
     checker = _RefinementChecker(
-        enc_src, enc_tgt, options, deadline=deadline, prescreener=prescreener
+        enc_src,
+        enc_tgt,
+        options,
+        deadline=deadline,
+        prescreener=prescreener,
+        memdf_src=memdf_src,
+        memdf_tgt=memdf_tgt,
     )
     checker.phase_times["encode"] = time.monotonic() - encode_start
     return done(checker.run())
@@ -432,11 +458,15 @@ class _RefinementChecker:
         options: VerifyOptions,
         deadline: Optional[Deadline] = None,
         prescreener: Optional[Prescreener] = None,
+        memdf_src=None,
+        memdf_tgt=None,
     ) -> None:
         self.src = src
         self.tgt = tgt
         self.options = options
         self.prescreener = prescreener
+        self.memdf_src = memdf_src
+        self.memdf_tgt = memdf_tgt
         # The whole-job deadline; standalone construction (benchmarks)
         # falls back to a fresh budget from the options.
         self.deadline = deadline if deadline is not None else Deadline.start(
@@ -623,6 +653,7 @@ class _RefinementChecker:
             tgt_ret_expr = self.tgt.ret_value.expr
 
         match_seed: Dict[str, Term] = {}
+        match_last_seed: Dict[str, Term] = {}
         identity_seed: Dict[str, Term] = {}
         defined_seed: Dict[str, Term] = {}
         origin_position: Dict[str, int] = {}
@@ -650,10 +681,20 @@ class _RefinementChecker:
             hit = hits[min(pos, len(hits) - 1)] if hits else None
             if hit is not None and hit[1] == qv.width:
                 match_seed[primed] = var_term(hit[0], qv.width)
+            # Positional pairing maps same-site readings onto each other,
+            # but value flow can connect a source reading to a *different*
+            # use site in the target — e.g. a store-to-load forward makes
+            # the source return its store-site reading while the target
+            # returns its ret-site reading.  Pair every reading with the
+            # target's last reading of the same origin as a second guess.
+            last = hits[-1] if hits else None
+            if last is not None and last[1] == qv.width:
+                match_last_seed[primed] = var_term(last[0], qv.width)
             if origin.startswith("argundef_") and qv.width > 0:
                 arg = origin[len("argundef_") :]
                 defined_seed[primed] = bv_var(f"arg_{arg}", qv.width)
                 match_seed.setdefault(primed, defined_seed[primed])
+                match_last_seed.setdefault(primed, defined_seed[primed])
             if origin.startswith(("fpnan_", "nanbits_")) and qv.width > 0:
                 # These variables are constrained to be NaN patterns; a zero
                 # completion would falsify the precondition and void the
@@ -676,10 +717,18 @@ class _RefinementChecker:
                                 sf.fp_is_nan(fmt, tgt_ret_expr), tgt_ret_expr, nan
                             )
                             break
-                for seed in (match_seed, identity_seed, defined_seed):
+                for seed in (
+                    match_seed,
+                    match_last_seed,
+                    identity_seed,
+                    defined_seed,
+                ):
                     if primed not in seed:
                         seed[primed] = value
-        return [s for s in (match_seed, identity_seed, defined_seed) if s]
+        seeds = [match_seed, identity_seed, defined_seed]
+        if match_last_seed and match_last_seed != match_seed:
+            seeds.insert(1, match_last_seed)
+        return [s for s in seeds if s]
 
     def _prime(self, term: Term) -> Term:
         return substitute(term, self._prime_map)
@@ -779,9 +828,17 @@ class _RefinementChecker:
             if result is not None:
                 return result
 
-        # Check 7: memory refinement over caller-visible blocks.
+        # Check 7: memory refinement over caller-visible blocks.  The
+        # R-alias-disjoint prescreen rule runs first: when both sides'
+        # clobber sets avoid every caller-visible writable block, the
+        # check holds without building a single byte-comparison clause.
         if self.options.check_memory:
-            mem_ref = self._memory_refines()
+            if self.prescreener is not None and self.prescreener.screen_memory(
+                self.src, self.tgt
+            ):
+                mem_ref = TRUE
+            else:
+                mem_ref = self._memory_refines()
             if mem_ref is not TRUE:
                 result = self._query(
                     "memory",
@@ -1113,6 +1170,25 @@ class _RefinementChecker:
         tgt_mem = self.tgt.final_memory
         if src_mem is None or tgt_mem is None:
             return TRUE
+        # Clobber facts let us skip whole blocks: when neither side's
+        # stores can touch shared bid b (both clobber sets are finite and
+        # exclude b), b's final bytes equal its initial bytes in every
+        # UB-free execution, so the per-byte clauses are valid exactly
+        # where the query evaluates them (the ``dom' ∧ mem_ref`` branch
+        # is only reachable with ``¬ub'``, and ``φ ⊇ ¬ub_tgt``).
+        untouched: FrozenSet[int] = frozenset()
+        if self.memdf_src is not None and self.memdf_tgt is not None:
+            s_clob = self.memdf_src.clobbered
+            t_clob = self.memdf_tgt.clobbered
+            if (
+                s_clob is not None
+                and t_clob is not None
+                and not self.memdf_src.has_calls
+                and not self.memdf_tgt.has_calls
+            ):
+                untouched = (
+                    frozenset(src_mem.non_local_bids()) - s_clob - t_clob
+                )
         clauses: List[BoolTerm] = []
         for bid in src_mem.non_local_bids():
             s_bytes = src_mem.blocks.get(bid)
@@ -1122,6 +1198,9 @@ class _RefinementChecker:
             info = src_mem.infos[bid]
             if not info.writable:
                 continue  # read-only blocks cannot change
+            if bid in untouched:
+                MEMDF_STATS.refine_skips += 1
+                continue
             for sb, tb in zip(s_bytes, t_bytes):
                 s_poison = self._prime(sb.poison)
                 s_value = self._prime(sb.value)

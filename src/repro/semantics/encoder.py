@@ -19,6 +19,7 @@ import copy as _copy
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.analysis.pointsto import assign_alloca_bids
 from repro.harness.deadline import Deadline
 from repro.ir.cfg import remove_unreachable_blocks, reverse_postorder
 from repro.ir.function import Function
@@ -215,6 +216,7 @@ class _Encoder:
         layout: MemoryLayout,
         deadline: Optional[Deadline] = None,
         fold_known_bits: bool = False,
+        memdf=None,
     ) -> None:
         self.fn = fn
         self.module = module
@@ -222,6 +224,10 @@ class _Encoder:
         self.layout = layout
         self.deadline = deadline
         self.fold_known_bits = fold_known_bits
+        # Memory dataflow facts (repro.analysis.memdf.MemDF) for this
+        # function, or None: enables pruning the per-access ite chains
+        # over blocks a points-to fact excludes.
+        self.memdf = memdf
         self.regs: Dict[str, object] = {}
         self.reg_used: Set[str] = set()
         self.undef_vars: List[QuantVar] = []
@@ -234,7 +240,7 @@ class _Encoder:
         self.calls: List[CallRecord] = []
         self.approx_vars: Set[str] = set()
         self.origin: Dict[str, str] = {}
-        self._next_local_bid = layout.first_local_bid()
+        self._alloca_bids = assign_alloca_bids(fn, layout)
         self._call_counts: Dict[str, int] = {}
         self._cur_name: Optional[str] = None
 
@@ -652,8 +658,9 @@ class _Encoder:
             self.regs[inst.name] = self._cast(inst)
             return alive
         if isinstance(inst, Alloca):
-            bid = self._next_local_bid
-            self._next_local_bid += 1
+            # Bids come from the shared syntactic assignment so the
+            # points-to facts and the encoding name the same blocks.
+            bid = self._alloca_bids[inst.name]
             size = byte_size(inst.allocated_type)
             mem.add_local_block(bid, f"%{inst.name}", size)
             self.regs[inst.name] = SymValue(mem.make_pointer(bid, 0))
@@ -1051,17 +1058,41 @@ class _Encoder:
         assert isinstance(sv, SymValue), "pointers are scalars"
         return sv
 
+    def _candidate_bids(self, pointer, mem: SymMemory):
+        """Points-to candidate bids for an access through ``pointer``.
+
+        ``None`` (no restriction) without memdf facts or when the fact is
+        ⊤.  Sound to restrict the access ite-chains to these blocks: the
+        points-to contract pins the concrete bid of a defined pointer to
+        the candidate set under the encoder precondition, every query
+        conjoins that precondition, and poison/undef pointers take the
+        access-UB path regardless.
+        """
+        if self.memdf is None:
+            return None
+        pts = self.memdf.pointer_fact(pointer)
+        if pts.bids is None:
+            return None
+        from repro.analysis.memdf import STATS as _MEMDF_STATS
+
+        skipped = sum(1 for b in mem.infos if b not in pts.bids)
+        if skipped:
+            _MEMDF_STATS.narrowed_accesses += 1
+            _MEMDF_STATS.block_skips += skipped
+        return pts.bids
+
     def _load(self, inst: Load, alive: BoolTerm, mem: SymMemory) -> BoolTerm:
         ptr = self._pointer_operand(inst.pointer)
         nbytes = byte_size(inst.type)
         bid, off = mem.decode_pointer(ptr.expr)
+        cand = self._candidate_bids(inst.pointer, mem)
         ub = bool_or(
             ptr.poison,
             ptr.varies,
-            bool_not(mem._valid_range(bid, off, nbytes)),
+            bool_not(mem._valid_range(bid, off, nbytes, cand)),
         )
         self.ub_terms.append(bool_and(alive, ub))
-        data = mem.load_bytes(bid, off, nbytes)
+        data = mem.load_bytes(bid, off, nbytes, cand)
         self.regs[inst.name] = self._value_from_bytes(data, inst.type)
         return alive
 
@@ -1097,15 +1128,16 @@ class _Encoder:
         ty = inst.value.type
         nbytes = byte_size(ty)
         bid, off = mem.decode_pointer(ptr.expr)
+        cand = self._candidate_bids(inst.pointer, mem)
         ub = bool_or(
             ptr.poison,
             ptr.varies,
-            bool_not(mem._valid_range(bid, off, nbytes)),
-            bool_not(mem._writable(bid)),
+            bool_not(mem._valid_range(bid, off, nbytes, cand)),
+            bool_not(mem._writable(bid, cand)),
         )
         self.ub_terms.append(bool_and(alive, ub))
         data = self._bytes_of_value(value, ty)
-        mem.store_bytes(alive, bid, off, data)
+        mem.store_bytes(alive, bid, off, data, cand)
         return alive
 
     def _bytes_of_value(self, sv: object, ty: Type) -> List[SymByte]:
@@ -1157,7 +1189,9 @@ class _Encoder:
                 src = src.elem
                 scale = byte_size(src)
         if inst.inbounds:
-            size = self._size_of_bid(bid, mem)
+            size = self._size_of_bid(
+                bid, mem, self._candidate_bids(inst.pointer, mem)
+            )
             in_bounds = bool_and(
                 bv_sle(bv_const(0, ob), total),
                 bv_sle(total, size),
@@ -1169,10 +1203,12 @@ class _Encoder:
             bv_concat(bid, total), poison, undef, varies
         ).normalized()
 
-    def _size_of_bid(self, bid: BvTerm, mem: SymMemory) -> BvTerm:
+    def _size_of_bid(self, bid: BvTerm, mem: SymMemory, cand=None) -> BvTerm:
         ob = self.layout.config.off_bits
         size = bv_const(0, ob)
         for info in mem.infos.values():
+            if cand is not None and info.bid not in cand:
+                continue
             size = bv_ite(
                 bv_eq(bid, bv_const(info.bid, bid.width)),
                 bv_const(min(info.size, (1 << (ob - 1)) - 1), ob),

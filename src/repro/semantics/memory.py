@@ -21,7 +21,7 @@ escaped locals are not modified by unknown calls (the same limitation
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.ir.types import Type, byte_size
 from repro.ir.values import GlobalVariable
@@ -224,11 +224,28 @@ class SymMemory:
         return bv_const(0, self.layout.ptr_bits)
 
     # -- access --------------------------------------------------------------
-    def _valid_range(self, bid: BvTerm, off: BvTerm, nbytes: int) -> BoolTerm:
+    # The optional ``bids`` filter on the access methods restricts the
+    # ite/case chains to the candidate blocks a points-to analysis proved
+    # for the access (repro.analysis.pointsto).  Soundness: every
+    # refinement query conjoins the encoder precondition, and the
+    # points-to contract guarantees the concrete bid of a *defined*
+    # pointer lies in the candidate set under that precondition; models
+    # where the pointer is poison/undef already take the access-UB path.
+    # Restricting therefore only changes the formula on models the query
+    # excludes anyway.
+    def _valid_range(
+        self,
+        bid: BvTerm,
+        off: BvTerm,
+        nbytes: int,
+        bids: Optional[FrozenSet[int]] = None,
+    ) -> BoolTerm:
         """Access of ``nbytes`` at (bid, off) is fully in-bounds."""
         ob = self.layout.config.off_bits
         cases = FALSE
         for info in self.infos.values():
+            if bids is not None and info.bid not in bids:
+                continue
             if info.size < nbytes:
                 continue
             this = bool_and(
@@ -239,15 +256,23 @@ class SymMemory:
             cases = bool_or(cases, this)
         return cases
 
-    def _writable(self, bid: BvTerm) -> BoolTerm:
+    def _writable(
+        self, bid: BvTerm, bids: Optional[FrozenSet[int]] = None
+    ) -> BoolTerm:
         bad = FALSE
         for info in self.infos.values():
+            if bids is not None and info.bid not in bids:
+                continue
             if not info.writable:
                 bad = bool_or(bad, bv_eq(bid, bv_const(info.bid, bid.width)))
         return bool_not(bad)
 
     def load_bytes(
-        self, bid: BvTerm, off: BvTerm, nbytes: int
+        self,
+        bid: BvTerm,
+        off: BvTerm,
+        nbytes: int,
+        bids: Optional[FrozenSet[int]] = None,
     ) -> List[SymByte]:
         """Read ``nbytes`` from (bid, off); caller checks bounds UB."""
         ob = self.layout.config.off_bits
@@ -255,6 +280,8 @@ class SymMemory:
         for k in range(nbytes):
             byte = SymByte.poison_byte()
             for info in self.infos.values():
+                if bids is not None and info.bid not in bids:
+                    continue
                 data = self.blocks[info.bid]
                 is_block = bv_eq(bid, bv_const(info.bid, bid.width))
                 for j in range(info.size):
@@ -273,10 +300,13 @@ class SymMemory:
         bid: BvTerm,
         off: BvTerm,
         data: List[SymByte],
+        bids: Optional[FrozenSet[int]] = None,
     ) -> None:
         """Write bytes at (bid, off), guarded by path condition ``dom``."""
         ob = self.layout.config.off_bits
         for info in self.infos.values():
+            if bids is not None and info.bid not in bids:
+                continue
             block = self.blocks[info.bid]
             is_block = bv_eq(bid, bv_const(info.bid, bid.width))
             if is_block is FALSE:

@@ -81,6 +81,12 @@ def main(argv: Optional[List[str]] = None) -> int:
              "or shrinks queries before the bit-blaster (ablation switch)",
     )
     parser.add_argument(
+        "--no-memdf", action="store_true",
+        help="disable the points-to/memory-dataflow layer: the alias/"
+             "forwarding/OOB prescreen rules, encoder case-split pruning, "
+             "and memory-refinement block skipping (ablation switch)",
+    )
+    parser.add_argument(
         "--certify", action="store_true",
         help="log a RUP proof for every UNSAT solver answer and have the "
              "independent checker validate it; a rejected proof downgrades "
@@ -110,6 +116,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         unroll_factor=args.unroll,
         prescreen=not args.no_prescreen,
         egraph=not args.no_egraph,
+        memdf=not args.no_memdf,
         certify=args.certify,
     )
     ladder = None
@@ -243,6 +250,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(
                 f"egraph: {t.egraph_proved} proved without solver, "
                 f"{t.egraph_shrunk} shrunk, {t.egraph_misses} unchanged"
+            )
+        if t.memdf_rule_hits or t.memdf_narrowed or t.memdf_block_skips:
+            print(
+                f"memdf: {t.memdf_rule_hits} queries discharged by memory "
+                f"rules, {t.memdf_narrowed} accesses narrowed, "
+                f"{t.memdf_block_skips} block case-splits pruned"
             )
         if t.phase_time_s:
             print(

@@ -133,6 +133,44 @@ KNOWN_BUGS: List[KnownBug] = [
         detectable=True,
     ),
     KnownBug(
+        # GVN-style store-to-load forwarding across a may-alias store:
+        # %q is a second provenance of %p's bytes, so the store through
+        # %q clobbers what %b re-reads — forwarding %a is illegal.
+        "load-forwarded-across-may-alias-store",
+        _fn(
+            "entry:\n  %q = getelementptr i8, ptr %p, i8 0\n"
+            "  %a = load i8, ptr %p\n  store i8 %v, ptr %q\n"
+            "  %b = load i8, ptr %p\n  ret i8 %b",
+            "i8 @f(ptr %p, i8 %v)",
+        ),
+        _fn(
+            "entry:\n  %q = getelementptr i8, ptr %p, i8 0\n"
+            "  %a = load i8, ptr %p\n  store i8 %v, ptr %q\n"
+            "  ret i8 %a",
+            "i8 @f(ptr %p, i8 %v)",
+        ),
+        detectable=True,
+    ),
+    KnownBug(
+        # DSE that trusts syntactic pointer equality: the deleted store
+        # is still live through %q (a zero-offset gep of %p), so the
+        # intervening load observes it.
+        "dead-store-live-through-second-provenance",
+        _fn(
+            "entry:\n  %q = getelementptr i8, ptr %p, i8 0\n"
+            "  store i8 %v, ptr %p\n  %l = load i8, ptr %q\n"
+            "  store i8 9, ptr %p\n  ret i8 %l",
+            "i8 @f(ptr %p, i8 %v)",
+        ),
+        _fn(
+            "entry:\n  %q = getelementptr i8, ptr %p, i8 0\n"
+            "  %l = load i8, ptr %q\n"
+            "  store i8 9, ptr %p\n  ret i8 %l",
+            "i8 @f(ptr %p, i8 %v)",
+        ),
+        detectable=True,
+    ),
+    KnownBug(
         "division-ub-removed-guard",
         _fn(
             "entry:\n  %z = icmp eq i8 %b, 0\n  br i1 %z, label %s, label %d\n"

@@ -20,6 +20,7 @@ import time
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Union
 
+from repro.analysis import memdf as analysis_memdf
 from repro.analysis import prescreen
 from repro.analysis import verify as lint_verify
 from repro.egraph import simplify as egraph_simplify
@@ -80,6 +81,14 @@ class TestRecord:
     egraph_proved: int = 0
     egraph_misses: int = 0
     egraph_shrunk: int = 0
+    # Memory-dataflow statistics (VerifyOptions.memdf): queries
+    # discharged by the R-oob-ub/R-load-forward/R-alias-disjoint rules
+    # (a subset of prescreen_hits), accesses whose encoding dropped at
+    # least one aliasing case-split, and the total (access x block)
+    # pairs pruned from the encodings.
+    memdf_rule_hits: int = 0
+    memdf_narrowed: int = 0
+    memdf_block_skips: int = 0
     phase_times: Dict[str, float] = field(default_factory=dict)
 
     def count(self, verdict: Verdict) -> None:
@@ -116,6 +125,9 @@ class TestRecord:
             egraph_proved=int(data.get("egraph_proved", 0)),
             egraph_misses=int(data.get("egraph_misses", 0)),
             egraph_shrunk=int(data.get("egraph_shrunk", 0)),
+            memdf_rule_hits=int(data.get("memdf_rule_hits", 0)),
+            memdf_narrowed=int(data.get("memdf_narrowed", 0)),
+            memdf_block_skips=int(data.get("memdf_block_skips", 0)),
             phase_times={
                 str(k): float(v)
                 for k, v in dict(data.get("phase_times", {})).items()
@@ -292,6 +304,9 @@ def _run_one_test(
     eg0 = egraph_simplify.STATS
     eg_proved0, eg_shrunk0 = eg0.proved, eg0.shrunk
     eg_misses0 = eg0.unchanged
+    memdf_hits0 = prescreen.memdf_rule_hits()
+    memdf_narrowed0 = analysis_memdf.STATS.narrowed_accesses
+    memdf_skips0 = analysis_memdf.STATS.block_skips
     start = time.monotonic()
     try:
         with faults.current_test(test.name):
@@ -324,6 +339,11 @@ def _run_one_test(
     record.egraph_proved = eg.proved - eg_proved0
     record.egraph_misses = eg.unchanged - eg_misses0
     record.egraph_shrunk = eg.shrunk - eg_shrunk0
+    record.memdf_rule_hits = prescreen.memdf_rule_hits() - memdf_hits0
+    record.memdf_narrowed = (
+        analysis_memdf.STATS.narrowed_accesses - memdf_narrowed0
+    )
+    record.memdf_block_skips = analysis_memdf.STATS.block_skips - memdf_skips0
     return record
 
 
@@ -425,6 +445,9 @@ def _merge_record(outcome: SuiteOutcome, record: TestRecord) -> None:
     outcome.tally.egraph_proved += record.egraph_proved
     outcome.tally.egraph_shrunk += record.egraph_shrunk
     outcome.tally.egraph_misses += record.egraph_misses
+    outcome.tally.memdf_rule_hits += record.memdf_rule_hits
+    outcome.tally.memdf_narrowed += record.memdf_narrowed
+    outcome.tally.memdf_block_skips += record.memdf_block_skips
     for phase, seconds in record.phase_times.items():
         outcome.tally.phase_time_s[phase] = (
             outcome.tally.phase_time_s.get(phase, 0.0) + seconds

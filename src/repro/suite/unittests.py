@@ -235,6 +235,44 @@ _HANDWRITTEN: List[UnitTest] = [
         bug_option="bug:licm-speculate-div",
         category="loop-memory",
     ),
+    _t(
+        # %q is a zero-offset gep of %p, so the store through %q clobbers
+        # the bytes %b re-reads; the buggy load elimination forwards %a
+        # across it anyway.
+        "bug-gvn-alias-forward",
+        """
+        define i8 @f(ptr %p, i8 %v) {
+        entry:
+          %q = getelementptr i8, ptr %p, i8 0
+          %a = load i8, ptr %p
+          store i8 %v, ptr %q
+          %b = load i8, ptr %p
+          ret i8 %b
+        }
+        """,
+        ["gvn"],
+        bug_option="bug:gvn-alias-forward",
+        category="memory",
+    ),
+    _t(
+        # The first store is observed by the load through %q (a second
+        # provenance of the same bytes); the buggy DSE deletes it because
+        # the load's pointer is syntactically different.
+        "bug-gvn-dse-alias",
+        """
+        define i8 @f(ptr %p, i8 %v) {
+        entry:
+          %q = getelementptr i8, ptr %p, i8 0
+          store i8 %v, ptr %p
+          %l = load i8, ptr %q
+          store i8 9, ptr %p
+          ret i8 %l
+        }
+        """,
+        ["gvn"],
+        bug_option="bug:gvn-dse-alias",
+        category="memory",
+    ),
     # ---- historical miscompilations stated as explicit outputs -------------
     _t(
         "bug-shuffle-lane-drop",
@@ -387,6 +425,40 @@ _HANDWRITTEN: List[UnitTest] = [
         }
         """,
         ["gvn"],
+    ),
+    _t(
+        # Symbolic-provenance store: the select keeps the stored block
+        # abstract, but both candidates are locals, so caller-visible
+        # memory (%p's block) is provably untouched and the memory check
+        # is discharged by the R-alias-disjoint prescreen rule.
+        "select-of-allocas-store",
+        """
+        define i8 @f(ptr %p, i1 %c, i8 %v) {
+        entry:
+          %a = alloca i8
+          %b = alloca i8
+          %q = select i1 %c, ptr %a, ptr %b
+          store i8 %v, ptr %q
+          %r = load i8, ptr %q
+          ret i8 %r
+        }
+        """,
+        ["gvn"],
+    ),
+    _t(
+        # The access is wider than every candidate block (the scaled-down
+        # model gives argument blocks 4 bytes), so the source is UB on
+        # every path and R-oob-ub discharges all checks.
+        "entry-oob-access",
+        """
+        define i64 @f(ptr %p) {
+        entry:
+          %v = load i64, ptr %p
+          %w = add i64 %v, 0
+          ret i64 %w
+        }
+        """,
+        ["instsimplify"],
     ),
     # ---- cfg (clean) ---------------------------------------------------------
     _t(

@@ -59,6 +59,13 @@ class Tally:
     egraph_proved: int = 0
     egraph_shrunk: int = 0
     egraph_misses: int = 0
+    # Memory-dataflow traffic (memdf layer): queries discharged by the
+    # alias/forwarding/OOB prescreen rules (subset of prescreen_hits),
+    # accesses whose encoding dropped at least one aliasing case-split,
+    # and total (access x block) pairs pruned.
+    memdf_rule_hits: int = 0
+    memdf_narrowed: int = 0
+    memdf_block_skips: int = 0
     phase_time_s: Dict[str, float] = field(default_factory=dict)
 
     def add(self, result: RefinementResult) -> None:
@@ -180,6 +187,12 @@ class ValidationReport:
             text += (
                 f" [egraph: {t.egraph_proved} proved, "
                 f"{t.egraph_shrunk} shrunk, {t.egraph_misses} unchanged]"
+            )
+        if t.memdf_rule_hits or t.memdf_narrowed or t.memdf_block_skips:
+            text += (
+                f" [memdf: {t.memdf_rule_hits} rule hits, "
+                f"{t.memdf_narrowed} accesses narrowed, "
+                f"{t.memdf_block_skips} block case-splits pruned]"
             )
         if t.phase_time_s:
             phases = ", ".join(
