@@ -1,0 +1,167 @@
+"""E16 — relational abstract interpretation: product-CFG GVN ablation.
+
+The relational layer (``repro.analysis.relational`` / ``.align``) adds
+three consumers on top of the PR 9 pipeline: the R-relational-equal
+prescreen rules (discharge before encoding), cross-function witness
+seeds for the e-graph and CEGAR rungs (replacing the lone-forall-var
+pairing heuristic), and alignment-aware counterexample notes.  This
+benchmark runs the 49-test corpus with the analysis on and off, checks
+the two configurations produce byte-identical verdicts (the CEGAR
+iteration ceiling is pinned high enough that seeds may only accelerate
+convergence, never change a definitive answer), asserts the acceptance
+bar — the relational rules discharge or seed at least 15% of the
+baseline's solver checks — and records wall-clock plus the counters in
+``BENCH_relational.json`` alongside the PR 9 (memdf) baseline numbers.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from conftest import print_table
+
+from repro.analysis import prescreen, relational
+from repro.refinement.check import VerifyOptions
+from repro.suite.runner import run_suite
+from repro.suite.unittests import build_corpus
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_relational.json"
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_memdf.json"
+
+
+def _tally_key(outcome):
+    row = outcome.tally.row()
+    row.pop("time_s")
+    return row
+
+
+def test_bench_relational(benchmark):
+    corpus = build_corpus(generated=8)
+
+    def run():
+        results = {}
+        for label, enabled in [
+            ("relational=on", True),
+            ("relational=off", False),
+        ]:
+            prescreen.STATS.reset()
+            relational.STATS.reset()
+            opts = VerifyOptions(
+                timeout_s=10.0, relational=enabled, max_ef_iterations=256
+            )
+            start = time.monotonic()
+            outcome = run_suite(corpus, opts, inject_bugs=False)
+            results[label] = (
+                time.monotonic() - start,
+                outcome,
+                dict(prescreen.STATS.by_rule),
+                relational.STATS.seeded_queries,
+            )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for label, (wall_s, outcome, by_rule, seeded) in results.items():
+        t = outcome.tally
+        rows.append(
+            {
+                "config": label,
+                "wall_s": round(wall_s, 3),
+                "correct": t.correct,
+                "rule_hits": t.relational_rule_hits,
+                "seeded_queries": seeded,
+                "seed_pairs": t.relational_seed_pairs,
+                "aligned": t.relational_aligned_blocks,
+                "solver_checks": sum(r.solver_checks for r in outcome.records),
+            }
+        )
+    print_table("E16: relational ablation", rows)
+
+    on_wall, on, on_rules, on_seeded = results["relational=on"]
+    off_wall, off, off_rules, off_seeded = results["relational=off"]
+    # Soundness: byte-identical verdicts with and without the layer.
+    assert _tally_key(on) == _tally_key(off)
+    for a, b in zip(on.records, off.records):
+        assert a.test == b.test and a.verdicts == b.verdicts, a.test
+    # The off configuration must not touch any relational machinery.
+    assert sum(off_rules.get(r, 0) for r in prescreen.RELATIONAL_RULES) == 0
+    assert off.tally.relational_rule_hits == 0
+    assert off.tally.relational_aligned_blocks == 0
+    assert off_seeded == 0
+
+    # Acceptance bar: discharged-or-seeded >= 15% of the baseline's
+    # remaining solver checks.  "Discharged" are queries the prescreen
+    # rules answered outright; "seeded" are solver checks that carried a
+    # relational witness seed into the e-graph/CEGAR rungs.
+    baseline_checks = sum(r.solver_checks for r in off.records)
+    discharged = on.tally.relational_rule_hits
+    touched = discharged + on_seeded
+    assert baseline_checks > 0
+    assert touched >= 0.15 * baseline_checks, (
+        touched,
+        baseline_checks,
+    )
+
+    pr9_baseline = None
+    if BASELINE_PATH.exists():
+        memdf_bench = json.loads(BASELINE_PATH.read_text())
+        pr9_baseline = {
+            label: {
+                "wall_s": cfg.get("wall_s"),
+                "solver_checks": cfg.get("solver_checks"),
+            }
+            for label, cfg in memdf_bench.get("configs", {}).items()
+        }
+
+    OUT_PATH.write_text(
+        json.dumps(
+            {
+                "bench": "relational",
+                "corpus_tests": len(corpus),
+                "cpu_count": os.cpu_count(),
+                "tally": _tally_key(on),
+                "configs": {
+                    label: {
+                        "wall_s": round(wall_s, 3),
+                        "relational_rule_hits": (
+                            outcome.tally.relational_rule_hits
+                        ),
+                        "relational_seed_pairs": (
+                            outcome.tally.relational_seed_pairs
+                        ),
+                        "relational_aligned_blocks": (
+                            outcome.tally.relational_aligned_blocks
+                        ),
+                        "seeded_queries": seeded,
+                        "by_rule": {
+                            r: by_rule.get(r, 0)
+                            for r in prescreen.RELATIONAL_RULES
+                        },
+                        "solver_checks": sum(
+                            r.solver_checks for r in outcome.records
+                        ),
+                    }
+                    for label, (
+                        wall_s,
+                        outcome,
+                        by_rule,
+                        seeded,
+                    ) in results.items()
+                },
+                "discharged_or_seeded": touched,
+                "baseline_solver_checks": baseline_checks,
+                "discharged_or_seeded_fraction": round(
+                    touched / baseline_checks, 3
+                ),
+                "speedup_on_vs_off": round(off_wall / on_wall, 2)
+                if on_wall
+                else None,
+                "pr9_memdf_baseline": pr9_baseline,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    print(f"wrote {OUT_PATH}")

@@ -1,0 +1,178 @@
+"""Product-CFG block alignment between the unrolled src and tgt functions.
+
+Relational reasoning over a (src, tgt) pair starts from a *block
+alignment*: a partial bijection between the two CFGs such that paired
+executions (same inputs, nondeterminism resolved by the witness pairing)
+visit aligned blocks in lockstep.  The construction is structure-guided
+in the style of the product programs of Rose & Bansal: starting from the
+``(entry, entry)`` pair we follow matching terminators — unconditional
+branches align their targets, conditional branches align true-with-true
+and false-with-false when the branch conditions are congruent (the
+congruence oracle is supplied by the caller; ``repro.analysis.relational``
+closes the loop by iterating value numbering and alignment), and
+switches align case-wise when the scrutinees are congruent and the case
+lists agree.  On a terminator mismatch the walk falls back to the
+cross-product: the two subtrees are left unaligned and downstream
+consumers treat every (src, tgt) block combination as possible.
+
+Because phi congruence in the relational value numbering relies on the
+lockstep invariant ("control is in src block A iff it is in tgt block
+B, and it arrived via corresponding edges"), an aligned pair is only
+*certified* when every predecessor edge on either side is matched by a
+corresponding predecessor edge on the other.  Pairs discovered by
+lockstep that fail this closure (e.g. one side has an extra edge from a
+region that did not align) are demoted to *heuristic* pairs: still
+useful for counterexample reports, never used for semantic claims.
+The unrolled CFGs are acyclic, so a single reverse-postorder sweep
+computes the certification fixpoint exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.ir.cfg import predecessors, reverse_postorder
+from repro.ir.function import Function
+from repro.ir.instructions import Br, Ret, Switch, Unreachable
+from repro.ir.values import Value
+
+# Oracle deciding whether a src value and a tgt value are known equal.
+CongruenceOracle = Callable[[Value, Value], bool]
+
+
+@dataclass(frozen=True)
+class Alignment:
+    """A partial bijection between src and tgt basic blocks.
+
+    ``pairs`` lists every aligned (src_label, tgt_label) pair in src
+    reverse postorder; ``certified`` is the subset satisfying the
+    lockstep closure described in the module docstring.  Only certified
+    pairs may back semantic claims (phi congruence, aligned-store
+    matching); the rest exist for diagnostics.
+    """
+
+    pairs: Tuple[Tuple[str, str], ...] = ()
+    certified: Tuple[Tuple[str, str], ...] = ()
+    src_to_tgt: Dict[str, str] = field(default_factory=dict)
+    tgt_to_src: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def certified_src_to_tgt(self) -> Dict[str, str]:
+        return dict(self.certified)
+
+    def is_certified(self, src_label: str, tgt_label: str) -> bool:
+        return (src_label, tgt_label) in set(self.certified)
+
+
+def _succ_pairs(
+    src_block, tgt_block, congruent: CongruenceOracle
+) -> Optional[List[Tuple[str, str]]]:
+    """Corresponding successor-label pairs of two aligned blocks.
+
+    Returns ``None`` when the terminators do not correspond (the
+    cross-product fallback: no lockstep claim past this pair).
+    """
+    s, t = src_block.terminator, tgt_block.terminator
+    if isinstance(s, Br) and isinstance(t, Br):
+        if s.cond is None and t.cond is None:
+            return [(s.true_label, t.true_label)]
+        if s.cond is not None and t.cond is not None:
+            if congruent(s.cond, t.cond):
+                return [
+                    (s.true_label, t.true_label),
+                    (s.false_label, t.false_label),
+                ]
+        return None
+    if isinstance(s, Switch) and isinstance(t, Switch):
+        if not congruent(s.value, t.value):
+            return None
+        if [v for v, _ in s.cases] != [v for v, _ in t.cases]:
+            return None
+        out = [(s.default_label, t.default_label)]
+        out.extend((sl, tl) for (_, sl), (_, tl) in zip(s.cases, t.cases))
+        return out
+    if isinstance(s, (Ret, Unreachable)) and isinstance(t, (Ret, Unreachable)):
+        return []  # leaf pair: nothing further to align
+    return None
+
+
+def align_blocks(
+    src: Function, tgt: Function, congruent: CongruenceOracle
+) -> Alignment:
+    """Compute the lockstep block alignment of ``src`` and ``tgt``."""
+    if not src.blocks or not tgt.blocks:
+        return Alignment()
+
+    src_to_tgt: Dict[str, str] = {}
+    tgt_to_src: Dict[str, str] = {}
+    entry_pair = (src.entry.label, tgt.entry.label)
+    worklist: List[Tuple[str, str]] = [entry_pair]
+    while worklist:
+        a, b = worklist.pop()
+        if src_to_tgt.get(a) == b and tgt_to_src.get(b) == a:
+            continue  # already aligned
+        if a in src_to_tgt or b in tgt_to_src:
+            continue  # bijection conflict: leave the later candidate out
+        src_to_tgt[a] = b
+        tgt_to_src[b] = a
+        succ = _succ_pairs(src.blocks[a], tgt.blocks[b], congruent)
+        if succ:
+            worklist.extend(succ)
+
+    # Certification sweep: a pair is certified when it is the entry pair
+    # or every predecessor edge on both sides runs between certified
+    # pairs with corresponding successor slots.  RPO over the acyclic
+    # unrolled CFG visits predecessors first, so one pass suffices.
+    src_preds = predecessors(src)
+    tgt_preds = predecessors(tgt)
+    certified: Dict[str, str] = {}
+    pairs_in_order: List[Tuple[str, str]] = []
+    for a in reverse_postorder(src):
+        b = src_to_tgt.get(a)
+        if b is None:
+            continue
+        pairs_in_order.append((a, b))
+        if (a, b) == entry_pair:
+            certified[a] = b
+            continue
+        if _edges_correspond(
+            src, tgt, a, b, src_preds, tgt_preds, certified, congruent
+        ):
+            certified[a] = b
+
+    return Alignment(
+        pairs=tuple(pairs_in_order),
+        certified=tuple((a, b) for a, b in pairs_in_order if certified.get(a) == b),
+        src_to_tgt=dict(src_to_tgt),
+        tgt_to_src=dict(tgt_to_src),
+    )
+
+
+def _edges_correspond(
+    src: Function,
+    tgt: Function,
+    a: str,
+    b: str,
+    src_preds: Dict[str, List[str]],
+    tgt_preds: Dict[str, List[str]],
+    certified: Dict[str, str],
+    congruent: CongruenceOracle,
+) -> bool:
+    """Every edge into ``a`` matches an edge into ``b`` and vice versa."""
+    sp = src_preds.get(a, [])
+    tp = tgt_preds.get(b, [])
+    if len(sp) != len(tp) or len(set(sp)) != len(sp) or len(set(tp)) != len(tp):
+        return False
+    for p in sp:
+        q = certified.get(p)
+        if q is None or q not in tp:
+            return False
+        succ = _succ_pairs(src.blocks[p], tgt.blocks[q], congruent)
+        if succ is None or (a, b) not in succ:
+            return False
+    # The pred maps are injective (certified is a bijection restricted
+    # from src_to_tgt), so matching counts + forward coverage implies
+    # the reverse direction is covered as well.
+    covered = {certified.get(p) for p in sp}
+    return covered == set(tp)

@@ -94,10 +94,18 @@ STATS = PrescreenStats()
 #: their hits separately so the CLI summary can show memdf leverage.
 MEMDF_RULES = ("oob-ub", "load-forward", "alias-disjoint")
 
+#: The rules driven by the relational product-CFG analysis (PR 10).
+RELATIONAL_RULES = ("relational-equal", "relational-equal-mem")
+
 
 def memdf_rule_hits() -> int:
     """Total hits of the memdf-driven rules since the last reset."""
     return sum(STATS.by_rule.get(rule, 0) for rule in MEMDF_RULES)
+
+
+def relational_rule_hits() -> int:
+    """Total hits of the relational rules since the last reset."""
+    return sum(STATS.by_rule.get(rule, 0) for rule in RELATIONAL_RULES)
 
 
 def _all_ones_env(term: Term) -> Dict[str, int]:
@@ -134,6 +142,7 @@ class Prescreener:
         tgt_unrolled: Function,
         memdf_src=None,
         memdf_tgt=None,
+        relational=None,
     ) -> None:
         self.src = src_unrolled
         self.tgt = tgt_unrolled
@@ -141,6 +150,9 @@ class Prescreener:
         # unrolled functions; None when VerifyOptions.memdf is off.
         self.memdf_src = memdf_src
         self.memdf_tgt = memdf_tgt
+        # Relational congruence facts (repro.analysis.relational) for the
+        # same pair; None when VerifyOptions.relational is off.
+        self.relational = relational
         self._tgt_ret_poison_free: Optional[bool] = None
         self._const_rets: Optional[tuple] = None  # (src_const, tgt_const)
 
@@ -231,6 +243,11 @@ class Prescreener:
                 src_enc, tgt_enc
             ):
                 STATS.hit("load-forward")
+                return True
+            if name in ("return-value", "return-poison") and (
+                self._screen_relational_equal(src_enc, tgt_enc)
+            ):
+                STATS.hit("relational-equal")
                 return True
         except (RecursionError, OverflowError):
             pass
@@ -328,7 +345,64 @@ class Prescreener:
         if self._screen_alias_disjoint(src_enc, tgt_enc):
             STATS.hit("alias-disjoint")
             return True
+        if self._screen_relational_mem(src_enc, tgt_enc):
+            STATS.hit("relational-equal-mem")
+            return True
         return False
+
+    # -- relational rules (PR 10) ----------------------------------------------
+    def _relational_guards(self, src_enc, tgt_enc) -> bool:
+        """Shared guards for the R-relational-equal family.
+
+        Trivial source precondition/sink/return-domain (the primed ψ
+        prefix is the literal TRUE and ``dom'`` holds), a trivial target
+        sink, and no calls on either side (call pairing and environment
+        consistency are trivial, and call results would be opaque
+        anyway).  Under these, a congruence claim "tgt value sits in
+        src's class" licenses the witness that maps every primed src
+        nondet reading onto its paired tgt reading, making value *and*
+        poison coincide; executions where the facts' UB-freedom caveat
+        fails satisfy ψ through its ``ub'`` disjunct (src side) or
+        contradict φ's ``¬ub_tgt`` (tgt side).
+        """
+        if self.relational is None or src_enc is None or tgt_enc is None:
+            return False
+        if src_enc.pre is not TRUE or src_enc.sink is not FALSE:
+            return False
+        if tgt_enc.sink is not FALSE:
+            return False
+        if src_enc.ret_domain is not TRUE:
+            return False
+        return not (src_enc.calls or tgt_enc.calls)
+
+    def _screen_relational_equal(self, src_enc, tgt_enc) -> bool:
+        """R-relational-equal: every return site pairs with an aligned,
+        congruent target return.  Congruence is value- and poison-exact
+        under the witness pairing, so the return-poison implication
+        (``t_poison → s_poison'``) and the value-refinement clause
+        (``s_poison' ∨ (¬t_poison ∧ s_val' = t_val)``) are both valid."""
+        if not self._relational_guards(src_enc, tgt_enc):
+            return False
+        return self.relational.ret_congruent()
+
+    def _screen_relational_mem(self, src_enc, tgt_enc) -> bool:
+        """R-relational-equal-mem: the caller-visible store sequences are
+        congruent pairwise in the (unconditionally executed) entry
+        blocks, so both sides leave byte-identical shared memory under
+        the witness pairing and the per-byte refinement clauses hold
+        without encoding them.  Needs memdf points-to facts to separate
+        caller-visible stores from local ones."""
+        if not self._relational_guards(src_enc, tgt_enc):
+            return False
+        if self.memdf_src is None or self.memdf_tgt is None:
+            return False
+        if self.memdf_src.has_calls or self.memdf_tgt.has_calls:
+            return False
+        if not (self.memdf_src.clobbered or self.memdf_tgt.clobbered):
+            return False  # no stores at all: R-alias-disjoint territory
+        return self.relational.store_effects_congruent(
+            self.memdf_src, self.memdf_tgt
+        )
 
     def _screen_alias_disjoint(self, src_enc, tgt_enc) -> bool:
         """R-alias-disjoint; see the module docstring.

@@ -112,6 +112,15 @@ class _FunctionLinter:
         the dominance pass to run at all."""
         fn = self.fn
         ok = True
+        for label in getattr(fn, "duplicate_labels", ()):
+            self.report(
+                ERROR,
+                "dup-block-label",
+                f"block label %{label} is defined more than once "
+                f"(the later definition silently replaced the earlier one)",
+                block=label,
+            )
+            ok = False
         for label, block in fn.blocks.items():
             if block.terminator is None:
                 self.report(
@@ -169,6 +178,17 @@ class _FunctionLinter:
             expected = preds[label]
             for phi in block.phis():
                 have = [b for _, b in phi.incoming]
+                if len(have) != len(expected):
+                    self.report(
+                        ERROR,
+                        "phi-entry-count",
+                        f"phi %{phi.name} has {len(have)} incoming "
+                        f"entr{'y' if len(have) == 1 else 'ies'} but block "
+                        f"%{label} has {len(expected)} predecessor"
+                        f"{'' if len(expected) == 1 else 's'}",
+                        block=label,
+                        inst=phi,
+                    )
                 for pred in expected:
                     if pred not in have:
                         self.report(

@@ -155,7 +155,10 @@ class EgraphSimplifier:
         STATS.nodes_removed += max(0, delta)
 
     def _screen_psi(
-        self, psi: Term, seeded_psis: Sequence[Term]
+        self,
+        psi: Term,
+        seeded_psis: Sequence[Term],
+        union_seeds: Sequence[Tuple[Term, Term]] = (),
     ) -> Tuple[bool, Term]:
         """Saturate ψ and its witness instantiations in ONE shared e-graph.
 
@@ -172,7 +175,7 @@ class EgraphSimplifier:
         if psi.is_const or psi.op == "var":
             return False, psi
         STATS.attempts += 1
-        key = (psi, self.max_nodes, self.max_iterations)
+        key = (psi, self.max_nodes, self.max_iterations, tuple(union_seeds))
         hit = _SIMPLIFY_MEMO.get(key)
         goals = [
             seeded
@@ -193,6 +196,12 @@ class EgraphSimplifier:
             root = graph.add_term(psi)
             true_cid = graph.add_term(TRUE)
             watched = [root] + [graph.add_term(goal) for goal in goals]
+            # Union seeds: caller-certified valid equalities (relational
+            # analysis, term-unconditional pairs).  Merging them up front
+            # lets saturation cross the src/tgt boundary without a rule
+            # deriving the equality from scratch.
+            for a, b in union_seeds:
+                graph.merge(graph.add_term(a), graph.add_term(b))
             external_stop = self.should_stop
 
             def stop() -> bool:
@@ -231,7 +240,11 @@ class EgraphSimplifier:
 
     # -- query-level entry point --------------------------------------------
     def screen_query(
-        self, phi: Term, psi: Term, seeded_psis: Sequence[Term] = ()
+        self,
+        phi: Term,
+        psi: Term,
+        seeded_psis: Sequence[Term] = (),
+        union_seeds: Sequence[Tuple[Term, Term]] = (),
     ) -> Tuple[bool, Term, Term]:
         """Simplify a refinement query ``∃O. φ ∧ ∀N. ¬ψ``.
 
@@ -252,8 +265,14 @@ class EgraphSimplifier:
         witness instantiations are saturated together in one shared
         e-graph; φ — typically the largest term by far — only pays for
         saturation when the ψ side failed to discharge the query.
+
+        ``union_seeds`` are caller-certified *valid* term equalities
+        (true under every assignment — the relational analysis's
+        unconditional congruences): each pair is merged in the shared
+        e-graph before saturation, bridging src and tgt subterms the
+        rule set cannot connect syntactically.
         """
-        proved, psi2 = self._screen_psi(psi, seeded_psis)
+        proved, psi2 = self._screen_psi(psi, seeded_psis, union_seeds)
         if proved:
             STATS.proved += 1
             return True, phi, psi2

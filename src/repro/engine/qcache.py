@@ -77,7 +77,12 @@ logger = logging.getLogger("repro.engine.qcache")
 # by earlier versions must not replay.  The sharded layout reuses the
 # same entry format — shard files and the legacy single file interchange
 # entry-for-entry, which is what makes the compat migration a pure move.
-CACHE_VERSION = 4
+# Version 5: the relational analysis contributes witness seeds and union
+# seeds that enter the query fingerprints (seeded instantiations are part
+# of the hashed assertion set, and union seeds change the e-graph's
+# canonical extraction), so v4 entries written without them must not
+# replay into runs that compute them — and vice versa.
+CACHE_VERSION = 5
 
 #: The only verdicts the cache stores: sound to replay regardless of
 #: resource limits.  Exhaustion verdicts (timeout/memout) are never
@@ -416,7 +421,12 @@ class QueryCache:
         max_bytes: int = DEFAULT_MAX_BYTES,
     ) -> None:
         self.path = os.fspath(path) if path is not None else None
-        self.shards = max(1, int(shards))
+        shards = int(shards)
+        if shards <= 0:
+            raise ValueError(
+                f"cache shard count must be a positive integer, got {shards}"
+            )
+        self.shards = shards
         if owned is None:
             owned_set = set(range(self.shards))
         else:
@@ -427,6 +437,8 @@ class QueryCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        if self.path is not None:
+            self._warn_shard_mismatch()
         if self.path is not None and self.shards > 1:
             self._migrate_legacy()
         per_entries = max(1, self.max_entries // self.shards)
@@ -443,6 +455,35 @@ class QueryCache:
             )
             for k in range(self.shards)
         ]
+
+    def _warn_shard_mismatch(self) -> None:
+        """Flag shard files written under a different ``shards=N``.
+
+        Mismatched files are never loaded (the count is baked into the
+        file name), which silently looks like an empty cache — so tell
+        the user what happened and how to get their entries back.
+        """
+        import glob as _glob
+        import re as _re
+
+        pattern = _glob.escape(self.path) + ".shard-*-of-*"
+        found = set()
+        for candidate in _glob.glob(pattern):
+            m = _re.search(r"\.shard-(\d+)-of-(\d+)$", candidate)
+            if m is not None and int(m.group(2)) != self.shards:
+                found.add(int(m.group(2)))
+        for other in sorted(found):
+            logger.warning(
+                "query cache %s has shard files written with "
+                "--cache-shards %d, but this run uses --cache-shards %d; "
+                "those entries will NOT be loaded (re-run with "
+                "--cache-shards %d to reuse them, or delete the stale "
+                "shard files to silence this warning)",
+                self.path,
+                other,
+                self.shards,
+                other,
+            )
 
     # -- legacy migration --------------------------------------------------
     def _migrate_legacy(self) -> None:

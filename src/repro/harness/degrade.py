@@ -72,6 +72,12 @@ class DegradationLadder:
                 # (they only make encodings smaller, never correctness).
                 changes["memdf"] = False
                 steps.append("memdf-off")
+            if options.relational:
+                # Same deal for the relational interpreter: its product
+                # numbering and witness seeds only save solver work, so
+                # under MEMOUT the analysis state is pure ballast.
+                changes["relational"] = False
+                steps.append("relational-off")
         if options.unroll_factor > self.min_unroll:
             new_unroll = max(self.min_unroll, options.unroll_factor // 2)
             changes["unroll_factor"] = new_unroll

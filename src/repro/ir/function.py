@@ -54,6 +54,11 @@ class Function:
     # Labels of unroll sink blocks (§7): execution must not reach these;
     # their reachability is negated into the function's precondition.
     sink_labels: set = field(default_factory=set)
+    # Labels the parser saw more than once.  ``blocks`` is a dict, so a
+    # repeated label silently replaces the earlier block; the parser
+    # records the collision here for the lint gate (``dup-block-label``)
+    # instead of guessing which of the two bodies was meant.
+    duplicate_labels: List[str] = field(default_factory=list)
 
     @property
     def is_declaration(self) -> bool:

@@ -412,6 +412,8 @@ class _Parser:
                 label = tok[1][:-1]
                 self.lex.next()
                 current = BasicBlock(label)
+                if label in fn.blocks:
+                    fn.duplicate_labels.append(label)
                 fn.blocks[label] = current
                 continue
             if current is None:

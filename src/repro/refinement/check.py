@@ -28,6 +28,7 @@ from enum import Enum
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.analysis.memdf import STATS as MEMDF_STATS, analyze_memdf
+from repro.analysis.relational import STATS as REL_STATS, analyze_relational
 from repro.analysis.prescreen import Prescreener
 from repro.engine import qcache
 from repro.harness.deadline import Deadline, DeadlineExceeded
@@ -125,6 +126,20 @@ class VerifyOptions:
     # verdict; --no-memdf ablates it and the degradation ladder turns it
     # off under MEMOUT (the memo tables cost memory).
     memdf: bool = True
+    # Relational analysis (repro.analysis.relational): product-CFG block
+    # alignment + relational value numbering across the (src, tgt) pair.
+    # Feeds the R-relational-equal prescreen rule, analysis-backed
+    # witness seeds for the e-graph/CEGAR rungs (generalising the
+    # lone-forall-var heuristic), and alignment-aware counterexample
+    # notes.  Prove-only and seed-only — never changes a verdict;
+    # --no-relational ablates it and the degradation ladder turns it off
+    # under MEMOUT.
+    relational: bool = True
+    # Fallback for one PR: re-enable the superseded lone-forall-var
+    # pairing heuristic alongside the relational seeds (parity-tested).
+    # With relational=False the heuristic stays active regardless, so
+    # --no-relational reproduces the PR 9 pipeline exactly.
+    legacy_pairing: bool = False
     # Self-certifying mode (--certify): every UNSAT the solver stack
     # claims must carry a proof the independent RUP checker accepts; a
     # rejected proof downgrades the verdict to SOLVER_UNSOUND instead of
@@ -161,6 +176,8 @@ class VerifyOptions:
             "egraph_max_iterations": self.egraph_max_iterations,
             "witness_pairing": self.witness_pairing,
             "memdf": self.memdf,
+            "relational": self.relational,
+            "legacy_pairing": self.legacy_pairing,
             "certify": self.certify,
         }
 
@@ -202,6 +219,10 @@ class VerifyOptions:
                 data.get("witness_pairing", defaults.witness_pairing)
             ),
             memdf=bool(data.get("memdf", defaults.memdf)),
+            relational=bool(data.get("relational", defaults.relational)),
+            legacy_pairing=bool(
+                data.get("legacy_pairing", defaults.legacy_pairing)
+            ),
             certify=bool(data.get("certify", defaults.certify)),
         )
 
@@ -432,8 +453,19 @@ def _verify_with_deadline(
 
     maybe_fault("solve", deadline=deadline, unroll_factor=options.unroll_factor)
     deadline.check("solve")
+    relational = None
+    if options.relational:
+        deadline.check("relational")
+        try:
+            relational = analyze_relational(
+                src_unrolled, tgt_unrolled, memdf_src, memdf_tgt
+            )
+        except (RecursionError, OverflowError):
+            relational = None  # prove-only layer: degrade silently
     prescreener = (
-        Prescreener(src_unrolled, tgt_unrolled, memdf_src, memdf_tgt)
+        Prescreener(
+            src_unrolled, tgt_unrolled, memdf_src, memdf_tgt, relational
+        )
         if options.prescreen
         else None
     )
@@ -445,6 +477,7 @@ def _verify_with_deadline(
         prescreener=prescreener,
         memdf_src=memdf_src,
         memdf_tgt=memdf_tgt,
+        relational=relational,
     )
     checker.phase_times["encode"] = time.monotonic() - encode_start
     return done(checker.run())
@@ -460,6 +493,7 @@ class _RefinementChecker:
         prescreener: Optional[Prescreener] = None,
         memdf_src=None,
         memdf_tgt=None,
+        relational=None,
     ) -> None:
         self.src = src
         self.tgt = tgt
@@ -467,6 +501,7 @@ class _RefinementChecker:
         self.prescreener = prescreener
         self.memdf_src = memdf_src
         self.memdf_tgt = memdf_tgt
+        self.relational = relational if options.relational else None
         # The whole-job deadline; standalone construction (benchmarks)
         # falls back to a fresh budget from the options.
         self.deadline = deadline if deadline is not None else Deadline.start(
@@ -486,6 +521,7 @@ class _RefinementChecker:
             src, tgt
         )
         self.env_consistency = self._cross_copy_axioms()
+        self._rel_seed_pairs = 0
         self.seeds = self._build_seeds()
         # Certify mode: certificates and notes gathered across the query
         # sequence, attached to whatever result ends the run.
@@ -509,6 +545,7 @@ class _RefinementChecker:
                 max_iterations=options.egraph_max_iterations,
                 should_stop=self.deadline.expired,
             )
+        self.union_seeds = self._build_union_seeds()
 
     def _attach(self, result: RefinementResult) -> RefinementResult:
         result.certificates = list(self._certs)
@@ -728,7 +765,69 @@ class _RefinementChecker:
         seeds = [match_seed, identity_seed, defined_seed]
         if match_last_seed and match_last_seed != match_seed:
             seeds.insert(1, match_last_seed)
+        # Relational seed: same positional pairing, but *across renamed
+        # registers* — the relational analysis pairs src/tgt nondet sites
+        # (freezes with congruent operands) whose registers the optimizer
+        # renamed, which the same-origin match above cannot see.
+        omap = (
+            self.relational.origin_map() if self.relational is not None else {}
+        )
+        if omap:
+            translated: Dict[str, Term] = {}
+            position: Dict[str, int] = {}
+            for qv in self.src.nondet_all:
+                origin = self.src.origin.get(qv.name)
+                if origin is None or origin not in omap:
+                    continue
+                pos = position.get(origin, 0)
+                position[origin] = pos + 1
+                hits = tgt_by_origin.get(omap[origin], [])
+                hit = hits[min(pos, len(hits) - 1)] if hits else None
+                if hit is not None and hit[1] == qv.width:
+                    translated[f"{qv.name}'"] = var_term(hit[0], qv.width)
+            if translated:
+                relational_seed = dict(match_seed)
+                relational_seed.update(translated)
+                if relational_seed not in seeds:
+                    seeds.insert(0, relational_seed)
+                self._rel_seed_pairs = len(translated)
+                REL_STATS.seed_pairs += len(translated)
         return [s for s in seeds if s]
+
+    def _build_union_seeds(self) -> List[Tuple[Term, Term]]:
+        """Term-level (src, tgt) equalities the e-graph may assume.
+
+        The relational analysis marks a congruent register pair
+        *unconditional* when its derivation is purely structural over
+        shared inputs — no load forwarding, freeze pairing, phi matching
+        or call adoption, whose claims only hold under the witness.  If
+        additionally neither encoded term mentions a nondeterministic
+        reading (so the forall-copy renaming is a no-op on both), the two
+        terms are semantically equal functions of the shared argument and
+        global variables, and merging them in the e-graph is ordinary
+        ground congruence closure: verdict-sound in every query.
+        """
+        if self.relational is None or self.simplifier is None:
+            return []
+        src_nondet = {qv.name for qv in self.src.nondet_all}
+        tgt_nondet = {qv.name for qv in self.tgt.nondet_all}
+        out: List[Tuple[Term, Term]] = []
+        seen = set()
+        for s_name, t_name in self.relational.unconditional_pairs():
+            sv = self.src.regs.get(s_name)
+            tv = self.tgt.regs.get(t_name)
+            if not isinstance(sv, SymValue) or not isinstance(tv, SymValue):
+                continue  # aggregates: element seeds not worth the churn
+            for a, b in ((sv.expr, tv.expr), (sv.poison, tv.poison)):
+                if a == b or (a, b) in seen:
+                    continue  # identical terms: the merge is a no-op
+                if term_vars(a) & src_nondet or term_vars(b) & tgt_nondet:
+                    continue
+                seen.add((a, b))
+                out.append((a, b))
+                if len(out) >= 32:
+                    return out
+        return out
 
     def _prime(self, term: Term) -> Term:
         return substitute(term, self._prime_map)
@@ -891,12 +990,74 @@ class _RefinementChecker:
             return FALSE if qv.width == 0 else bv_const(0, qv.width)
 
         out: List[BoolTerm] = []
-        for seed in list(self.seeds) + self._pairing_seeds(psi):
+        for seed in list(self.seeds) + self._query_seeds(psi):
             if not any(qv.name in seed for qv in relevant):
                 continue
             mapping = {qv.name: seed.get(qv.name, zero(qv)) for qv in relevant}
             out.append(substitute(psi, mapping))
         return out
+
+    def _query_seeds(self, psi: BoolTerm) -> List[Dict[str, Term]]:
+        """Per-query witness candidates from the active pairing mechanism.
+
+        With the relational analysis on, the analysis-backed generalised
+        pairing replaces the PR 7 lone-forall-var heuristic; the old
+        heuristic stays reachable behind ``VerifyOptions.legacy_pairing``
+        for one PR (parity-asserted in tests) and remains the default
+        whenever the analysis is off, so ``--no-relational`` reproduces
+        the previous pipeline exactly.
+        """
+        seeds: List[Dict[str, Term]] = []
+        if self.relational is not None:
+            seeds.extend(self._relational_pairing_seeds(psi))
+            if self.options.legacy_pairing:
+                seeds.extend(self._pairing_seeds(psi))
+        else:
+            seeds.extend(self._pairing_seeds(psi))
+        return seeds
+
+    def _relational_pairing_seeds(self, psi: BoolTerm) -> List[Dict[str, Term]]:
+        """Analysis-backed witness candidates for the live ∀-vars of ψ.
+
+        Generalises ``_pairing_seeds`` in two ways: it handles *any*
+        small number of live ∀-vars (one single-var candidate seed per
+        live var plus one combined seed, not just the lone-var case),
+        and it ranks candidate free variables by the relational origin
+        pairing — a tgt nondet reading whose site the analysis paired
+        with the src reading's site comes first.  Every candidate is a
+        total substitution of universals, hence sound.
+        """
+        if not self.options.witness_pairing:
+            return []
+        names = term_vars(psi)
+        relevant = [qv for qv in self.forall_vars if qv.name in names]
+        if not relevant or len(relevant) > 4:
+            return []
+        forall_names = {q.name for q in self.forall_vars}
+        frees = [
+            free
+            for free in self._collect_var_terms(psi)
+            if free.payload not in forall_names
+        ]
+        omap = self.relational.origin_map()
+        out: List[Dict[str, Term]] = []
+        combined: Dict[str, Term] = {}
+        for qv in relevant:
+            base = qv.name[:-1] if qv.name.endswith("'") else qv.name
+            src_origin = self.src.origin.get(base)
+            want = omap.get(src_origin, src_origin)
+            candidates = [f for f in frees if f.width == qv.width]
+            if want is not None:
+                candidates.sort(
+                    key=lambda f: 0 if self.tgt.origin.get(f.payload) == want else 1
+                )
+            for free in candidates[:8]:
+                out.append({qv.name: free})
+            if candidates:
+                combined[qv.name] = candidates[0]
+        if len(combined) > 1:
+            out.append(combined)
+        return out[:24]
 
     def _pairing_seeds(self, psi: BoolTerm) -> List[Dict[str, Term]]:
         """Witness candidates pairing a lone ∀-var with ψ's free variables.
@@ -1030,7 +1191,10 @@ class _RefinementChecker:
             # canonical terms, so semantically equal queries share entries.
             t0 = time.monotonic()
             proved, phi, psi = self.simplifier.screen_query(
-                phi, psi, seeded_psis=self._seeded_psis(psi)
+                phi,
+                psi,
+                seeded_psis=self._seeded_psis(psi),
+                union_seeds=self.union_seeds,
             )
             self.phase_times["egraph"] += time.monotonic() - t0
             if proved:
@@ -1066,6 +1230,10 @@ class _RefinementChecker:
             for k, v in outcome.model.items()
             if k.startswith(("arg_", "isundef_", "ispoison_", "glob_", "argmem_"))
         }
+        if self.relational is not None:
+            divergence = self.relational.describe_divergence()
+            if divergence is not None:
+                self._notes.append(divergence)
         return self._attach(
             RefinementResult(
                 Verdict.INCORRECT,
@@ -1088,7 +1256,10 @@ class _RefinementChecker:
         # costs far more than the CNF it would save, so the per-clause
         # simplify hook stays off.
         simplify = None
-        seeds = list(self.seeds) + self._pairing_seeds(psi)
+        query_seeds = self._query_seeds(psi)
+        if self.relational is not None and (self._rel_seed_pairs or query_seeds):
+            REL_STATS.seeded_queries += 1
+        seeds = list(self.seeds) + query_seeds
         if cache is None:
             return solve_exists_forall(
                 phi,

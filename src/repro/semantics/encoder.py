@@ -170,6 +170,10 @@ class EncodedFunction:
     calls: List[CallRecord] = field(default_factory=list)
     approx_vars: Set[str] = field(default_factory=set)
     origin: Dict[str, str] = field(default_factory=dict)
+    # Final symbolic value per SSA register (SymValue | SymAggregate):
+    # consumed by the relational analysis to translate IR-level
+    # congruence into term-level union seeds for the e-graph rung.
+    regs: Dict[str, object] = field(default_factory=dict)
 
     @property
     def nondet_all(self) -> List[QuantVar]:
@@ -491,6 +495,7 @@ class _Encoder:
             calls=self.calls,
             approx_vars=self.approx_vars,
             origin=self.origin,
+            regs=dict(self.regs),
         )
 
     # -- phi ------------------------------------------------------------------------

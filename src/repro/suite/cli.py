@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from typing import List, Optional
 
 from repro.refinement.check import VerifyOptions
@@ -87,6 +88,19 @@ def main(argv: Optional[List[str]] = None) -> int:
              "and memory-refinement block skipping (ablation switch)",
     )
     parser.add_argument(
+        "--no-relational", action="store_true",
+        help="disable the relational abstract interpreter: the "
+             "R-relational-equal prescreen rules, cross-function witness "
+             "seeds for the e-graph and CEGAR rungs, and alignment-aware "
+             "counterexample notes (ablation switch)",
+    )
+    parser.add_argument(
+        "--max-ef-iterations", type=int, default=None, metavar="N",
+        help="cap CEGAR (exists-forall) refinement iterations per query; "
+             "raise it when comparing ablation configs byte-for-byte so "
+             "neither side hits the ceiling (exhaustion reports TIMEOUT)",
+    )
+    parser.add_argument(
         "--certify", action="store_true",
         help="log a RUP proof for every UNSAT solver answer and have the "
              "independent checker validate it; a rejected proof downgrades "
@@ -111,14 +125,26 @@ def main(argv: Optional[List[str]] = None) -> int:
              "and --server runs of the same corpus compare byte-for-byte",
     )
     args = parser.parse_args(argv)
+    if args.cache_shards <= 0:
+        parser.error(
+            f"--cache-shards must be a positive integer, got {args.cache_shards}"
+        )
     options = VerifyOptions(
         timeout_s=args.timeout,
         unroll_factor=args.unroll,
         prescreen=not args.no_prescreen,
         egraph=not args.no_egraph,
         memdf=not args.no_memdf,
+        relational=not args.no_relational,
         certify=args.certify,
     )
+    if args.max_ef_iterations is not None:
+        if args.max_ef_iterations <= 0:
+            parser.error(
+                "--max-ef-iterations must be a positive integer, "
+                f"got {args.max_ef_iterations}"
+            )
+        options = replace(options, max_ef_iterations=args.max_ef_iterations)
     ladder = None
     if args.retries > 0:
         from repro.harness.degrade import DegradationLadder
@@ -136,7 +162,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         # The raw path (not a loaded QueryCache) goes to run_suite so
         # pooled runs never parse the cache file in the parent.
         cache = None
-        cache_shards = max(1, args.cache_shards)
+        cache_shards = args.cache_shards
         if args.query_cache is not None and not args.no_query_cache:
             cache = args.query_cache
         tests = UNIT_TESTS[: args.limit] if args.limit is not None else UNIT_TESTS
@@ -256,6 +282,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"memdf: {t.memdf_rule_hits} queries discharged by memory "
                 f"rules, {t.memdf_narrowed} accesses narrowed, "
                 f"{t.memdf_block_skips} block case-splits pruned"
+            )
+        if (
+            t.relational_rule_hits
+            or t.relational_seed_pairs
+            or t.relational_aligned_blocks
+        ):
+            print(
+                f"relational: {t.relational_rule_hits} queries discharged "
+                f"by R-relational-equal, {t.relational_seed_pairs} witness "
+                f"pairs seeded, {t.relational_aligned_blocks} certified "
+                f"block pairs aligned"
             )
         if t.phase_time_s:
             print(

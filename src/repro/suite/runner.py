@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Union
 
 from repro.analysis import memdf as analysis_memdf
 from repro.analysis import prescreen
+from repro.analysis import relational as analysis_relational
 from repro.analysis import verify as lint_verify
 from repro.egraph import simplify as egraph_simplify
 from repro.engine import qcache
@@ -89,6 +90,13 @@ class TestRecord:
     memdf_rule_hits: int = 0
     memdf_narrowed: int = 0
     memdf_block_skips: int = 0
+    # Relational-analysis statistics (VerifyOptions.relational): queries
+    # discharged by the R-relational-equal rules (a subset of
+    # prescreen_hits), forall-var -> tgt-term witness pairs contributed
+    # to the CEGAR seeds, and certified aligned block pairs.
+    relational_rule_hits: int = 0
+    relational_seed_pairs: int = 0
+    relational_aligned_blocks: int = 0
     phase_times: Dict[str, float] = field(default_factory=dict)
 
     def count(self, verdict: Verdict) -> None:
@@ -128,6 +136,11 @@ class TestRecord:
             memdf_rule_hits=int(data.get("memdf_rule_hits", 0)),
             memdf_narrowed=int(data.get("memdf_narrowed", 0)),
             memdf_block_skips=int(data.get("memdf_block_skips", 0)),
+            relational_rule_hits=int(data.get("relational_rule_hits", 0)),
+            relational_seed_pairs=int(data.get("relational_seed_pairs", 0)),
+            relational_aligned_blocks=int(
+                data.get("relational_aligned_blocks", 0)
+            ),
             phase_times={
                 str(k): float(v)
                 for k, v in dict(data.get("phase_times", {})).items()
@@ -307,6 +320,9 @@ def _run_one_test(
     memdf_hits0 = prescreen.memdf_rule_hits()
     memdf_narrowed0 = analysis_memdf.STATS.narrowed_accesses
     memdf_skips0 = analysis_memdf.STATS.block_skips
+    rel_hits0 = prescreen.relational_rule_hits()
+    rel_seeds0 = analysis_relational.STATS.seed_pairs
+    rel_aligned0 = analysis_relational.STATS.aligned_blocks
     start = time.monotonic()
     try:
         with faults.current_test(test.name):
@@ -344,6 +360,13 @@ def _run_one_test(
         analysis_memdf.STATS.narrowed_accesses - memdf_narrowed0
     )
     record.memdf_block_skips = analysis_memdf.STATS.block_skips - memdf_skips0
+    record.relational_rule_hits = prescreen.relational_rule_hits() - rel_hits0
+    record.relational_seed_pairs = (
+        analysis_relational.STATS.seed_pairs - rel_seeds0
+    )
+    record.relational_aligned_blocks = (
+        analysis_relational.STATS.aligned_blocks - rel_aligned0
+    )
     return record
 
 
@@ -448,6 +471,9 @@ def _merge_record(outcome: SuiteOutcome, record: TestRecord) -> None:
     outcome.tally.memdf_rule_hits += record.memdf_rule_hits
     outcome.tally.memdf_narrowed += record.memdf_narrowed
     outcome.tally.memdf_block_skips += record.memdf_block_skips
+    outcome.tally.relational_rule_hits += record.relational_rule_hits
+    outcome.tally.relational_seed_pairs += record.relational_seed_pairs
+    outcome.tally.relational_aligned_blocks += record.relational_aligned_blocks
     for phase, seconds in record.phase_times.items():
         outcome.tally.phase_time_s[phase] = (
             outcome.tally.phase_time_s.get(phase, 0.0) + seconds

@@ -66,6 +66,12 @@ class Tally:
     memdf_rule_hits: int = 0
     memdf_narrowed: int = 0
     memdf_block_skips: int = 0
+    # Relational-analysis traffic: queries discharged by the
+    # R-relational-equal rules (subset of prescreen_hits), witness pairs
+    # contributed to the CEGAR seeds, and certified aligned block pairs.
+    relational_rule_hits: int = 0
+    relational_seed_pairs: int = 0
+    relational_aligned_blocks: int = 0
     phase_time_s: Dict[str, float] = field(default_factory=dict)
 
     def add(self, result: RefinementResult) -> None:
@@ -193,6 +199,16 @@ class ValidationReport:
                 f" [memdf: {t.memdf_rule_hits} rule hits, "
                 f"{t.memdf_narrowed} accesses narrowed, "
                 f"{t.memdf_block_skips} block case-splits pruned]"
+            )
+        if (
+            t.relational_rule_hits
+            or t.relational_seed_pairs
+            or t.relational_aligned_blocks
+        ):
+            text += (
+                f" [relational: {t.relational_rule_hits} rule hits, "
+                f"{t.relational_seed_pairs} seed pairs, "
+                f"{t.relational_aligned_blocks} aligned blocks]"
             )
         if t.phase_time_s:
             phases = ", ".join(

@@ -407,3 +407,53 @@ def test_incremental_cegar_multi_iteration_query():
     )
     assert outcome.result is ef.EFResult.UNSAT
     assert outcome.iterations > 1
+
+
+# -- cache shard-count validation (PR 10) -------------------------------------
+
+
+def test_query_cache_rejects_nonpositive_shards():
+    import pytest
+
+    for bad in (0, -1, -8):
+        with pytest.raises(ValueError, match="positive"):
+            QueryCache(shards=bad)
+
+
+def test_query_cache_warns_on_shard_count_mismatch(tmp_path, caplog):
+    import logging
+
+    path = tmp_path / "cache.jsonl"
+    # Write entries under shards=4, then reopen with shards=2: the v4
+    # files are invisible to the new layout, which must be called out.
+    cache = QueryCache(str(path), shards=4)
+    cache.store("deadbeef" * 8, "unsat", {}, 1)
+    with caplog.at_level(logging.WARNING, logger="repro.engine.qcache"):
+        QueryCache(str(path), shards=2)
+    text = caplog.text
+    assert "--cache-shards 4" in text
+    assert "--cache-shards 2" in text
+    assert "NOT be loaded" in text
+
+
+def test_query_cache_same_shard_count_no_warning(tmp_path, caplog):
+    import logging
+
+    path = tmp_path / "cache.jsonl"
+    cache = QueryCache(str(path), shards=4)
+    cache.store("deadbeef" * 8, "unsat", {}, 1)
+    with caplog.at_level(logging.WARNING, logger="repro.engine.qcache"):
+        QueryCache(str(path), shards=4)
+    assert "NOT be loaded" not in caplog.text
+
+
+def test_cli_rejects_nonpositive_cache_shards(capsys):
+    import pytest
+
+    from repro.suite.cli import main as suite_main
+
+    with pytest.raises(SystemExit) as excinfo:
+        suite_main(["unittests", "--cache-shards", "0", "--limit", "1"])
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert "--cache-shards" in err and "positive" in err

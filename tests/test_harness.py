@@ -147,10 +147,16 @@ def test_timeout_phase_is_reported():
 
 def test_conflict_budget_exhaustion_reports_timeout():
     src, tgt, sm, tm = _pair(MUL_SRC, MUL_TGT_COMM)
-    # egraph off: saturation proves this pair outright, and the point
-    # here is to exhaust the *solver's* conflict budget.
+    # egraph and relational off: both rungs prove this pair outright, and
+    # the point here is to exhaust the *solver's* conflict budget.
     result = verify_refinement(
-        src, tgt, sm, tm, VerifyOptions(timeout_s=10.0, max_conflicts=1, egraph=False)
+        src,
+        tgt,
+        sm,
+        tm,
+        VerifyOptions(
+            timeout_s=10.0, max_conflicts=1, egraph=False, relational=False
+        ),
     )
     assert result.verdict is Verdict.TIMEOUT
     assert result.elapsed_s > 0.0
@@ -159,7 +165,13 @@ def test_conflict_budget_exhaustion_reports_timeout():
 def test_learned_lits_exhaustion_reports_oom():
     src, tgt, sm, tm = _pair(MUL_SRC, MUL_TGT_COMM)
     result = verify_refinement(
-        src, tgt, sm, tm, VerifyOptions(timeout_s=10.0, max_learned_lits=8)
+        src,
+        tgt,
+        sm,
+        tm,
+        VerifyOptions(
+            timeout_s=10.0, max_learned_lits=8, egraph=False, relational=False
+        ),
     )
     assert result.verdict is Verdict.OOM
     assert result.elapsed_s > 0.0

@@ -347,3 +347,112 @@ def test_cli_werror_promotes_warnings(tmp_path):
 def test_cli_requires_input():
     with pytest.raises(SystemExit):
         main([])
+
+
+# -- dup-block-label and phi-entry-count (PR 10) ------------------------------
+
+
+def test_duplicate_block_label_is_lint_error():
+    mod = parse_module(
+        """
+        define i8 @f(i8 %a) {
+        entry:
+          br label %next
+        next:
+          %x = add i8 %a, 1
+          br label %next2
+        next:
+          %y = add i8 %a, 2
+          br label %next2
+        next2:
+          %r = phi i8 [ %y, %next ], [ %y, %next ]
+          ret i8 %r
+        }
+        """
+    )
+    fn = mod.get_function("f")
+    assert fn.duplicate_labels == ["next"]
+    codes = _codes(lint_function(fn))
+    assert "dup-block-label" in codes
+
+
+def test_phi_entry_count_mismatch_is_lint_error():
+    fn = parse_function(
+        """
+        define i8 @f(i1 %c) {
+        entry:
+          br i1 %c, label %a, label %join
+        a:
+          br label %join
+        join:
+          %r = phi i8 [ 1, %a ]
+          ret i8 %r
+        }
+        """
+    )
+    codes = _codes(lint_function(fn))
+    assert "phi-entry-count" in codes
+    assert "phi-missing-pred" in codes  # the specific edge is also named
+
+
+def test_well_formed_phi_has_no_entry_count_error():
+    fn = parse_function(
+        """
+        define i8 @f(i1 %c) {
+        entry:
+          br i1 %c, label %a, label %b
+        a:
+          br label %join
+        b:
+          br label %join
+        join:
+          %r = phi i8 [ 1, %a ], [ 2, %b ]
+          ret i8 %r
+        }
+        """
+    )
+    assert "phi-entry-count" not in _codes(lint_function(fn))
+    assert "dup-block-label" not in _codes(lint_function(fn))
+
+
+def test_dup_label_gates_verification_as_unsupported():
+    bad = parse_module(
+        """
+        define i8 @f(i8 %a) {
+        entry:
+          ret i8 %a
+        entry:
+          ret i8 0
+        }
+        """
+    )
+    fn = bad.get_function("f")
+    result = run_verification_job(
+        fn, fn, bad, bad, VerifyOptions(timeout_s=5.0)
+    )
+    assert result.verdict is Verdict.UNSUPPORTED
+    assert result.unsupported_feature == "ill-formed-ir"
+    assert any("dup-block-label" in e for e in result.diagnostic["errors"])
+
+
+def test_phi_entry_count_gates_verification_as_unsupported():
+    bad = parse_module(
+        """
+        define i8 @f(i1 %c) {
+        entry:
+          br i1 %c, label %a, label %join
+        a:
+          br label %join
+        join:
+          %r = phi i8 [ 1, %a ]
+          ret i8 %r
+        }
+        """
+    )
+    fn = bad.get_function("f")
+    result = run_verification_job(
+        fn, fn, bad, bad, VerifyOptions(timeout_s=5.0)
+    )
+    assert result.verdict is Verdict.UNSUPPORTED
+    assert result.unsupported_feature == "ill-formed-ir"
+    assert any("phi-entry-count" in e for e in result.diagnostic["errors"])
